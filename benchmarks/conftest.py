@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper: it runs the
+corresponding experiment (at the ``small`` scale unless the
+``LIGHTOR_BENCH_SCALE`` environment variable says otherwise), prints the
+rows/series the paper reports, and records the wall-clock through
+pytest-benchmark (one round — these are experiment harnesses, not
+micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = os.environ.get("LIGHTOR_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Evaluation scale used by all benchmarks (small | medium | paper)."""
+    return BENCH_SCALE
+
+
+def run_and_report(benchmark, experiment_id: str, scale: str, **kwargs):
+    """Run ``experiment_id`` once under pytest-benchmark and print its report."""
+    from repro.experiments import run_experiment
+
+    def once():
+        return run_experiment(experiment_id, scale=scale, **kwargs)
+
+    results, report = benchmark.pedantic(once, rounds=1, iterations=1)
+    print()
+    print(report)
+    return results

@@ -1,0 +1,23 @@
+"""Extension benchmark: ablations of the design choices DESIGN.md calls out.
+
+Expected shapes: removing the adjustment stage (raw chat peak instead of
+peak minus the learned constant) hurts start precision, and the full
+filtering → classification → aggregation dataflow is at least as good as
+either degraded variant.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablations(benchmark, bench_scale):
+    results = run_and_report(benchmark, "ablations", bench_scale)
+    initializer = results["initializer"]
+    extractor = results["extractor"]
+
+    # The adjustment stage is the point of Section IV-C: without it, dots sit
+    # on the (delayed) chat peak and precision collapses.
+    assert initializer["with_adjustment"] >= initializer["without_adjustment"] + 0.1
+
+    # The full extractor dataflow is not worse than the degraded variants.
+    assert extractor["full_dataflow"] >= extractor["no_play_filter"] - 0.05
+    assert extractor["full_dataflow"] >= extractor["no_type_classifier"] - 0.05

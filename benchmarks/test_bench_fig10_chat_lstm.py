@@ -1,0 +1,30 @@
+"""EXP-F10 benchmark: regenerate Figure 10 (LIGHTOR vs Chat-LSTM by training size).
+
+Expected shapes: LIGHTOR trained on a single labelled video beats Chat-LSTM
+trained on a single video (panel a) and remains at least competitive with
+Chat-LSTM trained on the large training set (panel b), while Chat-LSTM's
+training time is orders of magnitude larger than LIGHTOR's.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def _mean(curve: dict) -> float:
+    return float(np.mean(list(curve.values())))
+
+
+def test_fig10_chat_lstm(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig10", bench_scale)
+
+    panel_a = results["panel_a"]
+    lightor = _mean(panel_a["lightor (1 video)"])
+    lstm_single = _mean(panel_a["chat-lstm (1 video)"])
+    assert lightor >= lstm_single
+
+    panel_b = results["panel_b"]
+    lstm_many_key = [key for key in panel_b if key.startswith("chat-lstm")][0]
+    lstm_many = _mean(panel_b[lstm_many_key])
+    assert lightor >= lstm_many - 0.05
+    assert lightor >= 0.5

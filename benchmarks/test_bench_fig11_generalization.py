@@ -1,0 +1,32 @@
+"""EXP-F11 benchmark: regenerate Figure 11 (cross-game generalization).
+
+Expected shapes: LIGHTOR trained on LoL keeps (most of) its precision when
+tested on Dota2, because its three features are game-agnostic; Chat-LSTM
+drops much further across games because its character model memorises the
+training game's reaction vocabulary.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def _mean(curve: dict) -> float:
+    return float(np.mean(list(curve.values())))
+
+
+def test_fig11_generalization(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig11", bench_scale)
+
+    lightor_lol = _mean(results["lightor"]["LoL"])
+    lightor_dota = _mean(results["lightor"]["Dota2"])
+    lstm_lol = _mean(results["chat_lstm"]["LoL"])
+    lstm_dota = _mean(results["chat_lstm"]["Dota2"])
+
+    # LIGHTOR transfers: its cross-game drop is bounded.
+    assert lightor_dota >= lightor_lol - 0.25
+    assert lightor_dota >= 0.5
+    # LIGHTOR on the unseen game still beats Chat-LSTM on the unseen game.
+    assert lightor_dota >= lstm_dota
+    # Chat-LSTM's cross-game drop is at least as bad as LIGHTOR's.
+    assert (lstm_lol - lstm_dota) >= (lightor_lol - lightor_dota) - 0.15

@@ -1,0 +1,20 @@
+"""EXP-F2 benchmark: regenerate Figure 2 (chat analysis of one video).
+
+Expected shape: a clearly positive start→peak chat delay (tens of seconds)
+and separated feature distributions (highlight windows: more messages,
+shorter messages, higher similarity).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig2_chat_analysis(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig2", bench_scale)
+    assert results["mean_chat_delay"] > 5.0
+    stats = results["feature_stats"]
+    assert stats["message_number"]["highlight_mean"] > stats["message_number"]["non_highlight_mean"]
+    assert stats["message_length"]["highlight_mean"] < stats["message_length"]["non_highlight_mean"]
+    assert (
+        stats["message_similarity"]["highlight_mean"]
+        > stats["message_similarity"]["non_highlight_mean"]
+    )

@@ -1,0 +1,20 @@
+"""EXP-F3 benchmark: regenerate Figure 3 (play start-offset distributions).
+
+Expected shape: Type I offsets are diffuse (large spread), Type II offsets
+are concentrated with a small median — the observation that motivates the
+Extractor's two aggregation strategies.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig3_play_offsets(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig3", bench_scale)
+    type_i = results["type_i"]
+    type_ii = results["type_ii"]
+    assert type_i["count"] > 0 and type_ii["count"] > 0
+    # Concentration: Type II spread is well below Type I spread.
+    assert type_ii["std"] < type_i["std"]
+    assert type_ii["iqr"] < type_i["iqr"]
+    # Type II median offset is small (viewers see the highlight right away).
+    assert abs(type_ii["median"]) <= 15.0

@@ -1,0 +1,27 @@
+"""EXP-F6 benchmark: regenerate Figure 6 (prediction stage of the Initializer).
+
+Expected shapes: the full three-feature model matches or beats the
+message-number-only model at every k and clearly beats it at the largest k
+(panel a); Chat Precision@10 stays essentially flat as the training set
+shrinks to a single video (panel b).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig6_prediction(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig6", bench_scale)
+    ablation = results["ablation"]
+    ks = results["ks"]
+    largest_k = max(ks)
+
+    # Panel (a): richer features never hurt, and win at the largest k.
+    for k in ks:
+        assert ablation["msg_num+len+sim"][k] >= ablation["msg_num"][k] - 0.05
+    assert ablation["msg_num+len+sim"][largest_k] >= ablation["msg_num"][largest_k]
+    assert ablation["msg_num+len+sim"][largest_k] >= 0.6
+
+    # Panel (b): one training video is already enough (flat curve).
+    curve = results["training_curve"]
+    assert max(curve.values()) - min(curve.values()) <= 0.15
+    assert curve[min(curve)] >= 0.6

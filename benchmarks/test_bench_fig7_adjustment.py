@@ -1,0 +1,26 @@
+"""EXP-F7 benchmark: regenerate Figure 7 (adjustment stage of the Initializer).
+
+Expected shapes: LIGHTOR's red dots are several times more precise than
+Toretter's burst positions and close to the Ideal bound (panel a); the
+learned adjustment constant stays within a narrow band as the training size
+varies (panel b).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig7_adjustment(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig7", bench_scale)
+    curves = results["curves"]
+    ks = results["ks"]
+    mid_k = 5 if 5 in ks else ks[len(ks) // 2]
+
+    # Panel (a): LIGHTOR >> Toretter, and LIGHTOR close to the Ideal bound.
+    assert curves["lightor"][mid_k] >= 2.0 * max(curves["toretter"][mid_k], 0.05)
+    assert curves["lightor"][mid_k] >= 0.6
+    assert curves["ideal"][mid_k] >= curves["lightor"][mid_k] - 0.05
+
+    # Panel (b): the constant is stable within a ~10 s band.
+    constants = list(results["constants"].values())
+    assert max(constants) - min(constants) <= 10.0
+    assert all(10.0 <= value <= 40.0 for value in constants)

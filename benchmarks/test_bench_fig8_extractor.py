@@ -1,0 +1,31 @@
+"""EXP-F8 benchmark: regenerate Figure 8 (extractor over crowd iterations).
+
+Expected shapes: LIGHTOR's start and end precision at the final iteration is
+at least as good as at the first iteration and beats the non-iterative
+SocialSkip and MOOCer baselines; the Type I/II classifier is clearly better
+than chance.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8_extractor(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig8", bench_scale)
+    iterations = results["iterations"]
+    first, last = iterations[0], iterations[-1]
+
+    lightor_start = results["start"]["lightor"]
+    lightor_end = results["end"]["lightor"]
+    assert lightor_start[last] >= lightor_start[first] - 0.1
+    assert lightor_start[last] >= 0.6
+    assert lightor_end[last] >= 0.6
+
+    # LIGHTOR's final iteration beats both non-iterative baselines on the
+    # combined start+end quality.
+    lightor_total = lightor_start[last] + lightor_end[last]
+    socialskip_total = results["start"]["socialskip"][last] + results["end"]["socialskip"][last]
+    moocer_total = results["start"]["moocer"][last] + results["end"]["moocer"][last]
+    assert lightor_total >= socialskip_total
+    assert lightor_total >= moocer_total
+
+    assert results["type_classification_accuracy"] >= 0.6

@@ -1,0 +1,17 @@
+"""EXP-F9 benchmark: regenerate Figure 9 (applicability on a Twitch-like platform).
+
+Expected shape: well over 80 % of popular recorded videos clear the
+500-messages-per-hour threshold the Initializer needs, and every one of them
+clears the 100-viewer threshold the Extractor needs.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig9_applicability(benchmark, bench_scale):
+    results = run_and_report(benchmark, "fig9", bench_scale)
+    fraction_chat_ok = 1.0 - results["fraction_below_chat_threshold"]
+    fraction_viewers_ok = 1.0 - results["fraction_below_viewer_threshold"]
+    assert fraction_chat_ok >= 0.8
+    assert fraction_viewers_ok == 1.0
+    assert results["n_videos"] >= 10

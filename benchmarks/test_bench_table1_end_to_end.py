@@ -1,0 +1,26 @@
+"""EXP-T1 benchmark: regenerate Table I (end-to-end LIGHTOR vs Joint-LSTM).
+
+Expected shapes: LIGHTOR (trained on one labelled video, refined through the
+crowd simulator) achieves clearly higher Video Precision@5 for both start and
+end positions than Joint-LSTM (trained on the large LoL set), and its
+training time is orders of magnitude smaller.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table1_end_to_end(benchmark, bench_scale):
+    results = run_and_report(benchmark, "table1", bench_scale)
+    lightor = results["lightor"]
+    joint = results["joint_lstm"]
+
+    assert lightor["start_precision"] >= joint["start_precision"]
+    assert lightor["end_precision"] >= joint["end_precision"] - 0.05
+    assert lightor["start_precision"] >= 0.6
+
+    # Training-cost gap: LIGHTOR fits three-feature logistic regression in
+    # seconds; the deep baseline's character LSTM takes far longer even on
+    # the scaled-down offline substitute.
+    assert lightor["training_seconds"] * 5.0 <= joint["training_seconds"]
+    assert lightor["training_videos"] == 1
+    assert joint["training_videos"] >= 1

@@ -1,0 +1,66 @@
+"""Cross-game generalization demo (the property behind Fig. 11 and Table I).
+
+Run with::
+
+    python examples/cross_game_training.py
+
+Trains the Highlight Initializer on a single LoL tournament video and applies
+it to Dota2 personal-stream videos, then does the same with the Chat-LSTM
+baseline, printing the Video Precision@5 (start) of both.  LIGHTOR's three
+general chat features carry over between games; the character-level deep
+baseline does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ChatLSTMBaseline
+from repro.core.config import LightorConfig
+from repro.core.initializer import HighlightInitializer
+from repro.datasets import DatasetSpec, build_dataset
+from repro.datasets.loaders import training_pairs
+from repro.eval import video_precision_start_at_k
+
+
+def main() -> None:
+    config = LightorConfig()
+    lol = build_dataset(DatasetSpec.lol(size=3))
+    dota = build_dataset(DatasetSpec.dota2(size=5))
+    test_videos = dota[:4]
+
+    # --- LIGHTOR: train on one LoL video, test on Dota2. -------------------
+    initializer = HighlightInitializer(config=config)
+    initializer.fit(training_pairs(lol[:1]))
+    lightor_scores = []
+    for labelled in test_videos:
+        dots = initializer.propose(labelled.chat_log, k=5)
+        lightor_scores.append(
+            video_precision_start_at_k(
+                [dot.position for dot in dots], labelled.highlights, k=5
+            )
+        )
+
+    # --- Chat-LSTM: train on the same LoL videos, test on Dota2. -----------
+    baseline = ChatLSTMBaseline(hidden_size=16, n_epochs=2, frames_per_video=16)
+    baseline.fit(lol)
+    lstm_scores = []
+    for labelled in test_videos:
+        dots = baseline.propose(labelled.chat_log, k=5)
+        lstm_scores.append(
+            video_precision_start_at_k(
+                [dot.position for dot in dots], labelled.highlights, k=5
+            )
+        )
+
+    print("trained on LoL, tested on Dota2 (Video Precision@5, start):")
+    print(f"  LIGHTOR   (1 LoL video):  {np.mean(lightor_scores):.3f}")
+    print(f"  Chat-LSTM ({len(lol)} LoL videos): {np.mean(lstm_scores):.3f}")
+    print(
+        f"\ntraining time — LIGHTOR: a fraction of a second, "
+        f"Chat-LSTM: {baseline.training_seconds_:.1f}s on this scaled-down substitute"
+    )
+
+
+if __name__ == "__main__":
+    main()

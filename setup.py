@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in editable mode in fully offline
+environments where the ``wheel`` package (needed by PEP 660 editable builds
+on older setuptools) is unavailable::
+
+    pip install -e . --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""LIGHTOR reproduction: implicit-crowdsourcing highlight extraction.
+
+Reproduction of "Towards Extracting Highlights From Recorded Live Videos: An
+Implicit Crowdsourcing Approach" (Jiang, Qu, Wang, Wang, Zheng — ICDE 2020).
+
+Public API highlights::
+
+    from repro import LightorConfig, LightorPipeline
+    from repro.datasets import DatasetSpec, build_dataset
+    from repro.simulation import CrowdSimulator
+    from repro.utils.rng import SeedSequenceFactory
+
+    dataset = build_dataset(DatasetSpec.dota2(size=12))
+    train, test = dataset[:1], dataset[1:]
+
+    pipeline = LightorPipeline(LightorConfig())
+    pipeline.fit([video.training_pair for video in train])
+
+    crowd = CrowdSimulator(seeds=SeedSequenceFactory(7))
+    result = pipeline.run(test[0].chat_log, crowd.interaction_source(test[0].video), k=5)
+    for highlight in result.highlights:
+        print(highlight.start, highlight.end)
+"""
+
+from repro.core import (
+    ChatMessage,
+    Highlight,
+    HighlightExtractor,
+    HighlightInitializer,
+    Interaction,
+    InteractionKind,
+    LightorConfig,
+    LightorPipeline,
+    PipelineResult,
+    PlayRecord,
+    RedDot,
+    RedDotType,
+    Video,
+    VideoChatLog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChatMessage",
+    "Highlight",
+    "HighlightExtractor",
+    "HighlightInitializer",
+    "Interaction",
+    "InteractionKind",
+    "LightorConfig",
+    "LightorPipeline",
+    "PipelineResult",
+    "PlayRecord",
+    "RedDot",
+    "RedDotType",
+    "Video",
+    "VideoChatLog",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline highlight detectors the paper compares against.
+
+* :mod:`naive <repro.baselines.naive>` — put red dots at the largest chat
+  message counts (the strawman of Section IV-C).
+* :mod:`toretter <repro.baselines.toretter>` — social-network burst/event
+  detection applied to chat (Sakaki et al.'s earthquake detector, Fig. 7a).
+* :mod:`socialskip <repro.baselines.socialskip>` — seek-based interaction
+  histogram (Chorianopoulos, Fig. 8).
+* :mod:`moocer <repro.baselines.moocer>` — play-based interaction histogram
+  (Kim et al.'s MOOC interaction peaks, Fig. 8).
+* :mod:`chat_lstm <repro.baselines.chat_lstm>` — character-level LSTM over
+  chat windows (Fu et al., Figs. 10/11).
+* :mod:`joint_lstm <repro.baselines.joint_lstm>` — chat LSTM plus simulated
+  visual features (Table I).
+"""
+
+from repro.baselines.naive import NaivePeakDetector
+from repro.baselines.toretter import ToretterDetector
+from repro.baselines.socialskip import SocialSkipExtractor
+from repro.baselines.moocer import MoocerExtractor
+from repro.baselines.chat_lstm import ChatLSTMBaseline
+from repro.baselines.joint_lstm import JointLSTMBaseline
+
+__all__ = [
+    "NaivePeakDetector",
+    "ToretterDetector",
+    "SocialSkipExtractor",
+    "MoocerExtractor",
+    "ChatLSTMBaseline",
+    "JointLSTMBaseline",
+]

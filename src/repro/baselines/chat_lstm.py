@@ -1,0 +1,159 @@
+"""Chat-LSTM baseline (Fu et al., EMNLP 2017) on the numpy LSTM substrate.
+
+The baseline classifies individual video *frames* as highlight or not: for a
+frame at time ``t`` it feeds the chat messages of the next 7-second window
+into a character-level LSTM.  At prediction time every sampled frame gets a
+probability, and the top-k frames are returned with the same 120-second
+spacing rule LIGHTOR uses so the comparison is fair (Section VII-E).
+
+Properties preserved from the original that matter for the comparison:
+
+* the model sees raw characters, so what it learns is largely the reaction
+  vocabulary of the training game — it does not transfer across games
+  (Fig. 11b);
+* it needs many labelled videos before that vocabulary coverage is adequate
+  (Fig. 10);
+* it has no mechanism for the delay between a highlight and its chat, so its
+  frame picks trail the true start;
+* training cost is orders of magnitude above fitting LIGHTOR's three-feature
+  logistic regression (Table I).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.types import Highlight, RedDot, VideoChatLog
+from repro.datasets.generate import LabeledVideo
+from repro.ml.lstm import CharLSTMClassifier
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["ChatLSTMBaseline"]
+
+
+@dataclass
+class ChatLSTMBaseline:
+    """Frame-level highlight classifier over chat characters.
+
+    Parameters
+    ----------
+    chat_window:
+        Length of the chat window following each frame (7 s in the paper).
+    frame_step:
+        Spacing of sampled frames, both for training-example extraction and
+        for prediction.
+    frames_per_video:
+        Cap on the number of training frames drawn from one video (balanced
+        between positives and negatives); keeps the numpy LSTM trainable in
+        benchmark time while preserving the data-hunger property.
+    min_dot_spacing:
+        Spacing applied when selecting the top-k predicted frames.
+    """
+
+    chat_window: float = 7.0
+    frame_step: float = 15.0
+    frames_per_video: int = 24
+    min_dot_spacing: float = 120.0
+    hidden_size: int = 24
+    n_epochs: int = 3
+    max_sequence_length: int = 140
+    seed: int = 13
+    model: CharLSTMClassifier | None = field(default=None, repr=False)
+    training_seconds_: float = field(default=0.0, repr=False)
+    n_training_examples_: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------- training
+    def fit(self, train_videos: list[LabeledVideo]) -> "ChatLSTMBaseline":
+        """Train the character LSTM on frames sampled from labelled videos."""
+        if not train_videos:
+            raise ValidationError("fit requires at least one labelled video")
+        start_time = time.perf_counter()
+        texts: list[str] = []
+        labels: list[int] = []
+        seeds = SeedSequenceFactory(self.seed)
+        for labelled in train_videos:
+            video_texts, video_labels = self._training_frames(labelled, seeds)
+            texts.extend(video_texts)
+            labels.extend(video_labels)
+        if not texts:
+            raise ValidationError("no training frames could be extracted")
+        self.model = CharLSTMClassifier(
+            hidden_size=self.hidden_size,
+            n_epochs=self.n_epochs,
+            max_sequence_length=self.max_sequence_length,
+            seed=self.seed,
+        )
+        self.model.fit(texts, labels)
+        self.n_training_examples_ = len(texts)
+        self.training_seconds_ = time.perf_counter() - start_time
+        return self
+
+    def _training_frames(
+        self, labelled: LabeledVideo, seeds: SeedSequenceFactory
+    ) -> tuple[list[str], list[int]]:
+        """Sample balanced positive/negative frames from one labelled video."""
+        rng = seeds.rng("frames", labelled.video.video_id)
+        positives: list[str] = []
+        negatives: list[str] = []
+        duration = labelled.video.duration
+        frame_times = np.arange(0.0, duration - self.chat_window, self.frame_step)
+        for frame_time in frame_times:
+            text = self._frame_text(labelled.chat_log, float(frame_time))
+            if not text:
+                continue
+            if self._is_highlight_frame(float(frame_time), labelled.highlights):
+                positives.append(text)
+            else:
+                negatives.append(text)
+        per_class = self.frames_per_video // 2
+        rng.shuffle(positives)
+        rng.shuffle(negatives)
+        positives = positives[:per_class]
+        negatives = negatives[: max(per_class, len(positives))]
+        texts = positives + negatives
+        labels = [1] * len(positives) + [0] * len(negatives)
+        return texts, labels
+
+    def _frame_text(self, chat_log: VideoChatLog, frame_time: float) -> str:
+        """Concatenate the chat messages in the frame's next-7-second window."""
+        messages = chat_log.messages_between(frame_time, frame_time + self.chat_window)
+        return " ".join(message.text for message in messages)
+
+    @staticmethod
+    def _is_highlight_frame(frame_time: float, highlights: list[Highlight]) -> bool:
+        return any(h.contains(frame_time) for h in highlights)
+
+    # ------------------------------------------------------------ prediction
+    def propose(self, chat_log: VideoChatLog, k: int) -> list[RedDot]:
+        """Return the top-k predicted highlight frames as red dots."""
+        require_positive(k, "k")
+        if self.model is None:
+            raise ValidationError("baseline is not fitted; call fit() first")
+        duration = chat_log.video.duration
+        frame_times = np.arange(0.0, max(self.frame_step, duration - self.chat_window), self.frame_step)
+        texts = [self._frame_text(chat_log, float(t)) for t in frame_times]
+        keep = [i for i, text in enumerate(texts) if text]
+        if not keep:
+            return []
+        probabilities = self.model.predict_proba([texts[i] for i in keep])
+
+        ranked = sorted(zip(keep, probabilities), key=lambda pair: -pair[1])
+        selected: list[RedDot] = []
+        for index, probability in ranked:
+            if len(selected) >= k:
+                break
+            position = float(frame_times[index])
+            if any(abs(position - dot.position) <= self.min_dot_spacing for dot in selected):
+                continue
+            selected.append(
+                RedDot(
+                    position=position,
+                    score=float(probability),
+                    video_id=chat_log.video.video_id,
+                )
+            )
+        return sorted(selected, key=lambda dot: dot.position)

@@ -1,0 +1,115 @@
+"""Joint-LSTM baseline: chat LSTM + simulated visual features (Table I).
+
+The original Joint-LSTM stacks a video LSTM over CNN image features on top of
+the chat LSTM.  Offline we combine the :class:`ChatLSTMBaseline` frame
+probability with the synthetic per-second visual-excitement track
+(:class:`~repro.simulation.visual.VisualTrackSimulator`) through a logistic
+blend whose weights are fitted on the training videos.  The combination keeps
+the two properties Table I relies on: it is somewhat better than chat alone
+on the training game but still behind LIGHTOR (its frame picks trail the true
+start and the visual track has non-highlight bumps), and its training cost is
+dominated by the LSTM, i.e. orders of magnitude above LIGHTOR's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.chat_lstm import ChatLSTMBaseline
+from repro.core.types import RedDot, VideoChatLog
+from repro.datasets.generate import LabeledVideo
+from repro.ml.logistic import LogisticRegression
+from repro.simulation.visual import VisualTrackSimulator
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["JointLSTMBaseline"]
+
+
+@dataclass
+class JointLSTMBaseline:
+    """Chat-LSTM probabilities fused with the visual-excitement track."""
+
+    chat_baseline: ChatLSTMBaseline = field(default_factory=ChatLSTMBaseline)
+    visual_seed: int = 29
+    frame_step: float = 15.0
+    min_dot_spacing: float = 120.0
+    fusion_model: LogisticRegression | None = field(default=None, repr=False)
+    training_seconds_: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._visual = VisualTrackSimulator(seeds=SeedSequenceFactory(self.visual_seed))
+
+    # ------------------------------------------------------------- training
+    def fit(self, train_videos: list[LabeledVideo]) -> "JointLSTMBaseline":
+        """Train the chat LSTM, then fit the chat/visual fusion weights."""
+        if not train_videos:
+            raise ValidationError("fit requires at least one labelled video")
+        start_time = time.perf_counter()
+        self.chat_baseline.fit(train_videos)
+
+        features: list[list[float]] = []
+        labels: list[int] = []
+        for labelled in train_videos:
+            frame_times, chat_probs, visual_values = self._frame_features(labelled.chat_log)
+            for frame_time, chat_prob, visual in zip(frame_times, chat_probs, visual_values):
+                features.append([chat_prob, visual])
+                is_positive = any(h.contains(frame_time) for h in labelled.highlights)
+                labels.append(1 if is_positive else 0)
+        if not features:
+            raise ValidationError("no fusion training frames could be extracted")
+        self.fusion_model = LogisticRegression(n_iterations=1500, learning_rate=0.5)
+        self.fusion_model.fit(np.asarray(features), np.asarray(labels))
+        self.training_seconds_ = time.perf_counter() - start_time
+        return self
+
+    # ------------------------------------------------------------ prediction
+    def propose(self, chat_log: VideoChatLog, k: int) -> list[RedDot]:
+        """Return the top-k fused-score frames as red dots."""
+        require_positive(k, "k")
+        if self.fusion_model is None:
+            raise ValidationError("baseline is not fitted; call fit() first")
+        frame_times, chat_probs, visual_values = self._frame_features(chat_log)
+        if len(frame_times) == 0:
+            return []
+        fused = self.fusion_model.predict_proba(
+            np.column_stack([chat_probs, visual_values])
+        )
+        ranked = sorted(range(len(frame_times)), key=lambda i: -fused[i])
+        selected: list[RedDot] = []
+        for index in ranked:
+            if len(selected) >= k:
+                break
+            position = float(frame_times[index])
+            if any(abs(position - dot.position) <= self.min_dot_spacing for dot in selected):
+                continue
+            selected.append(
+                RedDot(position=position, score=float(fused[index]), video_id=chat_log.video.video_id)
+            )
+        return sorted(selected, key=lambda dot: dot.position)
+
+    # -------------------------------------------------------------- helpers
+    def _frame_features(
+        self, chat_log: VideoChatLog
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-frame (times, chat probability, visual excitement)."""
+        if self.chat_baseline.model is None:
+            raise ValidationError("the chat LSTM must be fitted before computing features")
+        duration = chat_log.video.duration
+        frame_times = np.arange(
+            0.0, max(self.frame_step, duration - self.chat_baseline.chat_window), self.frame_step
+        )
+        texts = [self.chat_baseline._frame_text(chat_log, float(t)) for t in frame_times]
+        chat_probs = np.zeros(len(frame_times))
+        non_empty = [i for i, text in enumerate(texts) if text]
+        if non_empty:
+            chat_probs[non_empty] = self.chat_baseline.model.predict_proba(
+                [texts[i] for i in non_empty]
+            )
+        track = self._visual.simulate(chat_log.video)
+        indices = np.clip(frame_times.astype(int), 0, track.size - 1)
+        visual_values = track[indices]
+        return frame_times, chat_probs, visual_values

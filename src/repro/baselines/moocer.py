@@ -1,0 +1,97 @@
+"""MOOCer baseline: play-based interaction histogram (Kim et al., L@S 2014).
+
+The MOOC interaction-peak analysis accumulates, for every second of the
+video, how many viewer play sessions covered it.  After smoothing, local
+maxima are interaction peaks; each peak's highlight boundary is delimited by
+the nearest *turning points* (where the curve stops decreasing) on either
+side.  As with SocialSkip, the technique was designed for lecture videos
+where viewing is goal-directed; on casual live-video viewing the play curve
+is diffuse, which is why LIGHTOR's dot-conditioned filtering wins (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Highlight, PlayRecord
+from repro.utils.histograms import Histogram
+from repro.utils.smoothing import find_local_maxima, gaussian_smooth
+from repro.utils.validation import require_positive
+
+__all__ = ["MoocerExtractor"]
+
+
+@dataclass
+class MoocerExtractor:
+    """Highlights from play-coverage interaction peaks."""
+
+    smoothing_sigma: float = 8.0
+    min_separation: float = 60.0
+    max_extent: float = 60.0
+
+    def extract(
+        self,
+        plays: list[PlayRecord],
+        video_duration: float,
+        k: int,
+    ) -> list[Highlight]:
+        """Return up to ``k`` highlights from the play-coverage histogram."""
+        require_positive(k, "k")
+        require_positive(video_duration, "video_duration")
+        histogram = Histogram(duration=video_duration, bin_size=1.0)
+        for play in plays:
+            histogram.add_range(play.start, play.end, weight=1.0)
+        smoothed = gaussian_smooth(histogram.to_array(), sigma=self.smoothing_sigma)
+
+        maxima = find_local_maxima(smoothed, min_height=1e-9)
+        ranked = sorted(maxima, key=lambda index: -smoothed[index])
+        selected: list[int] = []
+        for index in ranked:
+            if len(selected) >= k:
+                break
+            if any(abs(index - chosen) <= self.min_separation for chosen in selected):
+                continue
+            selected.append(index)
+
+        highlights = []
+        for peak in sorted(selected):
+            start, end = self._turning_points(smoothed, peak)
+            highlights.append(
+                Highlight(
+                    start=float(max(0.0, start)),
+                    end=float(min(video_duration, end)),
+                    label="moocer",
+                )
+            )
+        return highlights
+
+    def _turning_points(self, curve: np.ndarray, peak: int) -> tuple[float, float]:
+        """Walk outwards from ``peak`` to the curve's turning points.
+
+        The walk stops when the curve starts rising again (the classic
+        turning point), when it drops below half of the peak height (the
+        interaction bump has ended), or after ``max_extent`` seconds — the
+        half-height cut keeps long shallow tails produced by passive viewers
+        from stretching the boundary tens of seconds past the actual bump.
+        """
+        half_height = curve[peak] / 2.0
+        left = peak
+        while (
+            left > 0
+            and curve[left - 1] <= curve[left]
+            and curve[left - 1] >= half_height
+            and peak - left < self.max_extent
+        ):
+            left -= 1
+        right = peak
+        n = curve.size
+        while (
+            right < n - 1
+            and curve[right + 1] <= curve[right]
+            and curve[right + 1] >= half_height
+            and right - peak < self.max_extent
+        ):
+            right += 1
+        return float(left), float(right)

@@ -1,0 +1,58 @@
+"""Naive message-count detector (Section IV-C's strawman).
+
+Counts chat messages per second, smooths the curve, and places red dots at
+the highest peaks subject to a minimum spacing.  It fails for the two reasons
+the paper identifies: bot-spam bursts have high counts without any highlight,
+and the chat peak lags the highlight start by the reaction delay, so the dot
+lands after the highlight has begun (or ended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import RedDot, VideoChatLog
+from repro.utils.histograms import Histogram
+from repro.utils.smoothing import gaussian_smooth
+from repro.utils.validation import require_positive
+
+__all__ = ["NaivePeakDetector"]
+
+
+@dataclass
+class NaivePeakDetector:
+    """Red dots at the k largest smoothed chat-count peaks."""
+
+    smoothing_sigma: float = 5.0
+    min_dot_spacing: float = 120.0
+
+    def propose(self, chat_log: VideoChatLog, k: int) -> list[RedDot]:
+        """Return up to ``k`` red dots at the highest chat-rate positions."""
+        require_positive(k, "k")
+        video = chat_log.video
+        if not chat_log.messages:
+            return []
+        histogram = Histogram(duration=video.duration, bin_size=1.0)
+        for message in chat_log.messages:
+            histogram.add_point(min(message.timestamp, video.duration - 1e-6))
+        smoothed = gaussian_smooth(histogram.to_array(), sigma=self.smoothing_sigma)
+
+        order = np.argsort(-smoothed)
+        centers = histogram.bin_centers()
+        selected: list[RedDot] = []
+        for index in order:
+            if len(selected) >= k:
+                break
+            position = float(centers[index])
+            if any(abs(position - dot.position) <= self.min_dot_spacing for dot in selected):
+                continue
+            selected.append(
+                RedDot(
+                    position=position,
+                    score=float(smoothed[index]),
+                    video_id=video.video_id,
+                )
+            )
+        return sorted(selected, key=lambda dot: dot.position)

@@ -1,0 +1,87 @@
+"""Toretter-style social-network event detection applied to chat.
+
+Sakaki et al.'s earthquake detection system (TKDE 2013) monitors the rate of
+relevant tweets and raises an event when the observed count in a window is
+improbably high under an exponential model of the recent baseline rate.  The
+paper applies the same idea to chat messages to detect highlight *starts*
+(Fig. 7a) and finds it performs poorly because it places events at the burst
+itself — it has no notion of the delay between a highlight and the chat that
+reacts to it.
+
+The reimplementation follows that recipe: per-window message counts, an
+exponentially weighted baseline, a Poisson-tail surprise score, and top-k
+event windows with a minimum spacing; the event position is the window start
+(no delay adjustment — exactly the deficiency the comparison illustrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import RedDot, VideoChatLog
+from repro.utils.validation import require_positive
+
+__all__ = ["ToretterDetector"]
+
+
+@dataclass
+class ToretterDetector:
+    """Burst detector over chat-message counts.
+
+    Parameters
+    ----------
+    window_size:
+        Length of the counting window in seconds.
+    baseline_decay:
+        Exponential decay factor of the baseline rate estimate per window.
+    min_dot_spacing:
+        Minimum spacing between reported events (matches LIGHTOR's δ so the
+        comparison is fair).
+    """
+
+    window_size: float = 25.0
+    baseline_decay: float = 0.85
+    min_dot_spacing: float = 120.0
+
+    def propose(self, chat_log: VideoChatLog, k: int) -> list[RedDot]:
+        """Return up to ``k`` event positions ranked by burst surprise."""
+        require_positive(k, "k")
+        video = chat_log.video
+        n_windows = max(1, int(np.ceil(video.duration / self.window_size)))
+        counts = np.zeros(n_windows)
+        for message in chat_log.messages:
+            index = min(n_windows - 1, int(message.timestamp // self.window_size))
+            counts[index] += 1
+
+        surprises = self._surprise_scores(counts)
+        order = np.argsort(-surprises)
+        selected: list[RedDot] = []
+        for index in order:
+            if len(selected) >= k:
+                break
+            # An online burst detector raises the event when the anomalous
+            # window has been observed, i.e. at the window's end — it has no
+            # notion of how far the discussion lags the highlight, which is
+            # exactly the deficiency Fig. 7a illustrates.
+            position = float(min(video.duration, (index + 1) * self.window_size))
+            if any(abs(position - dot.position) <= self.min_dot_spacing for dot in selected):
+                continue
+            selected.append(
+                RedDot(position=position, score=float(surprises[index]), video_id=video.video_id)
+            )
+        return sorted(selected, key=lambda dot: dot.position)
+
+    def _surprise_scores(self, counts: np.ndarray) -> np.ndarray:
+        """Poisson-tail surprise of each window count against the decayed baseline."""
+        surprises = np.zeros_like(counts, dtype=float)
+        baseline = max(counts[0], 1.0)
+        for index, count in enumerate(counts):
+            expected = max(baseline, 1e-6)
+            if count > expected:
+                # -log P[X >= count] under Poisson(expected), via a Chernoff
+                # style bound; monotone in the excess so ranking is faithful.
+                surprises[index] = count * np.log(count / expected) - (count - expected)
+            baseline = self.baseline_decay * baseline + (1.0 - self.baseline_decay) * count
+        return surprises

@@ -1,0 +1,133 @@
+"""Command-line interface: ``lightor`` / ``python -m repro``.
+
+Sub-commands:
+
+* ``lightor list`` — list the reproducible paper artifacts.
+* ``lightor run fig7 --scale small`` — run one experiment and print its report.
+* ``lightor run-all --scale small`` — run every experiment in sequence.
+* ``lightor demo`` — train on one synthetic video and extract highlights from
+  another, printing the progress bar with red dots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils.logging import configure_logging
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``lightor`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="lightor",
+        description="LIGHTOR reproduction: implicit-crowdsourcing highlight extraction",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true", help="enable info logging")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list reproducible paper artifacts")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig7 or table1")
+    run_parser.add_argument(
+        "--scale", default="small", choices=("small", "medium", "paper"),
+        help="evaluation scale (default: small)",
+    )
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument(
+        "--scale", default="small", choices=("small", "medium", "paper"),
+        help="evaluation scale (default: small)",
+    )
+
+    demo_parser = subparsers.add_parser("demo", help="end-to-end demo on synthetic videos")
+    demo_parser.add_argument("--k", type=int, default=5, help="number of highlights to extract")
+    demo_parser.add_argument("--seed", type=int, default=2020, help="dataset seed")
+    return parser
+
+
+def _command_list() -> int:
+    from repro.experiments import EXPERIMENTS
+
+    for experiment_id, spec in sorted(EXPERIMENTS.items()):
+        print(f"{experiment_id:10s} {spec.paper_artifact:10s} {spec.description}")
+    return 0
+
+
+def _command_run(experiment: str, scale: str) -> int:
+    from repro.experiments import run_experiment
+
+    _, text = run_experiment(experiment, scale=scale)
+    print(text)
+    return 0
+
+
+def _command_run_all(scale: str) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    for experiment_id in sorted(EXPERIMENTS):
+        _, text = run_experiment(experiment_id, scale=scale)
+        print(text)
+        print()
+    return 0
+
+
+def _command_demo(k: int, seed: int) -> int:
+    from repro import LightorConfig, LightorPipeline
+    from repro.datasets import DatasetSpec, build_dataset
+    from repro.platform.extension import ProgressBarView
+    from repro.simulation import CrowdSimulator
+    from repro.utils.rng import SeedSequenceFactory
+
+    dataset = build_dataset(DatasetSpec.dota2(size=3, seed=seed))
+    train, target = dataset[0], dataset[1]
+
+    pipeline = LightorPipeline(LightorConfig())
+    pipeline.fit([train.training_pair])
+    print(
+        f"trained on {train.video.video_id} in {pipeline.training_seconds_:.2f}s; "
+        f"learned chat delay c = {pipeline.initializer.model.adjustment_constant:.1f}s"
+    )
+
+    crowd = CrowdSimulator(seeds=SeedSequenceFactory(seed + 1))
+    result = pipeline.run(target.chat_log, crowd.interaction_source(target.video), k=k)
+
+    bar = ProgressBarView(
+        video_id=target.video.video_id,
+        duration=target.video.duration,
+        dot_positions=tuple(dot.position for dot in result.red_dots),
+    )
+    print(f"video {target.video.video_id} ({target.video.duration:.0f}s) red dots:")
+    print(bar.render())
+    print("extracted highlights (start - end):")
+    for highlight in result.highlights:
+        print(f"  {highlight.start:8.1f}s - {highlight.end:8.1f}s")
+    print("ground truth highlights:")
+    for highlight in target.highlights:
+        print(f"  {highlight.start:8.1f}s - {highlight.end:8.1f}s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``lightor`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment, args.scale)
+    if args.command == "run-all":
+        return _command_run_all(args.scale)
+    if args.command == "demo":
+        return _command_demo(args.k, args.seed)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""LIGHTOR core: the paper's primary contribution.
+
+The core package contains the two components of the LIGHTOR workflow —
+the chat-driven :mod:`Highlight Initializer <repro.core.initializer>`
+(Section IV of the paper) and the interaction-driven
+:mod:`Highlight Extractor <repro.core.extractor>` (Section V) — plus the
+shared data types, configuration and the end-to-end
+:class:`~repro.core.pipeline.LightorPipeline`.
+"""
+
+from repro.core.types import (
+    ChatMessage,
+    Highlight,
+    Interaction,
+    InteractionKind,
+    PlayRecord,
+    RedDot,
+    RedDotType,
+    Video,
+    VideoChatLog,
+)
+from repro.core.config import LightorConfig
+from repro.core.initializer import HighlightInitializer, InitializerModel
+from repro.core.extractor import HighlightExtractor
+from repro.core.pipeline import LightorPipeline, PipelineResult
+
+__all__ = [
+    "ChatMessage",
+    "Highlight",
+    "Interaction",
+    "InteractionKind",
+    "PlayRecord",
+    "RedDot",
+    "RedDotType",
+    "Video",
+    "VideoChatLog",
+    "LightorConfig",
+    "HighlightInitializer",
+    "InitializerModel",
+    "HighlightExtractor",
+    "LightorPipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,104 @@
+"""Configuration of the LIGHTOR workflow.
+
+All tunables named in the paper live here with the paper's default values:
+
+* sliding-window size ``l`` = 25 s (Section VII-A),
+* minimum red-dot spacing ``δ`` = 120 s (Section IV-A),
+* play-selection radius ``Δ`` = 60 s around a red dot (Section V-A),
+* tolerated start delay = 10 s (good-red-dot definition, Section IV-A),
+* Type-I backward move ``m`` = 20 s (Section V-C),
+* convergence tolerance ``ε`` for the extractor iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["LightorConfig"]
+
+
+@dataclass(frozen=True)
+class LightorConfig:
+    """Immutable configuration shared by the Initializer and the Extractor.
+
+    Attributes
+    ----------
+    window_size:
+        Sliding-window length ``l`` in seconds used to group chat messages.
+    window_stride:
+        Step between consecutive candidate windows; the paper's Algorithm 1
+        resolves overlapping windows by keeping the denser one, which we
+        reproduce, so a stride of half a window gives the same behaviour.
+    top_k:
+        Default number of highlights requested from the Initializer.
+    min_dot_spacing:
+        Minimum distance ``δ`` between two returned red dots in seconds.
+    start_tolerance:
+        Maximum acceptable gap between a red dot and the true highlight start
+        (the "10-second patience" bound from the good-red-dot definition).
+    end_tolerance:
+        Symmetric tolerance used when scoring extracted end positions.
+    play_radius:
+        Radius ``Δ`` around a red dot within which plays are attributed to it.
+    min_play_duration / max_play_duration:
+        Filtering bounds on play length (too-short probes and whole-video
+        sessions carry no boundary information).
+    type1_backward_move:
+        Seconds ``m`` by which a Type-I red dot is moved backwards before a
+        new crowd round is collected.
+    convergence_epsilon:
+        The extractor iterates until the dot moves less than this.
+    max_extractor_iterations:
+        Safety cap on the number of crowd rounds.
+    min_messages_per_hour:
+        Applicability threshold: below this chat rate the Initializer is not
+        expected to perform well (Section VII-D).
+    min_viewers:
+        Applicability threshold on the number of distinct viewers required by
+        the Extractor.
+    """
+
+    window_size: float = 25.0
+    window_stride: float = 12.5
+    top_k: int = 10
+    min_dot_spacing: float = 120.0
+    start_tolerance: float = 10.0
+    end_tolerance: float = 10.0
+    play_radius: float = 60.0
+    min_play_duration: float = 6.0
+    max_play_duration: float = 300.0
+    type1_backward_move: float = 20.0
+    convergence_epsilon: float = 3.0
+    max_extractor_iterations: int = 8
+    min_messages_per_hour: float = 500.0
+    min_viewers: int = 100
+
+    def __post_init__(self) -> None:
+        require_positive(self.window_size, "window_size")
+        require_positive(self.window_stride, "window_stride")
+        require_positive(self.top_k, "top_k")
+        require_non_negative(self.min_dot_spacing, "min_dot_spacing")
+        require_non_negative(self.start_tolerance, "start_tolerance")
+        require_non_negative(self.end_tolerance, "end_tolerance")
+        require_positive(self.play_radius, "play_radius")
+        require_non_negative(self.min_play_duration, "min_play_duration")
+        require_positive(self.max_play_duration, "max_play_duration")
+        if self.max_play_duration <= self.min_play_duration:
+            raise ValueError("max_play_duration must exceed min_play_duration")
+        require_positive(self.type1_backward_move, "type1_backward_move")
+        require_non_negative(self.convergence_epsilon, "convergence_epsilon")
+        require_positive(self.max_extractor_iterations, "max_extractor_iterations")
+        require_non_negative(self.min_messages_per_hour, "min_messages_per_hour")
+        require_non_negative(self.min_viewers, "min_viewers")
+
+    def with_overrides(self, **overrides: Any) -> "LightorConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def paper_defaults(cls) -> "LightorConfig":
+        """The configuration used throughout the paper's evaluation."""
+        return cls()

@@ -1,0 +1,43 @@
+"""Highlight Extractor (Section V of the paper).
+
+The Extractor consumes noisy viewer interaction data collected around a red
+dot and refines the dot into an exact highlight boundary through a three-stage
+dataflow, iterated over crowd rounds until convergence:
+
+1. :mod:`plays <repro.core.extractor.plays>` converts raw interactions into
+   ``play(start, end)`` records and selects the plays within ±Δ of the dot.
+2. :mod:`filtering <repro.core.extractor.filtering>` removes probing/marathon
+   plays and graph-based outliers.
+3. :mod:`classifier <repro.core.extractor.classifier>` decides whether the dot
+   is Type I (after the highlight end) or Type II (before it) from three play
+   -position features.
+4. :mod:`aggregation <repro.core.extractor.aggregation>` computes the refined
+   boundary: median aggregation for Type II, a backwards move for Type I.
+5. :mod:`extractor <repro.core.extractor.extractor>` wires the stages into
+   Algorithm 2 and iterates with fresh crowd data each round.
+"""
+
+from repro.core.extractor.plays import interactions_to_plays, plays_near_dot
+from repro.core.extractor.filtering import PlayFilter, FilterReport
+from repro.core.extractor.classifier import (
+    PlayPositionFeatures,
+    RedDotTypeClassifier,
+    extract_play_position_features,
+)
+from repro.core.extractor.aggregation import aggregate_type_ii, move_backward
+from repro.core.extractor.extractor import ExtractionResult, HighlightExtractor, IterationTrace
+
+__all__ = [
+    "interactions_to_plays",
+    "plays_near_dot",
+    "PlayFilter",
+    "FilterReport",
+    "PlayPositionFeatures",
+    "RedDotTypeClassifier",
+    "extract_play_position_features",
+    "aggregate_type_ii",
+    "move_backward",
+    "ExtractionResult",
+    "HighlightExtractor",
+    "IterationTrace",
+]

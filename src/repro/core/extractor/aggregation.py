@@ -1,0 +1,79 @@
+"""Aggregation stage of the Highlight Extractor (Section V-C).
+
+Once a red dot's plays have been filtered and the dot classified:
+
+* **Type II** — most viewers watched the same highlight, so their play starts
+  and ends are concentrated; the refined boundary is the *median* of the
+  play starts and the median of the play ends.  Plays that end before the
+  dot are dropped first (Algorithm 2, lines 7–10) because they cannot be
+  highlight-watching sessions when the dot precedes the highlight end.
+* **Type I** — plays are scattered (viewers hunted for the highlight), so the
+  boundary cannot be trusted; instead the dot is moved backwards by a
+  constant ``m`` so that the *next* crowd round is likely to be Type II.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.core.types import Highlight, PlayRecord, RedDot
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["aggregate_type_ii", "move_backward"]
+
+
+def aggregate_type_ii(
+    plays: list[PlayRecord],
+    dot: RedDot,
+    drop_plays_ending_before_dot: bool = True,
+) -> Highlight:
+    """Median aggregation of play boundaries for a Type-II red dot.
+
+    Parameters
+    ----------
+    plays:
+        The filtered plays attributed to the dot.
+    dot:
+        The red dot being refined.
+    drop_plays_ending_before_dot:
+        Reproduces Algorithm 2 lines 7–10: a play whose end precedes the dot
+        cannot have covered the highlight when the dot lies before the
+        highlight end, so it is excluded from the vote.
+
+    Returns
+    -------
+    Highlight
+        The aggregated ``[median(starts), median(ends)]`` interval.
+
+    Raises
+    ------
+    ValidationError
+        When no usable plays remain to aggregate.
+    """
+    usable = list(plays)
+    if drop_plays_ending_before_dot:
+        usable = [play for play in usable if play.end >= dot.position]
+    if not usable:
+        raise ValidationError(
+            "no usable plays to aggregate for the red dot at "
+            f"{dot.position:.1f}s (got {len(plays)} plays before dropping)"
+        )
+    start = float(median(play.start for play in usable))
+    end = float(median(play.end for play in usable))
+    if end < start:
+        # Extremely noisy votes can invert the medians; clamp to a zero-length
+        # interval anchored at the start rather than producing an invalid
+        # highlight.
+        end = start
+    return Highlight(start=start, end=end, label="extracted")
+
+
+def move_backward(dot: RedDot, distance: float) -> RedDot:
+    """Move a Type-I red dot backwards by ``distance`` seconds.
+
+    The new dot is used to collect a fresh round of interactions; once the
+    dot lands before the highlight end the round will classify as Type II and
+    median aggregation applies.
+    """
+    require_positive(distance, "distance")
+    return dot.moved_to(dot.position - distance)

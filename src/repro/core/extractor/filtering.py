@@ -1,0 +1,127 @@
+"""Filtering stage of the Highlight Extractor (Section V-C).
+
+Play data is noisy: viewers probe a position for a couple of seconds to see
+whether anything interesting is there, leave the player running for the rest
+of the video, or watch parts that have nothing to do with the red dot.  The
+paper filters plays in three steps:
+
+1. **distance filter** — drop plays far from the red dot (they typically do
+   not cover the highlight);
+2. **duration filter** — drop plays that are too short (probing) or too long
+   (passive watching of the whole video);
+3. **graph outlier removal** — build an undirected graph whose nodes are the
+   remaining plays with edges between overlapping plays, find the node with
+   the largest degree (the *centre*), and keep only the centre and its
+   neighbours; everything else is an outlier.
+
+The implementation reports what was removed at each step so the behaviour can
+be inspected and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LightorConfig
+from repro.core.types import PlayRecord, RedDot
+from repro.utils.validation import require_non_negative
+
+__all__ = ["FilterReport", "PlayFilter", "overlap_graph_inliers"]
+
+
+@dataclass
+class FilterReport:
+    """Book-keeping of a filtering pass (how many plays each step removed)."""
+
+    input_count: int = 0
+    removed_far: int = 0
+    removed_short: int = 0
+    removed_long: int = 0
+    removed_outliers: int = 0
+    kept: list[PlayRecord] = field(default_factory=list)
+
+    @property
+    def kept_count(self) -> int:
+        """Number of plays surviving all filters."""
+        return len(self.kept)
+
+    @property
+    def removed_count(self) -> int:
+        """Total number of plays removed."""
+        return self.input_count - self.kept_count
+
+
+def overlap_graph_inliers(plays: list[PlayRecord]) -> tuple[list[PlayRecord], list[PlayRecord]]:
+    """Graph-based outlier removal (Section V-C).
+
+    Builds the undirected overlap graph over ``plays``, finds the node with
+    the largest degree (ties broken towards the earliest, longest play for
+    determinism), and returns ``(inliers, outliers)`` where inliers are the
+    centre node and its neighbours.
+
+    With zero or one play the input is returned unchanged (nothing to judge).
+    """
+    if len(plays) <= 1:
+        return list(plays), []
+
+    n = len(plays)
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if plays[i].overlaps(plays[j]):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+
+    def degree_key(index: int) -> tuple[int, float, float]:
+        # Highest degree wins; ties prefer longer plays then earlier starts.
+        return (len(adjacency[index]), plays[index].duration, -plays[index].start)
+
+    center = max(range(n), key=degree_key)
+    inlier_indices = {center} | adjacency[center]
+    inliers = [plays[i] for i in sorted(inlier_indices)]
+    outliers = [plays[i] for i in range(n) if i not in inlier_indices]
+    return inliers, outliers
+
+
+@dataclass
+class PlayFilter:
+    """Applies the three-step play filter around a red dot.
+
+    Parameters
+    ----------
+    config:
+        Supplies the distance radius (``play_radius``) and the duration
+        bounds (``min_play_duration`` / ``max_play_duration``).
+    """
+
+    config: LightorConfig = field(default_factory=LightorConfig)
+
+    def apply(self, plays: list[PlayRecord], dot: RedDot) -> FilterReport:
+        """Filter ``plays`` with respect to ``dot`` and return a report."""
+        report = FilterReport(input_count=len(plays))
+
+        near = self._distance_filter(plays, dot)
+        report.removed_far = len(plays) - len(near)
+
+        sized = [p for p in near if p.duration >= self.config.min_play_duration]
+        report.removed_short = len(near) - len(sized)
+
+        bounded = [p for p in sized if p.duration <= self.config.max_play_duration]
+        report.removed_long = len(sized) - len(bounded)
+
+        inliers, outliers = overlap_graph_inliers(bounded)
+        report.removed_outliers = len(outliers)
+        report.kept = inliers
+        return report
+
+    def filter(self, plays: list[PlayRecord], dot: RedDot) -> list[PlayRecord]:
+        """Convenience wrapper returning only the surviving plays."""
+        return self.apply(plays, dot).kept
+
+    def _distance_filter(self, plays: list[PlayRecord], dot: RedDot) -> list[PlayRecord]:
+        """Keep plays intersecting the ±Δ band around the dot."""
+        radius = self.config.play_radius
+        require_non_negative(radius, "play_radius")
+        low = dot.position - radius
+        high = dot.position + radius
+        return [play for play in plays if play.start <= high and play.end >= low]

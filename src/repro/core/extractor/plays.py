@@ -1,0 +1,102 @@
+"""Interaction → play transformation and dot-local play selection.
+
+The platform front end logs raw interaction events (play, pause, seek
+forward/backward, stop).  The Extractor works on *plays*: maximal intervals
+``play(s, e)`` during which one user watched continuously.  This module
+rebuilds plays from an interaction log and selects the plays attributable to
+a particular red dot (those within ±Δ of the dot, Section V-A).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.core.types import Interaction, InteractionKind, PlayRecord, RedDot
+from repro.utils.validation import require_non_negative
+
+__all__ = ["interactions_to_plays", "plays_near_dot", "plays_per_user"]
+
+
+def interactions_to_plays(
+    interactions: Sequence[Interaction],
+    video_duration: float | None = None,
+) -> list[PlayRecord]:
+    """Reconstruct ``play(start, end)`` records from raw interaction events.
+
+    The reconstruction follows the natural player semantics:
+
+    * ``PLAY`` at position *t* opens a play interval starting at *t*;
+    * ``PAUSE`` / ``STOP`` at position *t* closes the open interval at *t*;
+    * ``SEEK_FORWARD`` / ``SEEK_BACKWARD`` at position *t* with target *u*
+      closes the open interval at *t* and opens a new one at *u*;
+    * an interaction stream that ends with an open interval closes it at the
+      last observed position (or ``video_duration`` when provided and smaller).
+
+    Events are processed per user in the order they appear in ``interactions``
+    (arrival order, which is how a platform logs them).  Sorting by video
+    position instead would break causality for backward seeks: a viewer who
+    re-watches a clip emits a STOP at an *earlier* video position than the
+    seek that preceded it.  Zero-length plays are dropped.
+    """
+    per_user: dict[str, list[Interaction]] = defaultdict(list)
+    for interaction in interactions:
+        per_user[interaction.user].append(interaction)
+
+    plays: list[PlayRecord] = []
+    for user, events in per_user.items():
+        open_start: float | None = None
+        last_position: float = 0.0
+        for event in events:
+            last_position = event.timestamp
+            if event.kind is InteractionKind.PLAY:
+                if open_start is None:
+                    open_start = event.timestamp
+            elif event.kind in (InteractionKind.PAUSE, InteractionKind.STOP):
+                if open_start is not None:
+                    _append_play(plays, user, open_start, event.timestamp)
+                    open_start = None
+            elif event.kind in (InteractionKind.SEEK_FORWARD, InteractionKind.SEEK_BACKWARD):
+                if open_start is not None:
+                    _append_play(plays, user, open_start, event.timestamp)
+                # Seeking restarts playback at the target position.
+                open_start = event.target
+                last_position = event.target if event.target is not None else last_position
+        if open_start is not None:
+            closing = last_position if last_position > open_start else open_start
+            if video_duration is not None:
+                closing = min(max(closing, open_start), video_duration)
+            _append_play(plays, user, open_start, closing)
+    return sorted(plays, key=lambda play: (play.start, play.end, play.user))
+
+
+def _append_play(plays: list[PlayRecord], user: str, start: float, end: float) -> None:
+    """Append a play when it has positive duration."""
+    if end > start:
+        plays.append(PlayRecord(user=user, start=start, end=end))
+
+
+def plays_near_dot(
+    plays: Iterable[PlayRecord],
+    dot: RedDot,
+    radius: float = 60.0,
+) -> list[PlayRecord]:
+    """Select the plays attributable to ``dot``.
+
+    A play is attributed to the dot when any part of it falls within
+    ``[dot.position - radius, dot.position + radius]`` — plays entirely
+    outside that band likely belong to another highlight (Section V-A,
+    Δ = 60 s by default).
+    """
+    require_non_negative(radius, "radius")
+    low = dot.position - radius
+    high = dot.position + radius
+    return [play for play in plays if play.start <= high and play.end >= low]
+
+
+def plays_per_user(plays: Iterable[PlayRecord]) -> dict[str, list[PlayRecord]]:
+    """Group plays by user (useful for per-viewer statistics and tests)."""
+    grouped: dict[str, list[PlayRecord]] = defaultdict(list)
+    for play in plays:
+        grouped[play.user].append(play)
+    return dict(grouped)

@@ -1,0 +1,38 @@
+"""Highlight Initializer (Section IV of the paper).
+
+The Initializer turns a video's time-stamped chat messages into a set of
+top-k "red dots" — approximate highlight start positions:
+
+1. :mod:`windows <repro.core.initializer.windows>` builds candidate sliding
+   windows over the chat stream (Algorithm 1, line 1).
+2. :mod:`features <repro.core.initializer.features>` extracts the three
+   general features (message number, message length, message similarity) and
+   normalises them.
+3. :mod:`predictor <repro.core.initializer.predictor>` scores windows with a
+   logistic-regression model and selects the top-k windows subject to the
+   minimum-spacing constraint (prediction stage).
+4. :mod:`adjustment <repro.core.initializer.adjustment>` learns the chat
+   reaction delay ``c`` and moves each window's chat peak backwards by ``c``
+   to obtain the red-dot position (adjustment stage).
+5. :mod:`initializer <repro.core.initializer.initializer>` wires the stages
+   into Algorithm 1 and exposes training on labelled videos.
+"""
+
+from repro.core.initializer.windows import SlidingWindow, build_sliding_windows
+from repro.core.initializer.features import WindowFeatureExtractor, WindowFeatures
+from repro.core.initializer.predictor import WindowPredictor, FeatureSet
+from repro.core.initializer.adjustment import PeakAdjuster, learn_adjustment_constant
+from repro.core.initializer.initializer import HighlightInitializer, InitializerModel
+
+__all__ = [
+    "SlidingWindow",
+    "build_sliding_windows",
+    "WindowFeatureExtractor",
+    "WindowFeatures",
+    "WindowPredictor",
+    "FeatureSet",
+    "PeakAdjuster",
+    "learn_adjustment_constant",
+    "HighlightInitializer",
+    "InitializerModel",
+]

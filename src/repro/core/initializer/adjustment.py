@@ -1,0 +1,209 @@
+"""Adjustment stage of the Highlight Initializer (Section IV-C).
+
+People can only comment on a highlight *after* they have seen it, so the
+chat-message peak lags the highlight start by a reaction delay.  The paper
+models the relationship as ``time_start = time_peak - c`` with a single
+constant ``c`` learned from labelled data by maximising the number of *good
+red dots*:
+
+    argmax_c  Σ_i  reward(time_peak_i - c, time_start_i)
+
+where ``reward`` is 1 when the adjusted position is a good red dot for
+highlight ``i`` (not after the highlight end, not more than 10 s before its
+start) and 0 otherwise.  The search space is one-dimensional and bounded, so
+we evaluate the reward on a fine grid of candidate constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.predictor import WindowPredictor
+from repro.core.types import Highlight, RedDot, VideoChatLog
+from repro.utils.validation import ValidationError, require_non_negative
+
+__all__ = ["PeakAdjuster", "learn_adjustment_constant", "reward"]
+
+
+def reward(
+    dot_position: float,
+    highlight: Highlight,
+    start_tolerance: float = 10.0,
+) -> int:
+    """The paper's 0/1 reward: is ``dot_position`` a good red dot for ``highlight``?
+
+    A dot is good when it is not after the end of the highlight
+    (``dot <= end``) and not more than ``start_tolerance`` seconds before its
+    start (``dot >= start - tolerance``).
+    """
+    if dot_position > highlight.end:
+        return 0
+    if dot_position < highlight.start - start_tolerance:
+        return 0
+    return 1
+
+
+def learn_adjustment_constant(
+    peaks: list[float],
+    highlights: list[Highlight],
+    start_tolerance: float = 10.0,
+    candidate_range: tuple[float, float] = (0.0, 60.0),
+    step: float = 0.5,
+) -> float:
+    """Learn the constant ``c`` maximising the number of good red dots.
+
+    Parameters
+    ----------
+    peaks:
+        Chat-peak positions, one per labelled highlight (``time_peak_i``).
+    highlights:
+        The corresponding ground-truth highlights.
+    start_tolerance:
+        The 10-second patience bound of the good-red-dot definition.
+    candidate_range / step:
+        The grid of candidate constants to evaluate.
+
+    Returns
+    -------
+    float
+        A grid candidate achieving the maximum reward.  The 0/1 reward is
+        flat over a plateau of optimal constants, so ties are broken towards
+        the candidate closest to the median observed delay
+        ``median(peak_i - start_i)`` — the most natural single estimate of
+        the reaction delay.  This tie-break is what keeps the learned
+        constant stable as the training set shrinks to one video
+        (paper Fig. 7b).
+    """
+    if len(peaks) != len(highlights):
+        raise ValidationError("peaks and highlights must have the same length")
+    if not peaks:
+        raise ValidationError("cannot learn the adjustment constant without examples")
+    require_non_negative(start_tolerance, "start_tolerance")
+    low, high = candidate_range
+    if high < low:
+        raise ValidationError("candidate_range must be (low, high) with high >= low")
+
+    candidates = np.arange(low, high + step / 2.0, step)
+    totals = np.array(
+        [
+            sum(
+                reward(peak - candidate, highlight, start_tolerance)
+                for peak, highlight in zip(peaks, highlights)
+            )
+            for candidate in candidates
+        ]
+    )
+    best_reward = totals.max()
+    maximisers = candidates[totals == best_reward]
+    observed_delay = float(
+        np.median([peak - highlight.start for peak, highlight in zip(peaks, highlights)])
+    )
+    return float(maximisers[np.argmin(np.abs(maximisers - observed_delay))])
+
+
+@dataclass
+class PeakAdjuster:
+    """Learns and applies the peak → start adjustment.
+
+    The adjuster is trained from labelled videos: for each ground-truth
+    highlight we find the chat-peak that follows it (the densest second in the
+    window of discussion) and record the pair ``(peak, highlight)``.  The
+    constant ``c`` maximising the good-red-dot reward over those pairs is then
+    used at prediction time: a window's red dot is placed at
+    ``window.peak_timestamp() - c``.
+    """
+
+    config: LightorConfig = field(default_factory=LightorConfig)
+    discussion_horizon: float = 45.0
+    constant_: float | None = None
+    training_pairs_: int = 0
+
+    def fit(
+        self,
+        training_logs: list[tuple[VideoChatLog, list[Highlight]]],
+        predictor: WindowPredictor | None = None,
+    ) -> "PeakAdjuster":
+        """Learn ``c`` from labelled videos.
+
+        For every ground-truth highlight, the chat peak is measured as the
+        densest one-second bin inside ``[start, end + discussion_horizon]`` —
+        the period in which viewers react to that highlight.  ``predictor``
+        is accepted for interface symmetry but not required: the adjustment
+        constant only depends on chat timing relative to the labels.
+        """
+        peaks: list[float] = []
+        highlights: list[Highlight] = []
+        for chat_log, video_highlights in training_logs:
+            for highlight in video_highlights:
+                peak = self._discussion_peak(chat_log, highlight)
+                if peak is None:
+                    continue
+                peaks.append(peak)
+                highlights.append(highlight)
+        if not peaks:
+            raise ValidationError(
+                "no (peak, highlight) training pairs could be derived; "
+                "are the labelled videos' chat logs empty?"
+            )
+        self.constant_ = learn_adjustment_constant(
+            peaks,
+            highlights,
+            start_tolerance=self.config.start_tolerance,
+        )
+        self.training_pairs_ = len(peaks)
+        return self
+
+    def _discussion_peak(
+        self, chat_log: VideoChatLog, highlight: Highlight, refine_radius: float = 3.0
+    ) -> float | None:
+        """Chat peak in the highlight's discussion period.
+
+        The densest one-second bin in ``[start, end + horizon]`` is located
+        and then refined to the mean timestamp of the messages within
+        ``refine_radius`` seconds of it — the same estimator the sliding
+        windows use at prediction time, so the learned constant is not biased
+        by a train/predict estimator mismatch.
+        """
+        start = highlight.start
+        end = min(chat_log.video.duration, highlight.end + self.discussion_horizon)
+        messages = chat_log.messages_between(start, end)
+        if not messages:
+            return None
+        n_bins = max(1, int(np.ceil(end - start)))
+        counts = np.zeros(n_bins)
+        for message in messages:
+            index = min(n_bins - 1, int(message.timestamp - start))
+            counts[index] += 1
+        coarse_peak = float(start + int(np.argmax(counts)) + 0.5)
+        nearby = [
+            message.timestamp
+            for message in messages
+            if abs(message.timestamp - coarse_peak) <= refine_radius
+        ]
+        if not nearby:
+            return coarse_peak
+        return float(np.mean(nearby))
+
+    @property
+    def constant(self) -> float:
+        """The learned adjustment constant ``c`` in seconds."""
+        if self.constant_ is None:
+            raise ValidationError("adjuster is not fitted; call fit() first")
+        return self.constant_
+
+    def adjust(self, peak_position: float) -> float:
+        """Move a chat peak backwards by ``c`` (clamped at 0)."""
+        return max(0.0, peak_position - self.constant)
+
+    def red_dot_for_window(self, window, video_id: str = "") -> RedDot:
+        """Place a red dot for a scored sliding window."""
+        peak = window.peak_timestamp()
+        return RedDot(
+            position=self.adjust(peak),
+            score=window.score or 0.0,
+            window=(window.start, window.end),
+            video_id=video_id,
+        )

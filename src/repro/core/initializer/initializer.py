@@ -1,0 +1,134 @@
+"""Highlight Initializer: Algorithm 1 of the paper.
+
+Combines the prediction stage (:class:`WindowPredictor`) and the adjustment
+stage (:class:`PeakAdjuster`) into the component that, given a recorded
+video's chat log and a desired ``k``, returns ``k`` red dots — approximate
+highlight start positions rendered on the progress bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.adjustment import PeakAdjuster
+from repro.core.initializer.predictor import FeatureSet, WindowPredictor
+from repro.core.initializer.windows import SlidingWindow
+from repro.core.types import Highlight, RedDot, VideoChatLog
+from repro.utils.validation import ValidationError
+
+__all__ = ["InitializerModel", "HighlightInitializer"]
+
+
+@dataclass
+class InitializerModel:
+    """The trained state of a Highlight Initializer.
+
+    Wraps the fitted window predictor (logistic regression over the general
+    features) and the fitted peak adjuster (the reaction-delay constant ``c``)
+    so a trained Initializer can be handed around, persisted or inspected.
+    """
+
+    predictor: WindowPredictor
+    adjuster: PeakAdjuster
+
+    @property
+    def adjustment_constant(self) -> float:
+        """The learned chat reaction delay ``c`` in seconds."""
+        return self.adjuster.constant
+
+    @property
+    def feature_weights(self) -> dict[str, float]:
+        """Learned logistic-regression weight per feature name."""
+        names = self.predictor.feature_set.value
+        weights = self.predictor.model.weights_
+        if weights is None:
+            raise ValidationError("the predictor has not been fitted")
+        return {name: float(weight) for name, weight in zip(names, weights)}
+
+
+@dataclass
+class HighlightInitializer:
+    """Algorithm 1: chat messages → top-k red dots.
+
+    Typical usage::
+
+        initializer = HighlightInitializer(config)
+        initializer.fit(labelled_videos)           # 1 labelled video suffices
+        red_dots = initializer.propose(chat_log, k=5)
+
+    Parameters
+    ----------
+    config:
+        Workflow configuration (window size, δ spacing, tolerances).
+    feature_set:
+        Which general features the prediction stage uses; ``FeatureSet.ALL``
+        reproduces the full system, the smaller sets reproduce the Fig. 6a
+        ablation.
+    """
+
+    config: LightorConfig = field(default_factory=LightorConfig)
+    feature_set: FeatureSet = FeatureSet.ALL
+    model: InitializerModel | None = None
+
+    # ---------------------------------------------------------------- train
+    def fit(
+        self, training_logs: list[tuple[VideoChatLog, list[Highlight]]]
+    ) -> "HighlightInitializer":
+        """Train both stages on labelled videos.
+
+        Parameters
+        ----------
+        training_logs:
+            Pairs of (chat log, ground-truth highlights).  The paper's key
+            result is that a single labelled video is enough (Fig. 6b/7b).
+        """
+        predictor = WindowPredictor(config=self.config, feature_set=self.feature_set)
+        predictor.fit(training_logs)
+        adjuster = PeakAdjuster(config=self.config)
+        adjuster.fit(training_logs, predictor=predictor)
+        self.model = InitializerModel(predictor=predictor, adjuster=adjuster)
+        return self
+
+    # -------------------------------------------------------------- propose
+    def propose(self, chat_log: VideoChatLog, k: int | None = None) -> list[RedDot]:
+        """Return the top-k red dots for a video (Algorithm 1).
+
+        Steps: score all sliding windows, keep the top-k subject to the δ
+        spacing constraint, then move each window's chat peak backwards by
+        the learned constant ``c``.
+        """
+        model = self._require_model()
+        if k is None:
+            k = self.config.top_k
+        windows = model.predictor.top_k_windows(chat_log, k=k)
+        dots = [
+            model.adjuster.red_dot_for_window(window, video_id=chat_log.video.video_id)
+            for window in windows
+        ]
+        return sorted(dots, key=lambda dot: dot.position)
+
+    def top_windows(self, chat_log: VideoChatLog, k: int | None = None) -> list[SlidingWindow]:
+        """Return the top-k *windows* (before adjustment).
+
+        Exposed because the Chat Precision@K metric evaluates the prediction
+        stage on windows, not on adjusted positions.
+        """
+        model = self._require_model()
+        if k is None:
+            k = self.config.top_k
+        return model.predictor.top_k_windows(chat_log, k=k)
+
+    def is_applicable(self, chat_log: VideoChatLog) -> bool:
+        """Whether the video meets the chat-rate applicability threshold.
+
+        The paper's Section VII-D finds the Initializer needs at least
+        ``min_messages_per_hour`` (default 500) chat messages per hour.
+        """
+        return chat_log.messages_per_hour >= self.config.min_messages_per_hour
+
+    # -------------------------------------------------------------- helpers
+    def _require_model(self) -> InitializerModel:
+        if self.model is None:
+            raise ValidationError("initializer is not fitted; call fit() first")
+        return self.model

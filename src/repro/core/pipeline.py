@@ -1,0 +1,148 @@
+"""End-to-end LIGHTOR pipeline.
+
+Glues the Highlight Initializer and the Highlight Extractor into the workflow
+of Figure 1: chat messages of a recorded live video → top-k red dots →
+crowd-refined highlight boundaries.  The pipeline also records its training
+time, which Table I compares against the deep-learning baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import LightorConfig
+from repro.core.extractor.extractor import ExtractionResult, HighlightExtractor, InteractionSource
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.core.initializer.predictor import FeatureSet
+from repro.core.types import Highlight, RedDot, VideoChatLog
+from repro.utils.validation import ValidationError
+
+__all__ = ["PipelineResult", "LightorPipeline"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced for one video."""
+
+    video_id: str
+    red_dots: list[RedDot]
+    extractions: list[ExtractionResult]
+
+    @property
+    def highlights(self) -> list[Highlight]:
+        """The extracted highlight boundaries (skipping unrefined dots)."""
+        return [e.highlight for e in self.extractions if e.highlight is not None]
+
+    @property
+    def start_positions(self) -> list[float]:
+        """Refined start positions; falls back to the dot position when the
+        extractor could not refine a boundary."""
+        positions: list[float] = []
+        for extraction in self.extractions:
+            if extraction.highlight is not None:
+                positions.append(extraction.highlight.start)
+            else:
+                positions.append(extraction.dot.position)
+        return positions
+
+    @property
+    def end_positions(self) -> list[float]:
+        """Refined end positions (only dots with an extracted boundary)."""
+        return [e.highlight.end for e in self.extractions if e.highlight is not None]
+
+
+@dataclass
+class LightorPipeline:
+    """Train-once, run-per-video LIGHTOR workflow.
+
+    Typical usage::
+
+        pipeline = LightorPipeline(config)
+        pipeline.fit(labelled_videos)                        # Initializer training
+        result = pipeline.run(chat_log, crowd.interaction_source(chat_log.video), k=5)
+
+    ``fit`` only trains the Initializer; the Extractor is parameter-free
+    (rule-based classifier) unless a learned Type-I/II classifier is injected.
+    """
+
+    config: LightorConfig = field(default_factory=LightorConfig)
+    feature_set: FeatureSet = FeatureSet.ALL
+    initializer: HighlightInitializer | None = None
+    extractor: HighlightExtractor | None = None
+    training_seconds_: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.initializer is None:
+            self.initializer = HighlightInitializer(
+                config=self.config, feature_set=self.feature_set
+            )
+        if self.extractor is None:
+            self.extractor = HighlightExtractor(config=self.config)
+
+    # ---------------------------------------------------------------- train
+    def fit(
+        self, training_logs: list[tuple[VideoChatLog, list[Highlight]]]
+    ) -> "LightorPipeline":
+        """Train the Initializer on labelled videos and record the wall time."""
+        start = time.perf_counter()
+        self.initializer.fit(training_logs)
+        self.training_seconds_ = time.perf_counter() - start
+        return self
+
+    # ------------------------------------------------------------------ run
+    def propose(self, chat_log: VideoChatLog, k: int | None = None) -> list[RedDot]:
+        """Run only the Initializer (chat → red dots)."""
+        self._check_fitted()
+        return self.initializer.propose(chat_log, k=k)
+
+    def run(
+        self,
+        chat_log: VideoChatLog,
+        interaction_source: InteractionSource,
+        k: int | None = None,
+    ) -> PipelineResult:
+        """Run the full workflow on one video.
+
+        Parameters
+        ----------
+        chat_log:
+            The recorded video's chat messages.
+        interaction_source:
+            Where the Extractor gets viewer interactions from — the platform
+            log, the crowd simulator, or a fixture.
+        k:
+            Number of highlights to extract (defaults to ``config.top_k``).
+        """
+        dots = self.propose(chat_log, k=k)
+        extractions = self.extractor.extract_all(
+            dots, interaction_source, video_duration=chat_log.video.duration
+        )
+        return PipelineResult(
+            video_id=chat_log.video.video_id,
+            red_dots=dots,
+            extractions=extractions,
+        )
+
+    def run_many(
+        self,
+        chat_logs: Sequence[VideoChatLog],
+        interaction_source_factory,
+        k: int | None = None,
+    ) -> list[PipelineResult]:
+        """Run the workflow on several videos.
+
+        ``interaction_source_factory`` is called with each video and must
+        return the interaction source for that video.
+        """
+        results = []
+        for chat_log in chat_logs:
+            source = interaction_source_factory(chat_log.video)
+            results.append(self.run(chat_log, source, k=k))
+        return results
+
+    # -------------------------------------------------------------- helpers
+    def _check_fitted(self) -> None:
+        if self.initializer is None or self.initializer.model is None:
+            raise ValidationError("pipeline is not fitted; call fit() first")

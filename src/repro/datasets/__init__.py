@@ -1,0 +1,18 @@
+"""Dataset construction: the synthetic Dota2 and LoL video suites.
+
+Mirrors the paper's two evaluation datasets (60 Dota2 videos crawled from
+Twitch personal channels, 173 LoL videos from the NALCS tournament) with
+deterministic synthetic equivalents, plus train/test split helpers.
+"""
+
+from repro.datasets.generate import DatasetSpec, LabeledVideo, build_dataset
+from repro.datasets.loaders import DatasetCache, train_test_split, training_pairs
+
+__all__ = [
+    "DatasetSpec",
+    "LabeledVideo",
+    "build_dataset",
+    "DatasetCache",
+    "train_test_split",
+    "training_pairs",
+]

@@ -1,0 +1,85 @@
+"""Dataset caching and train/test splitting.
+
+Generating chat for 60–173 videos is cheap but not free; the experiments and
+benchmarks share datasets through :class:`DatasetCache` so each suite is
+materialised at most once per process.  Train/test splits follow the paper:
+a handful of training videos (often just one) and a fixed pool of test
+videos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import Highlight, VideoChatLog
+from repro.datasets.generate import DatasetSpec, LabeledVideo, build_dataset
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["DatasetCache", "train_test_split", "training_pairs"]
+
+
+@dataclass
+class DatasetCache:
+    """Process-wide cache of materialised datasets keyed by their spec."""
+
+    _cache: dict[DatasetSpec, list[LabeledVideo]] = field(default_factory=dict, repr=False)
+
+    def get(self, spec: DatasetSpec) -> list[LabeledVideo]:
+        """Return the dataset for ``spec``, materialising it on first use.
+
+        Larger previously-built suites of the same game and seed are reused:
+        asking for 10 Dota2 videos after the 60-video suite was built slices
+        the prefix instead of regenerating.
+        """
+        if spec in self._cache:
+            return self._cache[spec]
+        for cached_spec, videos in self._cache.items():
+            same_family = cached_spec.game == spec.game and cached_spec.seed == spec.seed
+            if same_family and cached_spec.size >= spec.size:
+                subset = videos[: spec.size]
+                self._cache[spec] = subset
+                return subset
+        dataset = build_dataset(spec)
+        self._cache[spec] = dataset
+        return dataset
+
+    def clear(self) -> None:
+        """Drop all cached datasets (mainly for tests)."""
+        self._cache.clear()
+
+
+# A module-level cache shared by experiments and benchmarks in one process.
+shared_cache = DatasetCache()
+
+
+def train_test_split(
+    dataset: list[LabeledVideo],
+    n_train: int,
+    n_test: int | None = None,
+) -> tuple[list[LabeledVideo], list[LabeledVideo]]:
+    """Split a dataset into leading training videos and trailing test videos.
+
+    The paper trains on up to 10 videos and tests on 50; the split is by
+    position (the dataset order is already random by construction), so
+    results are stable across runs.
+    """
+    require_positive(n_train, "n_train")
+    if n_train >= len(dataset):
+        raise ValidationError(
+            f"n_train={n_train} leaves no test videos out of {len(dataset)}"
+        )
+    train = dataset[:n_train]
+    remaining = dataset[n_train:]
+    if n_test is None:
+        return train, remaining
+    require_positive(n_test, "n_test")
+    if n_test > len(remaining):
+        raise ValidationError(
+            f"requested {n_test} test videos but only {len(remaining)} are available"
+        )
+    return train, remaining[:n_test]
+
+
+def training_pairs(videos: list[LabeledVideo]) -> list[tuple[VideoChatLog, list[Highlight]]]:
+    """Convert labelled videos into the (chat log, highlights) pairs trainers expect."""
+    return [video.training_pair for video in videos]

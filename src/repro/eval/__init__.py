@@ -1,0 +1,39 @@
+"""Evaluation: the paper's Precision@K metrics and experiment runners.
+
+* :mod:`matching <repro.eval.matching>` — the correctness predicates from
+  Section VII-A (good red dot, correct start position, correct end position).
+* :mod:`metrics <repro.eval.metrics>` — Chat Precision@K, Video Precision@K
+  (start) and Video Precision@K (end).
+* :mod:`runner <repro.eval.runner>` — train/evaluate orchestration over video
+  suites (used by the experiments and benchmarks).
+* :mod:`reports <repro.eval.reports>` — plain-text table/series formatting so
+  benches print the same rows the paper reports.
+"""
+
+from repro.eval.matching import (
+    is_correct_end,
+    is_correct_start,
+    is_good_red_dot,
+    window_matches_highlight,
+)
+from repro.eval.metrics import (
+    chat_precision_at_k,
+    video_precision_end_at_k,
+    video_precision_start_at_k,
+)
+from repro.eval.runner import EvaluationRunner, InitializerEvaluation
+from repro.eval.reports import format_series, format_table
+
+__all__ = [
+    "is_good_red_dot",
+    "is_correct_start",
+    "is_correct_end",
+    "window_matches_highlight",
+    "chat_precision_at_k",
+    "video_precision_start_at_k",
+    "video_precision_end_at_k",
+    "EvaluationRunner",
+    "InitializerEvaluation",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,99 @@
+"""Correctness predicates from the paper's evaluation (Section VII-A).
+
+* a predicted **start position** ``x`` is correct when some ground-truth
+  highlight ``[s, e]`` satisfies ``x ∈ [s - 10, e]`` (viewers tolerate at
+  most a 10-second wait before the highlight begins);
+* a predicted **end position** ``y`` is correct when some highlight
+  ``[s, e]`` satisfies ``y ∈ [s, e + 10]``;
+* a **good red dot** additionally requires dots not to be after the highlight
+  end (Section IV-A) — positionally the same predicate as a correct start;
+* a chat **sliding window** counts as a highlight window when it overlaps the
+  discussion period of some highlight (the highlight itself plus the chat
+  reaction delay).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.initializer.windows import SlidingWindow
+from repro.core.types import Highlight
+from repro.utils.validation import require_non_negative
+
+__all__ = [
+    "is_good_red_dot",
+    "is_correct_start",
+    "is_correct_end",
+    "window_matches_highlight",
+    "matched_highlight",
+]
+
+
+def is_correct_start(
+    position: float,
+    highlights: Sequence[Highlight],
+    tolerance: float = 10.0,
+) -> bool:
+    """Whether ``position`` is a correct highlight start prediction."""
+    require_non_negative(tolerance, "tolerance")
+    return any(h.start - tolerance <= position <= h.end for h in highlights)
+
+
+def is_correct_end(
+    position: float,
+    highlights: Sequence[Highlight],
+    tolerance: float = 10.0,
+) -> bool:
+    """Whether ``position`` is a correct highlight end prediction."""
+    require_non_negative(tolerance, "tolerance")
+    return any(h.start <= position <= h.end + tolerance for h in highlights)
+
+
+def is_good_red_dot(
+    position: float,
+    highlights: Sequence[Highlight],
+    tolerance: float = 10.0,
+) -> bool:
+    """Whether ``position`` is a good red dot for some ground-truth highlight.
+
+    The definition in Section IV-A: not after the highlight end and not more
+    than ``tolerance`` seconds before its start — identical to
+    :func:`is_correct_start`, kept as its own name for readability at call
+    sites that reason about red dots rather than extracted boundaries.
+    """
+    return is_correct_start(position, highlights, tolerance)
+
+
+def matched_highlight(
+    position: float,
+    highlights: Sequence[Highlight],
+    tolerance: float = 10.0,
+) -> Highlight | None:
+    """The highlight that makes ``position`` a good red dot, or None.
+
+    When several match, the one whose start is closest to the position wins.
+    """
+    candidates = [
+        h for h in highlights if h.start - tolerance <= position <= h.end
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda h: abs(h.start - position))
+
+
+def window_matches_highlight(
+    window: SlidingWindow,
+    highlights: Sequence[Highlight],
+    reaction_delay: float = 30.0,
+) -> bool:
+    """Whether a chat sliding window is *talking about* some highlight.
+
+    The window counts when it overlaps ``[h.start, h.end + reaction_delay]``
+    for some highlight ``h`` — the period during which viewers discuss that
+    highlight.  Used by Chat Precision@K.
+    """
+    require_non_negative(reaction_delay, "reaction_delay")
+    for highlight in highlights:
+        if window.start < highlight.end + reaction_delay and highlight.start < window.end:
+            return True
+    return False

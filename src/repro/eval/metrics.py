@@ -1,0 +1,85 @@
+"""The paper's Precision@K metrics (Section VII-A).
+
+* **Chat Precision@K** — fraction of the top-k returned chat sliding windows
+  that are actually discussing a highlight; evaluates the Initializer's
+  prediction stage.
+* **Video Precision@K (start)** — fraction of the k returned start positions
+  that fall within ``[s - 10, e]`` of some ground-truth highlight.
+* **Video Precision@K (end)** — fraction of the k returned end positions that
+  fall within ``[s, e + 10]`` of some ground-truth highlight.
+
+All three helpers take the *returned* items for a single video; averaging
+across test videos is done by the experiment runner.  When fewer than ``k``
+items are returned the denominator is the number returned (consistent with
+how precision over a returned set is normally computed), and an empty return
+scores 0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.initializer.windows import SlidingWindow
+from repro.core.types import Highlight
+from repro.eval.matching import is_correct_end, is_correct_start, window_matches_highlight
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "chat_precision_at_k",
+    "video_precision_start_at_k",
+    "video_precision_end_at_k",
+    "precision_over_positions",
+]
+
+
+def chat_precision_at_k(
+    windows: Sequence[SlidingWindow],
+    highlights: Sequence[Highlight],
+    k: int,
+    reaction_delay: float = 30.0,
+) -> float:
+    """Chat Precision@K over the returned ``windows`` (assumed ranked)."""
+    require_positive(k, "k")
+    top = list(windows)[:k]
+    if not top:
+        return 0.0
+    correct = sum(
+        1 for window in top if window_matches_highlight(window, highlights, reaction_delay)
+    )
+    return correct / len(top)
+
+
+def precision_over_positions(
+    positions: Sequence[float],
+    highlights: Sequence[Highlight],
+    k: int,
+    predicate,
+    tolerance: float = 10.0,
+) -> float:
+    """Shared helper: precision of the first ``k`` positions under ``predicate``."""
+    require_positive(k, "k")
+    top = list(positions)[:k]
+    if not top:
+        return 0.0
+    correct = sum(1 for position in top if predicate(position, highlights, tolerance))
+    return correct / len(top)
+
+
+def video_precision_start_at_k(
+    positions: Sequence[float],
+    highlights: Sequence[Highlight],
+    k: int,
+    tolerance: float = 10.0,
+) -> float:
+    """Video Precision@K (start) over the returned start ``positions``."""
+    return precision_over_positions(positions, highlights, k, is_correct_start, tolerance)
+
+
+def video_precision_end_at_k(
+    positions: Sequence[float],
+    highlights: Sequence[Highlight],
+    k: int,
+    tolerance: float = 10.0,
+) -> float:
+    """Video Precision@K (end) over the returned end ``positions``."""
+    return precision_over_positions(positions, highlights, k, is_correct_end, tolerance)

@@ -1,0 +1,74 @@
+"""Plain-text report formatting for the benchmark harness.
+
+Every benchmark prints the rows or series of the paper artifact it
+reproduces.  These helpers keep the formatting uniform: fixed-width columns,
+floats rendered with three decimals, and a caption line naming the paper
+table/figure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_caption"]
+
+
+def format_caption(artifact: str, description: str) -> str:
+    """Return the caption line used above every reproduced artifact."""
+    return f"=== {artifact}: {description} ==="
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    >>> print(format_table(["system", "p@5"], [["LIGHTOR", 0.9], ["LSTM", 0.6]]))
+    system   | p@5
+    ---------+------
+    LIGHTOR  | 0.900
+    LSTM     | 0.600
+    """
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if caption:
+        lines.append(caption)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Mapping[object, float]],
+    caption: str | None = None,
+) -> str:
+    """Render one or more named series sharing the same x values.
+
+    ``series`` maps a series name to ``{x: y}``; x values are taken from the
+    union of all series (sorted) and missing points render as ``-``.
+    """
+    x_values = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in x_values:
+        row: list[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, caption=caption)

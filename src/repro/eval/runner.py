@@ -1,0 +1,178 @@
+"""Experiment orchestration: train on labelled videos, evaluate on a test pool.
+
+:class:`EvaluationRunner` packages the train/evaluate loops that every
+experiment repeats — fitting an Initializer on ``n`` training videos,
+scoring Chat Precision@K and Video Precision@K over the test videos, and
+running the full pipeline with the crowd simulator — so the per-figure
+experiment modules stay small and declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.core.initializer.predictor import FeatureSet
+from repro.core.pipeline import LightorPipeline
+from repro.datasets.generate import LabeledVideo
+from repro.datasets.loaders import training_pairs
+from repro.eval.metrics import (
+    chat_precision_at_k,
+    video_precision_end_at_k,
+    video_precision_start_at_k,
+)
+from repro.simulation.crowd import CrowdSimulator
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require_positive
+
+__all__ = ["InitializerEvaluation", "EvaluationRunner"]
+
+
+@dataclass(frozen=True)
+class InitializerEvaluation:
+    """Average precision of a fitted Initializer over a test pool."""
+
+    k: int
+    chat_precision: float
+    start_precision: float
+    n_test_videos: int
+    adjustment_constant: float
+
+
+@dataclass
+class EvaluationRunner:
+    """Shared train/evaluate loops for the experiments.
+
+    Parameters
+    ----------
+    config:
+        Workflow configuration used for both training and evaluation.
+    feature_set:
+        Feature subset for the Initializer's prediction stage.
+    """
+
+    config: LightorConfig = field(default_factory=LightorConfig)
+    feature_set: FeatureSet = FeatureSet.ALL
+
+    # ----------------------------------------------------------- initializer
+    def fit_initializer(self, train_videos: list[LabeledVideo]) -> HighlightInitializer:
+        """Train a Highlight Initializer on ``train_videos``."""
+        initializer = HighlightInitializer(config=self.config, feature_set=self.feature_set)
+        initializer.fit(training_pairs(train_videos))
+        return initializer
+
+    def evaluate_initializer(
+        self,
+        initializer: HighlightInitializer,
+        test_videos: list[LabeledVideo],
+        k: int,
+    ) -> InitializerEvaluation:
+        """Average Chat Precision@K and Video Precision@K (start) on the test pool."""
+        require_positive(k, "k")
+        chat_scores: list[float] = []
+        start_scores: list[float] = []
+        for labelled in test_videos:
+            windows = initializer.top_windows(labelled.chat_log, k=k)
+            chat_scores.append(chat_precision_at_k(windows, labelled.highlights, k=k))
+            dots = initializer.propose(labelled.chat_log, k=k)
+            positions = [dot.position for dot in dots]
+            start_scores.append(
+                video_precision_start_at_k(
+                    positions, labelled.highlights, k=k, tolerance=self.config.start_tolerance
+                )
+            )
+        return InitializerEvaluation(
+            k=k,
+            chat_precision=float(np.mean(chat_scores)) if chat_scores else 0.0,
+            start_precision=float(np.mean(start_scores)) if start_scores else 0.0,
+            n_test_videos=len(test_videos),
+            adjustment_constant=initializer.model.adjustment_constant,
+        )
+
+    def chat_precision_curve(
+        self,
+        initializer: HighlightInitializer,
+        test_videos: list[LabeledVideo],
+        ks: list[int],
+    ) -> dict[int, float]:
+        """Chat Precision@K averaged over the test pool, for each k in ``ks``."""
+        curve: dict[int, float] = {}
+        for k in ks:
+            scores = [
+                chat_precision_at_k(
+                    initializer.top_windows(v.chat_log, k=k), v.highlights, k=k
+                )
+                for v in test_videos
+            ]
+            curve[k] = float(np.mean(scores)) if scores else 0.0
+        return curve
+
+    def start_precision_curve(
+        self,
+        initializer: HighlightInitializer,
+        test_videos: list[LabeledVideo],
+        ks: list[int],
+    ) -> dict[int, float]:
+        """Video Precision@K (start) of the Initializer's red dots, per k."""
+        curve: dict[int, float] = {}
+        for k in ks:
+            scores = []
+            for labelled in test_videos:
+                dots = initializer.propose(labelled.chat_log, k=k)
+                scores.append(
+                    video_precision_start_at_k(
+                        [d.position for d in dots],
+                        labelled.highlights,
+                        k=k,
+                        tolerance=self.config.start_tolerance,
+                    )
+                )
+            curve[k] = float(np.mean(scores)) if scores else 0.0
+        return curve
+
+    # --------------------------------------------------------- full pipeline
+    def run_pipeline(
+        self,
+        train_videos: list[LabeledVideo],
+        test_videos: list[LabeledVideo],
+        k: int,
+        crowd_seed: int = 7,
+        responses_per_round: int = 10,
+    ) -> dict[str, float]:
+        """Train LIGHTOR, run it end to end with the crowd simulator, score it.
+
+        Returns average Video Precision@K (start/end) over the test pool and
+        the pipeline's training time — the quantities of Table I.
+        """
+        require_positive(k, "k")
+        pipeline = LightorPipeline(config=self.config, feature_set=self.feature_set)
+        pipeline.fit(training_pairs(train_videos))
+
+        seeds = SeedSequenceFactory(crowd_seed)
+        crowd = CrowdSimulator(seeds=seeds, responses_per_round=responses_per_round)
+
+        start_scores: list[float] = []
+        end_scores: list[float] = []
+        for labelled in test_videos:
+            source = crowd.interaction_source(labelled.video)
+            result = pipeline.run(labelled.chat_log, source, k=k)
+            start_scores.append(
+                video_precision_start_at_k(
+                    result.start_positions, labelled.highlights, k=k,
+                    tolerance=self.config.start_tolerance,
+                )
+            )
+            end_scores.append(
+                video_precision_end_at_k(
+                    result.end_positions, labelled.highlights, k=k,
+                    tolerance=self.config.end_tolerance,
+                )
+            )
+        return {
+            "start_precision": float(np.mean(start_scores)) if start_scores else 0.0,
+            "end_precision": float(np.mean(end_scores)) if end_scores else 0.0,
+            "training_seconds": pipeline.training_seconds_,
+        }

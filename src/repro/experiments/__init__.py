@@ -1,0 +1,16 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Every experiment module exposes a ``run(scale=...)`` function returning a
+plain dictionary of results and a ``report(results)`` function rendering the
+rows/series the paper reports.  The registry maps experiment ids (``fig6``,
+``table1``, ...) to those entry points so the CLI and the benchmark harness
+can drive them uniformly.
+
+``scale`` trades evaluation breadth for runtime: ``"small"`` (default for
+benchmarks and CI) uses a handful of test videos, ``"paper"`` uses the
+paper-sized suites (60 Dota2 / 173 LoL videos).
+"""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment", "run_experiment"]

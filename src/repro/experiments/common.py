@@ -1,0 +1,97 @@
+"""Shared plumbing for the experiment modules.
+
+Each experiment needs the same ingredients: a scale (how many videos), the
+cached datasets, a fitted Initializer and the default configuration.  This
+module centralises those so the per-figure modules contain only the logic
+specific to their artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LightorConfig
+from repro.datasets.generate import DatasetSpec, LabeledVideo, PAPER_DOTA2_SIZE, PAPER_LOL_SIZE
+from repro.datasets.loaders import shared_cache
+from repro.utils.validation import ValidationError
+
+__all__ = ["ScaleSettings", "resolve_scale", "dota2_videos", "lol_videos", "default_config"]
+
+
+@dataclass(frozen=True)
+class ScaleSettings:
+    """How much data an experiment run uses.
+
+    ``n_train`` / ``n_test`` bound the training and test pools; ``k_values``
+    are the x axis of the Precision@K curves; ``crowd_videos`` bounds the
+    (more expensive) crowd-in-the-loop experiments; ``lstm_many`` is the
+    "large training set" size for the deep baseline comparisons (123 videos
+    at paper scale).
+    """
+
+    name: str
+    n_train: int
+    n_test: int
+    k_values: tuple[int, ...]
+    crowd_videos: int
+    lstm_many: int
+    dataset_size: int
+
+
+_SCALES = {
+    "small": ScaleSettings(
+        name="small",
+        n_train=1,
+        n_test=10,
+        k_values=(1, 3, 5, 10),
+        crowd_videos=4,
+        lstm_many=6,
+        dataset_size=16,
+    ),
+    "medium": ScaleSettings(
+        name="medium",
+        n_train=10,
+        n_test=30,
+        k_values=(1, 3, 5, 8, 10),
+        crowd_videos=7,
+        lstm_many=20,
+        dataset_size=45,
+    ),
+    "paper": ScaleSettings(
+        name="paper",
+        n_train=10,
+        n_test=50,
+        k_values=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+        crowd_videos=7,
+        lstm_many=123,
+        dataset_size=max(PAPER_DOTA2_SIZE, PAPER_LOL_SIZE),
+    ),
+}
+
+
+def resolve_scale(scale: str | ScaleSettings) -> ScaleSettings:
+    """Return the :class:`ScaleSettings` for a scale name (or pass-through)."""
+    if isinstance(scale, ScaleSettings):
+        return scale
+    try:
+        return _SCALES[scale]
+    except KeyError as error:
+        known = ", ".join(sorted(_SCALES))
+        raise ValidationError(f"unknown scale {scale!r}; known scales: {known}") from error
+
+
+def dota2_videos(scale: ScaleSettings, size: int | None = None) -> list[LabeledVideo]:
+    """The Dota2 suite at the requested scale (cached per process)."""
+    spec = DatasetSpec.dota2(size=min(size or scale.dataset_size, PAPER_DOTA2_SIZE))
+    return shared_cache.get(spec)
+
+
+def lol_videos(scale: ScaleSettings, size: int | None = None) -> list[LabeledVideo]:
+    """The LoL suite at the requested scale (cached per process)."""
+    spec = DatasetSpec.lol(size=min(size or scale.dataset_size, PAPER_LOL_SIZE))
+    return shared_cache.get(spec)
+
+
+def default_config() -> LightorConfig:
+    """The paper's default configuration."""
+    return LightorConfig.paper_defaults()

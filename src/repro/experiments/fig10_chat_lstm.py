@@ -1,0 +1,113 @@
+"""EXP-F10 — Figure 10: LIGHTOR vs Chat-LSTM as a function of training size.
+
+Panel (a): both systems trained on a single labelled LoL video.
+Panel (b): LIGHTOR trained on one video vs Chat-LSTM trained on the "large"
+training set (123 videos at paper scale).  Both panels report Video
+Precision@K (start) on held-out LoL videos.  Expected shape: LIGHTOR with a
+single video beats Chat-LSTM in both panels; Chat-LSTM improves with more
+data but stays behind because it cannot adjust for the chat delay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.chat_lstm import ChatLSTMBaseline
+from repro.core.initializer.predictor import FeatureSet
+from repro.datasets.generate import LabeledVideo
+from repro.datasets.loaders import train_test_split
+from repro.eval.metrics import video_precision_start_at_k
+from repro.eval.reports import format_caption, format_series
+from repro.eval.runner import EvaluationRunner
+from repro.experiments.common import default_config, lol_videos, resolve_scale
+
+__all__ = ["run", "report", "chat_lstm_start_curve"]
+
+
+def chat_lstm_start_curve(
+    baseline: ChatLSTMBaseline,
+    test_pool: list[LabeledVideo],
+    ks: list[int],
+    tolerance: float,
+) -> dict[int, float]:
+    """Video Precision@K (start) curve of a fitted Chat-LSTM baseline."""
+    curve: dict[int, float] = {}
+    max_k = max(ks)
+    proposals = {
+        labelled.video.video_id: baseline.propose(labelled.chat_log, k=max_k)
+        for labelled in test_pool
+    }
+    for k in ks:
+        scores = []
+        for labelled in test_pool:
+            dots = proposals[labelled.video.video_id][:k]
+            scores.append(
+                video_precision_start_at_k(
+                    [dot.position for dot in dots], labelled.highlights, k=k, tolerance=tolerance
+                )
+            )
+        curve[k] = float(np.mean(scores)) if scores else 0.0
+    return curve
+
+
+def run(scale: str = "small") -> dict:
+    """Run both panels of Figure 10 on the LoL suite."""
+    settings = resolve_scale(scale)
+    config = default_config()
+    dataset = lol_videos(settings, size=max(settings.lstm_many + settings.n_test, 8))
+    many = min(settings.lstm_many, len(dataset) - 2)
+    train_pool, test_pool = train_test_split(dataset, n_train=max(many, 1))
+    test_pool = test_pool[: max(2, settings.n_test // 2)]
+    ks = list(settings.k_values)
+
+    runner = EvaluationRunner(config=config, feature_set=FeatureSet.ALL)
+    lightor = runner.fit_initializer(train_pool[:1])
+    lightor_curve = runner.start_precision_curve(lightor, test_pool, ks)
+
+    lstm_single = ChatLSTMBaseline()
+    lstm_single.fit(train_pool[:1])
+    lstm_single_curve = chat_lstm_start_curve(
+        lstm_single, test_pool, ks, config.start_tolerance
+    )
+
+    lstm_many = ChatLSTMBaseline()
+    lstm_many.fit(train_pool[:many])
+    lstm_many_curve = chat_lstm_start_curve(lstm_many, test_pool, ks, config.start_tolerance)
+
+    return {
+        "ks": ks,
+        "panel_a": {
+            "lightor (1 video)": lightor_curve,
+            "chat-lstm (1 video)": lstm_single_curve,
+        },
+        "panel_b": {
+            "lightor (1 video)": lightor_curve,
+            f"chat-lstm ({many} videos)": lstm_many_curve,
+        },
+        "n_many_videos": many,
+        "n_test_videos": len(test_pool),
+        "lstm_training_seconds": {
+            "1 video": lstm_single.training_seconds_,
+            f"{many} videos": lstm_many.training_seconds_,
+        },
+    }
+
+
+def report(results: dict) -> str:
+    """Render both panels as series tables."""
+    lines = [
+        format_caption(
+            "Figure 10a",
+            f"LIGHTOR vs Chat-LSTM, both trained on 1 LoL video "
+            f"({results['n_test_videos']} test videos)",
+        ),
+        format_series("k", results["panel_a"]),
+        format_caption(
+            "Figure 10b",
+            f"LIGHTOR (1 video) vs Chat-LSTM ({results['n_many_videos']} videos)",
+        ),
+        format_series("k", results["panel_b"]),
+        "Chat-LSTM training time: "
+        + ", ".join(f"{name}: {seconds:.1f}s" for name, seconds in results["lstm_training_seconds"].items()),
+    ]
+    return "\n".join(lines)

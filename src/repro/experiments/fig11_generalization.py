@@ -1,0 +1,69 @@
+"""EXP-F11 — Figure 11: cross-game generalization of LIGHTOR vs Chat-LSTM.
+
+Both systems are trained on LoL videos and tested on held-out LoL videos and
+on Dota2 videos.  Expected shape: LIGHTOR's precision is essentially the same
+on both games (its features are game-agnostic), while Chat-LSTM drops sharply
+on Dota2 (its character model memorised the LoL reaction vocabulary).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.chat_lstm import ChatLSTMBaseline
+from repro.core.initializer.predictor import FeatureSet
+from repro.datasets.loaders import train_test_split
+from repro.eval.reports import format_caption, format_series
+from repro.eval.runner import EvaluationRunner
+from repro.experiments.common import default_config, dota2_videos, lol_videos, resolve_scale
+from repro.experiments.fig10_chat_lstm import chat_lstm_start_curve
+
+__all__ = ["run", "report"]
+
+
+def run(scale: str = "small") -> dict:
+    """Train on LoL, test on LoL and Dota2 for both systems."""
+    settings = resolve_scale(scale)
+    config = default_config()
+    lol_dataset = lol_videos(settings)
+    dota_dataset = dota2_videos(settings)
+
+    lol_train, lol_test = train_test_split(lol_dataset, n_train=1)
+    lol_test = lol_test[: max(2, settings.n_test // 2)]
+    dota_test = dota_dataset[: max(2, settings.n_test // 2)]
+    ks = list(settings.k_values)
+
+    runner = EvaluationRunner(config=config, feature_set=FeatureSet.ALL)
+    lightor = runner.fit_initializer(lol_train)
+    lightor_lol = runner.start_precision_curve(lightor, lol_test, ks)
+    lightor_dota = runner.start_precision_curve(lightor, dota_test, ks)
+
+    lstm_train_size = min(settings.lstm_many, max(1, len(lol_dataset) - len(lol_test) - 1))
+    lstm = ChatLSTMBaseline()
+    lstm.fit(lol_dataset[:lstm_train_size])
+    lstm_lol = chat_lstm_start_curve(lstm, lol_test, ks, config.start_tolerance)
+    lstm_dota = chat_lstm_start_curve(lstm, dota_test, ks, config.start_tolerance)
+
+    return {
+        "ks": ks,
+        "lightor": {"LoL": lightor_lol, "Dota2": lightor_dota},
+        "chat_lstm": {"LoL": lstm_lol, "Dota2": lstm_dota},
+        "lstm_train_videos": lstm_train_size,
+        "n_test_videos": {"LoL": len(lol_test), "Dota2": len(dota_test)},
+    }
+
+
+def report(results: dict) -> str:
+    """Render both panels as series tables."""
+    lines = [
+        format_caption(
+            "Figure 11a",
+            "LIGHTOR trained on LoL, tested on LoL and Dota2 (Video Precision@K start)",
+        ),
+        format_series("k", results["lightor"]),
+        format_caption(
+            "Figure 11b",
+            f"Chat-LSTM trained on {results['lstm_train_videos']} LoL videos, "
+            "tested on LoL and Dota2",
+        ),
+        format_series("k", results["chat_lstm"]),
+    ]
+    return "\n".join(lines)

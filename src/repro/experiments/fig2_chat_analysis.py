@@ -1,0 +1,110 @@
+"""EXP-F2 — Figure 2: analysis of the chat data of one video.
+
+Figure 2(a) plots the per-second chat-message histogram (with a smoothed
+curve) of one Twitch video and marks the delay between a highlight's start
+and its chat peak.  Figure 2(b) compares the feature-value distributions of
+highlight and non-highlight sliding windows for the three general features.
+
+The experiment reproduces both panels numerically: the measured chat delay
+for every highlight of the analysed video, and per-feature summary statistics
+(mean/median) split by window label.  The expected shape is a clearly
+positive delay (tens of seconds) and separated feature distributions —
+highlight windows have more messages, shorter messages and higher similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.initializer.features import FEATURE_NAMES, WindowFeatureExtractor
+from repro.core.initializer.windows import build_sliding_windows
+from repro.eval.reports import format_caption, format_table
+from repro.experiments.common import default_config, dota2_videos, resolve_scale
+from repro.utils.histograms import Histogram
+from repro.utils.smoothing import gaussian_smooth
+
+__all__ = ["run", "report"]
+
+
+def run(scale: str = "small", video_index: int = 1) -> dict:
+    """Analyse one Dota2 video's chat (histogram peaks, delays, features)."""
+    settings = resolve_scale(scale)
+    config = default_config()
+    labelled = dota2_videos(settings)[video_index]
+    chat_log = labelled.chat_log
+    video = labelled.video
+
+    # Panel (a): per-second histogram, smoothed curve, delay per highlight.
+    histogram = Histogram(duration=video.duration, bin_size=1.0)
+    for message in chat_log.messages:
+        histogram.add_point(min(message.timestamp, video.duration - 1e-6))
+    smoothed = gaussian_smooth(histogram.to_array(), sigma=5.0)
+
+    delays = []
+    for highlight in video.highlights:
+        start_bin = int(highlight.start)
+        end_bin = min(smoothed.size, int(highlight.end) + 60)
+        if end_bin <= start_bin:
+            continue
+        peak_bin = start_bin + int(np.argmax(smoothed[start_bin:end_bin]))
+        delays.append(peak_bin - highlight.start)
+
+    # Panel (b): feature distributions of highlight vs non-highlight windows.
+    windows = build_sliding_windows(chat_log, window_size=config.window_size)
+    extractor = WindowFeatureExtractor()
+    raw = extractor.feature_matrix(windows, normalise=False)
+    labels = extractor.label_windows(windows, labelled.highlights)
+
+    feature_stats = {}
+    for column, name in enumerate(FEATURE_NAMES):
+        positives = raw[labels == 1, column]
+        negatives = raw[labels == 0, column]
+        feature_stats[name] = {
+            "highlight_mean": float(np.mean(positives)) if positives.size else 0.0,
+            "highlight_median": float(np.median(positives)) if positives.size else 0.0,
+            "non_highlight_mean": float(np.mean(negatives)) if negatives.size else 0.0,
+            "non_highlight_median": float(np.median(negatives)) if negatives.size else 0.0,
+        }
+
+    return {
+        "video_id": video.video_id,
+        "n_messages": len(chat_log),
+        "n_windows": len(windows),
+        "n_highlight_windows": int(labels.sum()),
+        "global_peak_second": histogram.argmax_time(),
+        "mean_chat_delay": float(np.mean(delays)) if delays else 0.0,
+        "median_chat_delay": float(np.median(delays)) if delays else 0.0,
+        "feature_stats": feature_stats,
+    }
+
+
+def report(results: dict) -> str:
+    """Render the Figure-2 analysis as text tables."""
+    lines = [
+        format_caption(
+            "Figure 2",
+            f"chat analysis of video {results['video_id']} "
+            f"({results['n_messages']} messages, {results['n_windows']} windows, "
+            f"{results['n_highlight_windows']} highlight windows)",
+        ),
+        f"global chat peak at {results['global_peak_second']:.0f}s; "
+        f"mean delay highlight start -> chat peak = {results['mean_chat_delay']:.1f}s "
+        f"(median {results['median_chat_delay']:.1f}s)",
+    ]
+    rows = []
+    for name, stats in results["feature_stats"].items():
+        rows.append(
+            [
+                name,
+                stats["highlight_mean"],
+                stats["highlight_median"],
+                stats["non_highlight_mean"],
+                stats["non_highlight_median"],
+            ]
+        )
+    lines.append(
+        format_table(
+            ["feature", "hl mean", "hl median", "non-hl mean", "non-hl median"], rows
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""EXP-F6 — Figure 6: evaluation of the Initializer's prediction stage.
+
+Panel (a): Chat Precision@K of three logistic-regression models using
+msg_num, msg_num + msg_len, and all three general features, trained on a
+small set of videos and tested on held-out videos.  Expected shape: all three
+are strong for small k; the richer feature sets dominate as k grows.
+
+Panel (b): Chat Precision@10 as the number of training videos varies from 1
+to 10.  Expected shape: precision is essentially flat — one labelled video is
+already enough because the model has only three highly general features.
+"""
+
+from __future__ import annotations
+
+from repro.core.initializer.predictor import FeatureSet
+from repro.eval.reports import format_caption, format_series
+from repro.eval.runner import EvaluationRunner
+from repro.datasets.loaders import train_test_split
+from repro.experiments.common import default_config, dota2_videos, resolve_scale
+
+__all__ = ["run", "report"]
+
+_FEATURE_SETS = {
+    "msg_num": FeatureSet.MSG_NUM,
+    "msg_num+len": FeatureSet.MSG_NUM_LEN,
+    "msg_num+len+sim": FeatureSet.ALL,
+}
+
+
+def run(scale: str = "small") -> dict:
+    """Run both panels of Figure 6 on the Dota2 suite."""
+    settings = resolve_scale(scale)
+    config = default_config()
+    dataset = dota2_videos(settings)
+    max_train = min(10, settings.n_train if settings.n_train > 1 else 10, len(dataset) - 1)
+    train_pool, test_pool = train_test_split(dataset, n_train=max_train)
+    test_pool = test_pool[: settings.n_test]
+    ks = list(settings.k_values)
+
+    # Panel (a): feature ablation at fixed training size.
+    ablation: dict[str, dict[int, float]] = {}
+    for label, feature_set in _FEATURE_SETS.items():
+        runner = EvaluationRunner(config=config, feature_set=feature_set)
+        initializer = runner.fit_initializer(train_pool)
+        ablation[label] = runner.chat_precision_curve(initializer, test_pool, ks)
+
+    # Panel (b): effect of the number of training videos on P@10.
+    k_for_training_curve = max(ks)
+    training_sizes = [size for size in (1, 2, 4, 6, 8, 10) if size <= len(train_pool)]
+    training_curve: dict[int, float] = {}
+    runner = EvaluationRunner(config=config, feature_set=FeatureSet.ALL)
+    for size in training_sizes:
+        initializer = runner.fit_initializer(train_pool[:size])
+        curve = runner.chat_precision_curve(initializer, test_pool, [k_for_training_curve])
+        training_curve[size] = curve[k_for_training_curve]
+
+    return {
+        "ks": ks,
+        "ablation": ablation,
+        "training_curve": training_curve,
+        "training_curve_k": k_for_training_curve,
+        "n_test_videos": len(test_pool),
+    }
+
+
+def report(results: dict) -> str:
+    """Render both panels as series tables."""
+    lines = [
+        format_caption(
+            "Figure 6a",
+            f"Chat Precision@K by feature set ({results['n_test_videos']} test videos)",
+        ),
+        format_series("k", results["ablation"]),
+        format_caption(
+            "Figure 6b",
+            f"Chat Precision@{results['training_curve_k']} vs number of training videos",
+        ),
+        format_series("# training videos", {"lightor": results["training_curve"]}),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""EXP-F8 — Figure 8: evaluation of the Highlight Extractor over crowd rounds.
+
+The paper publishes red-dot tasks to the crowd, recomputes dot positions
+after every ~10 responses, and repeats; Video Precision@K (start and end) is
+plotted per iteration for LIGHTOR against the SocialSkip and MOOCer
+baselines, which are not iterative and use the first round's interaction
+data only.  Expected shape: LIGHTOR improves over iterations and ends well
+above both baselines on start and end precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.moocer import MoocerExtractor
+from repro.baselines.socialskip import SocialSkipExtractor
+from repro.core.extractor.extractor import HighlightExtractor
+from repro.core.extractor.plays import interactions_to_plays
+from repro.core.initializer.predictor import FeatureSet
+from repro.core.types import RedDotType
+from repro.datasets.loaders import train_test_split
+from repro.eval.metrics import video_precision_end_at_k, video_precision_start_at_k
+from repro.eval.reports import format_caption, format_series
+from repro.eval.runner import EvaluationRunner
+from repro.experiments.common import default_config, dota2_videos, resolve_scale
+from repro.simulation.crowd import CrowdSimulator
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["run", "report"]
+
+
+def run(
+    scale: str = "small",
+    k: int = 5,
+    n_iterations: int = 5,
+    crowd_seed: int = 17,
+) -> dict:
+    """Run the iterative extraction experiment on a handful of test videos."""
+    settings = resolve_scale(scale)
+    config = default_config().with_overrides(max_extractor_iterations=n_iterations)
+    dataset = dota2_videos(settings)
+    train_pool, test_pool = train_test_split(dataset, n_train=1)
+    test_pool = test_pool[: settings.crowd_videos]
+
+    runner = EvaluationRunner(config=config, feature_set=FeatureSet.ALL)
+    initializer = runner.fit_initializer(train_pool)
+    extractor = HighlightExtractor(config=config)
+    crowd = CrowdSimulator(seeds=SeedSequenceFactory(crowd_seed))
+
+    lightor_start: dict[int, list[float]] = {i: [] for i in range(1, n_iterations + 1)}
+    lightor_end: dict[int, list[float]] = {i: [] for i in range(1, n_iterations + 1)}
+    socialskip_start: list[float] = []
+    socialskip_end: list[float] = []
+    moocer_start: list[float] = []
+    moocer_end: list[float] = []
+    type_accuracy_records: list[float] = []
+
+    for labelled in test_pool:
+        video = labelled.video
+        dots = initializer.propose(labelled.chat_log, k=k)
+        source = crowd.interaction_source(video)
+        results = extractor.extract_all(dots, source, video_duration=video.duration)
+
+        # Per-iteration start/end positions (carry the best so far forward).
+        per_iteration_starts: dict[int, list[float]] = {i: [] for i in range(1, n_iterations + 1)}
+        per_iteration_ends: dict[int, list[float]] = {i: [] for i in range(1, n_iterations + 1)}
+        for dot, result in zip(dots, results):
+            best_start = dot.position
+            best_end: float | None = None
+            for iteration in range(1, n_iterations + 1):
+                trace_index = min(iteration, result.n_iterations) - 1
+                if trace_index >= 0 and result.iterations:
+                    for trace in result.iterations[: trace_index + 1]:
+                        if trace.boundary is not None:
+                            best_start = trace.boundary.start
+                            best_end = trace.boundary.end
+                per_iteration_starts[iteration].append(best_start)
+                if best_end is not None:
+                    per_iteration_ends[iteration].append(best_end)
+            # Type I/II classification accuracy against ground truth.
+            nearest = min(
+                video.highlights,
+                key=lambda h: abs(dot.position - h.midpoint),
+                default=None,
+            )
+            if nearest is not None and result.iterations:
+                truth_is_type_ii = dot.position <= nearest.end
+                predicted = result.iterations[0].classified_type
+                if predicted is not RedDotType.UNKNOWN:
+                    type_accuracy_records.append(
+                        1.0 if (predicted is RedDotType.TYPE_II) == truth_is_type_ii else 0.0
+                    )
+
+        for iteration in range(1, n_iterations + 1):
+            lightor_start[iteration].append(
+                video_precision_start_at_k(
+                    per_iteration_starts[iteration], labelled.highlights, k=k
+                )
+            )
+            lightor_end[iteration].append(
+                video_precision_end_at_k(per_iteration_ends[iteration], labelled.highlights, k=k)
+            )
+
+        # Baselines consume the first round of interaction data only.
+        first_round_interactions = []
+        for dot in dots:
+            first_round_interactions.extend(crowd.collect_round(video, dot, round_index=0))
+        plays = interactions_to_plays(first_round_interactions, video_duration=video.duration)
+
+        socialskip = SocialSkipExtractor().extract(first_round_interactions, video.duration, k=k)
+        socialskip_start.append(
+            video_precision_start_at_k([h.start for h in socialskip], labelled.highlights, k=k)
+        )
+        socialskip_end.append(
+            video_precision_end_at_k([h.end for h in socialskip], labelled.highlights, k=k)
+        )
+        moocer = MoocerExtractor().extract(plays, video.duration, k=k)
+        moocer_start.append(
+            video_precision_start_at_k([h.start for h in moocer], labelled.highlights, k=k)
+        )
+        moocer_end.append(
+            video_precision_end_at_k([h.end for h in moocer], labelled.highlights, k=k)
+        )
+
+    def average_curve(per_iteration: dict[int, list[float]]) -> dict[int, float]:
+        return {i: float(np.mean(values)) if values else 0.0 for i, values in per_iteration.items()}
+
+    socialskip_start_avg = float(np.mean(socialskip_start)) if socialskip_start else 0.0
+    socialskip_end_avg = float(np.mean(socialskip_end)) if socialskip_end else 0.0
+    moocer_start_avg = float(np.mean(moocer_start)) if moocer_start else 0.0
+    moocer_end_avg = float(np.mean(moocer_end)) if moocer_end else 0.0
+    iterations = list(range(1, n_iterations + 1))
+
+    return {
+        "k": k,
+        "iterations": iterations,
+        "start": {
+            "lightor": average_curve(lightor_start),
+            "socialskip": {i: socialskip_start_avg for i in iterations},
+            "moocer": {i: moocer_start_avg for i in iterations},
+        },
+        "end": {
+            "lightor": average_curve(lightor_end),
+            "socialskip": {i: socialskip_end_avg for i in iterations},
+            "moocer": {i: moocer_end_avg for i in iterations},
+        },
+        "type_classification_accuracy": (
+            float(np.mean(type_accuracy_records)) if type_accuracy_records else 0.0
+        ),
+        "n_test_videos": len(test_pool),
+    }
+
+
+def report(results: dict) -> str:
+    """Render the per-iteration start/end precision curves."""
+    lines = [
+        format_caption(
+            "Figure 8a",
+            f"Video Precision@{results['k']} (start) per crowd iteration "
+            f"({results['n_test_videos']} videos)",
+        ),
+        format_series("iteration", results["start"]),
+        format_caption("Figure 8b", f"Video Precision@{results['k']} (end) per crowd iteration"),
+        format_series("iteration", results["end"]),
+        (
+            "Type I/II classification accuracy (first round): "
+            f"{results['type_classification_accuracy']:.3f}"
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""EXP-F9 — Figure 9: applicability of LIGHTOR on a Twitch-like platform.
+
+The paper crawls the twenty most recent recorded videos of the top-10 Dota2
+channels and plots the cumulative distribution of (a) chat messages per hour
+and (b) viewer counts, against the thresholds the two LIGHTOR components
+need (500 messages/hour for the Initializer, 100 viewers for the Extractor).
+Expected shape: more than 80 % of the videos clear the chat-rate threshold
+and all of them clear the viewer threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import VideoChatLog
+from repro.eval.reports import format_caption, format_table
+from repro.experiments.common import default_config, resolve_scale
+from repro.platform.api import SimulatedStreamingAPI
+from repro.utils.histograms import cumulative_distribution, empirical_cdf_at
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["run", "report"]
+
+
+def run(
+    scale: str = "small",
+    n_channels: int = 10,
+    videos_per_channel: int | None = None,
+    seed: int = 2020,
+) -> dict:
+    """Crawl the simulated platform's popular Dota2 videos and compute CDFs."""
+    settings = resolve_scale(scale)
+    config = default_config()
+    if videos_per_channel is None:
+        videos_per_channel = 20 if settings.name == "paper" else 5
+    api = SimulatedStreamingAPI(seeds=SeedSequenceFactory(seed))
+
+    chat_rates: list[float] = []
+    viewer_counts: list[float] = []
+    for channel in api.top_channels("dota2", count=n_channels):
+        for video in api.recent_videos(channel, count=videos_per_channel):
+            messages = api.get_chat_replay(video.video_id)
+            chat_log = VideoChatLog(video=video, messages=messages)
+            chat_rates.append(chat_log.messages_per_hour)
+            viewer_counts.append(float(video.viewer_count))
+
+    chat_values, chat_cdf = cumulative_distribution(chat_rates)
+    viewer_values, viewer_cdf = cumulative_distribution(viewer_counts)
+
+    return {
+        "n_videos": len(chat_rates),
+        "chat_threshold": config.min_messages_per_hour,
+        "viewer_threshold": float(config.min_viewers),
+        "fraction_below_chat_threshold": empirical_cdf_at(
+            chat_rates, config.min_messages_per_hour
+        ),
+        "fraction_below_viewer_threshold": empirical_cdf_at(
+            viewer_counts, float(config.min_viewers)
+        ),
+        "chat_rate_percentiles": {
+            "p10": float(chat_values[int(0.10 * (len(chat_values) - 1))]),
+            "p50": float(chat_values[int(0.50 * (len(chat_values) - 1))]),
+            "p90": float(chat_values[int(0.90 * (len(chat_values) - 1))]),
+        },
+        "viewer_percentiles": {
+            "p10": float(viewer_values[int(0.10 * (len(viewer_values) - 1))]),
+            "p50": float(viewer_values[int(0.50 * (len(viewer_values) - 1))]),
+            "p90": float(viewer_values[int(0.90 * (len(viewer_values) - 1))]),
+        },
+    }
+
+
+def report(results: dict) -> str:
+    """Render the applicability summary."""
+    eligible_chat = 100.0 * (1.0 - results["fraction_below_chat_threshold"])
+    eligible_viewers = 100.0 * (1.0 - results["fraction_below_viewer_threshold"])
+    lines = [
+        format_caption(
+            "Figure 9",
+            f"applicability over {results['n_videos']} recent popular recorded videos",
+        ),
+        format_table(
+            ["quantity", "threshold", "% videos above threshold", "p10", "p50", "p90"],
+            [
+                [
+                    "chat msgs/hour",
+                    results["chat_threshold"],
+                    round(eligible_chat, 1),
+                    results["chat_rate_percentiles"]["p10"],
+                    results["chat_rate_percentiles"]["p50"],
+                    results["chat_rate_percentiles"]["p90"],
+                ],
+                [
+                    "viewers",
+                    results["viewer_threshold"],
+                    round(eligible_viewers, 1),
+                    results["viewer_percentiles"]["p10"],
+                    results["viewer_percentiles"]["p50"],
+                    results["viewer_percentiles"]["p90"],
+                ],
+            ],
+        ),
+    ]
+    return "\n".join(lines)

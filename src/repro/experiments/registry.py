@@ -1,0 +1,106 @@
+"""Registry of the reproduction experiments.
+
+Maps experiment ids to their ``run`` / ``report`` entry points so the CLI and
+the benchmark harness can drive every paper artifact uniformly::
+
+    from repro.experiments import run_experiment
+    results, text = run_experiment("fig7", scale="small")
+    print(text)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig2_chat_analysis,
+    fig3_play_offsets,
+    fig6_prediction,
+    fig7_adjustment,
+    fig8_extractor,
+    fig9_applicability,
+    fig10_chat_lstm,
+    fig11_generalization,
+    table1_end_to_end,
+)
+from repro.utils.validation import ValidationError
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible paper artifact."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[..., dict]
+    report: Callable[[dict], str]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "fig2", "Figure 2", "chat histogram, reaction delay and feature separation",
+            fig2_chat_analysis.run, fig2_chat_analysis.report,
+        ),
+        ExperimentSpec(
+            "fig3", "Figure 3", "play start-offset distributions for Type I / Type II dots",
+            fig3_play_offsets.run, fig3_play_offsets.report,
+        ),
+        ExperimentSpec(
+            "fig6", "Figure 6", "prediction stage: feature ablation and training-size effect",
+            fig6_prediction.run, fig6_prediction.report,
+        ),
+        ExperimentSpec(
+            "fig7", "Figure 7", "adjustment stage: Toretter vs LIGHTOR vs Ideal, constant stability",
+            fig7_adjustment.run, fig7_adjustment.report,
+        ),
+        ExperimentSpec(
+            "fig8", "Figure 8", "extractor over crowd iterations vs SocialSkip and MOOCer",
+            fig8_extractor.run, fig8_extractor.report,
+        ),
+        ExperimentSpec(
+            "fig9", "Figure 9", "applicability CDFs over popular recorded videos",
+            fig9_applicability.run, fig9_applicability.report,
+        ),
+        ExperimentSpec(
+            "fig10", "Figure 10", "LIGHTOR vs Chat-LSTM by training size",
+            fig10_chat_lstm.run, fig10_chat_lstm.report,
+        ),
+        ExperimentSpec(
+            "fig11", "Figure 11", "cross-game generalization of LIGHTOR vs Chat-LSTM",
+            fig11_generalization.run, fig11_generalization.report,
+        ),
+        ExperimentSpec(
+            "table1", "Table I", "end-to-end LIGHTOR vs Joint-LSTM",
+            table1_end_to_end.run, table1_end_to_end.report,
+        ),
+        ExperimentSpec(
+            "ablations", "(extension)", "adjustment and extractor-stage ablations",
+            ablations.run, ablations.report,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Return the experiment spec for ``experiment_id``."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError as error:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; known experiments: {known}"
+        ) from error
+
+
+def run_experiment(experiment_id: str, scale: str = "small", **kwargs) -> tuple[dict, str]:
+    """Run an experiment and return ``(results, formatted_report)``."""
+    spec = get_experiment(experiment_id)
+    results = spec.run(scale=scale, **kwargs)
+    return results, spec.report(results)

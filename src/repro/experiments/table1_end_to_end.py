@@ -1,0 +1,117 @@
+"""EXP-T1 — Table I: end-to-end LIGHTOR vs Joint-LSTM.
+
+LIGHTOR is trained on one labelled LoL video and run end to end (Initializer
+plus crowd-driven Extractor) on Dota2 test videos; Joint-LSTM is trained on a
+large LoL training set and applied to the same test videos.  The table
+reports Video Precision@5 (start and end) and the training time of both
+systems.  Expected shape: LIGHTOR's precision is clearly higher and its
+training time is orders of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.joint_lstm import JointLSTMBaseline
+from repro.core.initializer.predictor import FeatureSet
+from repro.datasets.loaders import train_test_split
+from repro.eval.metrics import video_precision_end_at_k, video_precision_start_at_k
+from repro.eval.reports import format_caption, format_table
+from repro.eval.runner import EvaluationRunner
+from repro.experiments.common import default_config, dota2_videos, lol_videos, resolve_scale
+
+__all__ = ["run", "report"]
+
+
+def run(scale: str = "small", k: int = 5, crowd_seed: int = 23) -> dict:
+    """Run the Table I comparison (train on LoL, test end-to-end on Dota2)."""
+    settings = resolve_scale(scale)
+    config = default_config()
+    lol_dataset = lol_videos(settings, size=max(settings.lstm_many + 2, 4))
+    dota_dataset = dota2_videos(settings)
+    lol_train, _ = train_test_split(lol_dataset, n_train=max(settings.lstm_many, 1))
+    dota_test = dota_dataset[: settings.crowd_videos]
+
+    runner = EvaluationRunner(config=config, feature_set=FeatureSet.ALL)
+    lightor_metrics = runner.run_pipeline(
+        lol_train[:1], dota_test, k=k, crowd_seed=crowd_seed
+    )
+
+    joint = JointLSTMBaseline()
+    joint.fit(lol_train[: settings.lstm_many])
+    joint_start: list[float] = []
+    joint_end: list[float] = []
+    for labelled in dota_test:
+        dots = joint.propose(labelled.chat_log, k=k)
+        positions = [dot.position for dot in dots]
+        joint_start.append(
+            video_precision_start_at_k(
+                positions, labelled.highlights, k=k, tolerance=config.start_tolerance
+            )
+        )
+        # Joint-LSTM predicts frames, not boundaries; following the paper's
+        # protocol its end position is the predicted frame plus the average
+        # highlight length it saw in training.
+        mean_length = float(
+            np.mean([h.duration for v in lol_train[: settings.lstm_many] for h in v.highlights])
+        )
+        joint_end.append(
+            video_precision_end_at_k(
+                [position + mean_length for position in positions],
+                labelled.highlights,
+                k=k,
+                tolerance=config.end_tolerance,
+            )
+        )
+
+    return {
+        "k": k,
+        "lightor": {
+            "start_precision": lightor_metrics["start_precision"],
+            "end_precision": lightor_metrics["end_precision"],
+            "training_seconds": lightor_metrics["training_seconds"],
+            "training_videos": 1,
+        },
+        "joint_lstm": {
+            "start_precision": float(np.mean(joint_start)) if joint_start else 0.0,
+            "end_precision": float(np.mean(joint_end)) if joint_end else 0.0,
+            "training_seconds": joint.training_seconds_,
+            "training_videos": min(settings.lstm_many, len(lol_train)),
+        },
+        "n_test_videos": len(dota_test),
+    }
+
+
+def report(results: dict) -> str:
+    """Render Table I."""
+    k = results["k"]
+    rows = []
+    for system in ("lightor", "joint_lstm"):
+        entry = results[system]
+        rows.append(
+            [
+                system,
+                entry["start_precision"],
+                entry["end_precision"],
+                f"{entry['training_seconds']:.2f}s",
+                entry["training_videos"],
+            ]
+        )
+    return "\n".join(
+        [
+            format_caption(
+                "Table I",
+                f"end-to-end comparison on {results['n_test_videos']} Dota2 test videos",
+            ),
+            format_table(
+                [
+                    "system",
+                    f"Precision@{k} (start)",
+                    f"Precision@{k} (end)",
+                    "training time",
+                    "# training videos",
+                ],
+                rows,
+            ),
+        ]
+    )

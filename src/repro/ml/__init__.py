@@ -1,0 +1,49 @@
+"""Machine-learning substrate.
+
+The paper trains its Highlight Initializer with scikit-learn logistic
+regression and compares against PyTorch LSTM baselines.  Neither library is
+available offline, so this package implements the required models on top of
+numpy:
+
+* :class:`~repro.ml.logistic.LogisticRegression` — binary logistic regression
+  trained with full-batch gradient descent and L2 regularisation.
+* :func:`~repro.ml.kmeans.one_cluster_center` — the single-centroid k-means
+  used by the message-similarity feature.
+* :class:`~repro.ml.scaler.MinMaxScaler` / :class:`~repro.ml.scaler.StandardScaler`
+  — feature normalisation to keep the general features comparable across
+  videos and games.
+* :mod:`~repro.ml.text` — tokenisation, bag-of-words vectorisation and cosine
+  similarity for chat messages.
+* :class:`~repro.ml.lstm.CharLSTMClassifier` — a character-level LSTM
+  classifier (forward pass + backpropagation through time) standing in for
+  the paper's Chat-LSTM deep baseline.
+* :mod:`~repro.ml.metrics_ml` — standard classification metrics.
+"""
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.kmeans import one_cluster_center, average_similarity_to_center
+from repro.ml.scaler import MinMaxScaler, StandardScaler
+from repro.ml.text import (
+    BagOfWordsVectorizer,
+    cosine_similarity,
+    tokenize,
+    vocabulary_from_messages,
+)
+from repro.ml.lstm import CharLSTMClassifier
+from repro.ml.metrics_ml import accuracy, precision_recall_f1, roc_auc
+
+__all__ = [
+    "LogisticRegression",
+    "one_cluster_center",
+    "average_similarity_to_center",
+    "MinMaxScaler",
+    "StandardScaler",
+    "BagOfWordsVectorizer",
+    "cosine_similarity",
+    "tokenize",
+    "vocabulary_from_messages",
+    "CharLSTMClassifier",
+    "accuracy",
+    "precision_recall_f1",
+    "roc_auc",
+]

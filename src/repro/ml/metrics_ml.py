@@ -1,0 +1,96 @@
+"""Standard classification metrics.
+
+Used to evaluate the Type I / Type II classifier of the Highlight Extractor
+(the paper reports ~80 % accuracy) and the window predictor of the Highlight
+Initializer during development.  The precision@K metrics defined by the paper
+itself live in :mod:`repro.eval.metrics`; this module is generic ML plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["accuracy", "precision_recall_f1", "roc_auc", "confusion_matrix"]
+
+
+def _check_pair(y_true: np.ndarray, y_other: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(y_true).ravel()
+    b = np.asarray(y_other).ravel()
+    if a.size != b.size:
+        raise ValidationError(f"length mismatch: {a.size} vs {b.size}")
+    if a.size == 0:
+        raise ValidationError("metrics require at least one example")
+    return a, b
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions that match the true labels."""
+    a, b = _check_pair(y_true, y_pred)
+    return float(np.mean(a == b))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, int]:
+    """Return a binary confusion matrix as a dictionary of counts."""
+    a, b = _check_pair(y_true, y_pred)
+    a = a.astype(int)
+    b = b.astype(int)
+    return {
+        "tp": int(np.sum((a == 1) & (b == 1))),
+        "fp": int(np.sum((a == 0) & (b == 1))),
+        "tn": int(np.sum((a == 0) & (b == 0))),
+        "fn": int(np.sum((a == 1) & (b == 0))),
+    }
+
+
+def precision_recall_f1(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, float]:
+    """Precision, recall and F1 for the positive class.
+
+    Undefined ratios (no predicted positives, no actual positives) are
+    reported as 0.0 rather than raising, matching common tooling behaviour.
+    """
+    counts = confusion_matrix(y_true, y_pred)
+    tp, fp, fn = counts["tp"], counts["fp"], counts["fn"]
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    if precision + recall > 0:
+        f1 = 2 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def roc_auc(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Returns 0.5 when only one class is present (no ranking information).
+    """
+    labels, scores = _check_pair(y_true, y_score)
+    labels = labels.astype(float)
+    positives = scores[labels == 1]
+    negatives = scores[labels == 0]
+    if positives.size == 0 or negatives.size == 0:
+        return 0.5
+    # Rank-based computation handles ties by average ranks.
+    order = np.argsort(np.concatenate([positives, negatives]), kind="mergesort")
+    ranks = np.empty(order.size, dtype=float)
+    sorted_scores = np.concatenate([positives, negatives])[order]
+    ranks[order] = _average_ranks(sorted_scores)
+    positive_ranks = ranks[: positives.size]
+    u_statistic = positive_ranks.sum() - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))
+
+
+def _average_ranks(sorted_scores: np.ndarray) -> np.ndarray:
+    """Return 1-based ranks with ties assigned their average rank."""
+    ranks = np.zeros(sorted_scores.size, dtype=float)
+    i = 0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        ranks[i : j + 1] = average_rank
+        i = j + 1
+    return ranks

@@ -1,0 +1,108 @@
+"""Feature scaling.
+
+The Highlight Initializer normalises its three general features to ``[0, 1]``
+so the learned logistic-regression weights transfer across videos and games
+(Section IV-C of the paper).  :class:`MinMaxScaler` implements that
+normalisation; :class:`StandardScaler` (z-score) is provided for the deep
+baselines' auxiliary features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+@dataclass
+class MinMaxScaler:
+    """Scale each feature column to the ``[0, 1]`` range.
+
+    Columns that are constant in the training data map to 0.0 so they carry
+    no information instead of producing division-by-zero artefacts.
+    Transforms of unseen data are clipped into ``[0, 1]`` — a window with more
+    messages than anything seen in training should saturate the feature, not
+    explode it.
+    """
+
+    clip: bool = True
+    data_min_: np.ndarray | None = field(default=None, repr=False)
+    data_max_: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column minima and maxima."""
+        x = self._as_matrix(features)
+        if x.shape[0] == 0:
+            raise ValidationError("cannot fit a scaler on an empty matrix")
+        self.data_min_ = x.min(axis=0)
+        self.data_max_ = x.max(axis=0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Scale ``features`` using the fitted minima and maxima."""
+        if self.data_min_ is None or self.data_max_ is None:
+            raise ValidationError("scaler is not fitted; call fit() first")
+        x = self._as_matrix(features)
+        if x.shape[1] != self.data_min_.size:
+            raise ValidationError(
+                f"expected {self.data_min_.size} features, got {x.shape[1]}"
+            )
+        span = self.data_max_ - self.data_min_
+        safe_span = np.where(span > 0, span, 1.0)
+        scaled = (x - self.data_min_) / safe_span
+        scaled = np.where(span > 0, scaled, 0.0)
+        if self.clip:
+            scaled = np.clip(scaled, 0.0, 1.0)
+        return scaled
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(features).transform(features)
+
+    @staticmethod
+    def _as_matrix(features: np.ndarray) -> np.ndarray:
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(-1, 1)
+        if x.ndim != 2:
+            raise ValidationError("features must be 1-D or 2-D")
+        return x
+
+
+@dataclass
+class StandardScaler:
+    """Scale each feature column to zero mean and unit variance.
+
+    Constant columns map to 0.0, mirroring :class:`MinMaxScaler` behaviour.
+    """
+
+    mean_: np.ndarray | None = field(default=None, repr=False)
+    std_: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        x = MinMaxScaler._as_matrix(features)
+        if x.shape[0] == 0:
+            raise ValidationError("cannot fit a scaler on an empty matrix")
+        self.mean_ = x.mean(axis=0)
+        self.std_ = x.std(axis=0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Standardise ``features`` using the fitted statistics."""
+        if self.mean_ is None or self.std_ is None:
+            raise ValidationError("scaler is not fitted; call fit() first")
+        x = MinMaxScaler._as_matrix(features)
+        if x.shape[1] != self.mean_.size:
+            raise ValidationError(f"expected {self.mean_.size} features, got {x.shape[1]}")
+        safe_std = np.where(self.std_ > 0, self.std_, 1.0)
+        standardised = (x - self.mean_) / safe_std
+        return np.where(self.std_ > 0, standardised, 0.0)
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(features).transform(features)

@@ -1,0 +1,35 @@
+"""Deployment substrate: a Twitch-like platform and the LIGHTOR web stack.
+
+Section VI of the paper describes two deployment paths: a browser extension
+backed by a web service + crawler, or direct integration into a streaming
+platform.  This package provides runnable, in-memory equivalents of every
+box in the paper's Figure 5:
+
+* :mod:`storage <repro.platform.storage>` — the back-end database (videos,
+  chat messages, play/interaction logs, highlight results).
+* :mod:`api <repro.platform.api>` — a simulated live-streaming platform API
+  (channel listings, video metadata, chat download).
+* :mod:`crawler <repro.platform.crawler>` — offline/online chat crawler
+  writing into the store.
+* :mod:`service <repro.platform.service>` — the LIGHTOR back-end web service:
+  receives a video id, crawls chat if needed, computes red dots, serves them,
+  logs interactions and refines highlights.
+* :mod:`extension <repro.platform.extension>` — the browser-extension front
+  end: renders red dots on the progress bar and forwards viewer interactions
+  to the service.
+"""
+
+from repro.platform.storage import InMemoryStore
+from repro.platform.api import SimulatedStreamingAPI
+from repro.platform.crawler import ChatCrawler
+from repro.platform.service import LightorWebService
+from repro.platform.extension import BrowserExtension, ProgressBarView
+
+__all__ = [
+    "InMemoryStore",
+    "SimulatedStreamingAPI",
+    "ChatCrawler",
+    "LightorWebService",
+    "BrowserExtension",
+    "ProgressBarView",
+]

@@ -1,0 +1,105 @@
+"""Simulated live-streaming platform API.
+
+Stands in for the Twitch APIs the paper crawls: listing a channel's recently
+recorded videos, fetching video metadata and downloading the chat replay of a
+recorded video.  The API is backed by the simulation package, so "crawling" a
+video's chat generates it deterministically on first request and caches it —
+the behaviour an external service exhibits from the crawler's point of view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import ChatMessage, Video
+from repro.simulation.chat import ChatSimulator
+from repro.simulation.video import VideoGenerator
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["SimulatedStreamingAPI"]
+
+
+@dataclass
+class SimulatedStreamingAPI:
+    """A Twitch-like API over synthetic channels, videos and chat replays.
+
+    Parameters
+    ----------
+    seeds:
+        Seed factory; the whole catalogue is a deterministic function of it.
+    videos_per_channel:
+        How many recorded videos each channel exposes.
+    games:
+        The games the platform hosts; channels are spread across them.
+    """
+
+    seeds: SeedSequenceFactory
+    videos_per_channel: int = 20
+    games: tuple[str, ...] = ("dota2", "lol")
+    _catalog: dict[str, Video] = field(default_factory=dict, repr=False)
+    _chat_cache: dict[str, list[ChatMessage]] = field(default_factory=dict, repr=False)
+    chat_requests_served_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.videos_per_channel, "videos_per_channel")
+        self._video_generator = VideoGenerator(seeds=self.seeds)
+        self._chat_simulator = ChatSimulator(seeds=self.seeds)
+
+    # -------------------------------------------------------------- channels
+    def top_channels(self, game: str, count: int = 10) -> list[str]:
+        """Return the names of the top ``count`` channels for ``game``."""
+        require_positive(count, "count")
+        return [f"{game}_channel_{index}" for index in range(count)]
+
+    def recent_videos(self, channel: str, count: int | None = None) -> list[Video]:
+        """Return the most recently recorded videos of ``channel``.
+
+        Videos are generated lazily and cached so repeated listings return
+        the same objects.
+        """
+        if count is None:
+            count = self.videos_per_channel
+        require_positive(count, "count")
+        game = self._game_of_channel(channel)
+        channel_index = self._channel_index(channel)
+        videos = []
+        for slot in range(count):
+            video_index = channel_index * self.videos_per_channel + slot
+            video_id = f"{game}-{video_index:04d}"
+            if video_id not in self._catalog:
+                self._catalog[video_id] = self._video_generator.generate(video_index, game=game)
+            videos.append(self._catalog[video_id])
+        return videos
+
+    # ---------------------------------------------------------------- videos
+    def get_video(self, video_id: str) -> Video:
+        """Fetch metadata for ``video_id`` (generates it when unseen)."""
+        if video_id not in self._catalog:
+            game, _, index_text = video_id.partition("-")
+            if game not in self.games or not index_text.isdigit():
+                raise ValidationError(f"unknown video id {video_id!r}")
+            self._catalog[video_id] = self._video_generator.generate(int(index_text), game=game)
+        return self._catalog[video_id]
+
+    def get_chat_replay(self, video_id: str) -> list[ChatMessage]:
+        """Download the chat replay of a recorded video (cached)."""
+        if video_id not in self._chat_cache:
+            video = self.get_video(video_id)
+            self._chat_cache[video_id] = self._chat_simulator.simulate(video).messages
+        self.chat_requests_served_ += 1
+        return list(self._chat_cache[video_id])
+
+    # -------------------------------------------------------------- helpers
+    def _game_of_channel(self, channel: str) -> str:
+        for game in self.games:
+            if channel.startswith(f"{game}_channel_"):
+                return game
+        raise ValidationError(f"unknown channel {channel!r}")
+
+    @staticmethod
+    def _channel_index(channel: str) -> int:
+        try:
+            return int(channel.rsplit("_", 1)[1])
+        except (IndexError, ValueError) as error:
+            raise ValidationError(f"malformed channel name {channel!r}") from error

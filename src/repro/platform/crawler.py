@@ -1,0 +1,91 @@
+"""Chat crawler (Figure 5's "Web Crawler" box).
+
+The crawler pulls chat replays from the streaming platform's API into the
+back-end store.  Two modes mirror the paper:
+
+* **offline crawling** — periodically scans a configured list of popular
+  channels and crawls chat for any recorded video that is not in the store
+  yet;
+* **online crawling** — crawls a single video on demand, triggered by the web
+  service when a user opens a video whose chat has not been crawled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.api import SimulatedStreamingAPI
+from repro.platform.storage import InMemoryStore
+from repro.utils.logging import get_logger
+from repro.utils.validation import require_positive
+
+__all__ = ["ChatCrawler", "CrawlReport"]
+
+_LOGGER = get_logger("platform.crawler")
+
+
+@dataclass(frozen=True)
+class CrawlReport:
+    """Summary of one crawling pass."""
+
+    channels_visited: int
+    videos_seen: int
+    videos_crawled: int
+    messages_stored: int
+
+
+@dataclass
+class ChatCrawler:
+    """Crawls chat replays from the platform API into the store."""
+
+    api: SimulatedStreamingAPI
+    store: InMemoryStore
+    watched_channels: list[str] = field(default_factory=list)
+
+    # --------------------------------------------------------------- online
+    def crawl_video(self, video_id: str) -> int:
+        """Crawl one video's chat on demand; returns the message count.
+
+        Already-crawled videos are skipped (the store is authoritative).
+        """
+        if not self.store.has_video(video_id):
+            self.store.put_video(self.api.get_video(video_id))
+        if self.store.has_chat(video_id):
+            return len(self.store.get_chat(video_id))
+        messages = self.api.get_chat_replay(video_id)
+        count = self.store.put_chat(video_id, messages)
+        _LOGGER.debug("crawled %d chat messages for %s", count, video_id)
+        return count
+
+    # -------------------------------------------------------------- offline
+    def watch_channel(self, channel: str) -> None:
+        """Add a channel to the offline crawling list."""
+        if channel not in self.watched_channels:
+            self.watched_channels.append(channel)
+
+    def watch_top_channels(self, game: str, count: int = 10) -> None:
+        """Watch the top ``count`` channels of ``game``."""
+        require_positive(count, "count")
+        for channel in self.api.top_channels(game, count):
+            self.watch_channel(channel)
+
+    def offline_pass(self, videos_per_channel: int | None = None) -> CrawlReport:
+        """Scan every watched channel and crawl any un-crawled recorded video."""
+        videos_seen = 0
+        videos_crawled = 0
+        messages_stored = 0
+        for channel in self.watched_channels:
+            for video in self.api.recent_videos(channel, videos_per_channel):
+                videos_seen += 1
+                if not self.store.has_video(video.video_id):
+                    self.store.put_video(video)
+                if self.store.has_chat(video.video_id):
+                    continue
+                messages_stored += self.crawl_video(video.video_id)
+                videos_crawled += 1
+        return CrawlReport(
+            channels_visited=len(self.watched_channels),
+            videos_seen=videos_seen,
+            videos_crawled=videos_crawled,
+            messages_stored=messages_stored,
+        )

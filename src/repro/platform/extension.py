@@ -1,0 +1,109 @@
+"""Browser-extension front end (Figure 5's "Front End" box).
+
+The extension activates when the user opens a recorded-video page, asks the
+web service for red dots, renders them on the progress bar, and forwards the
+viewer's interactions back to the service.  Rendering is simulated as a
+:class:`ProgressBarView` — a textual progress bar with dot markers — so the
+front-end logic (activation, dot placement, interaction forwarding) is
+runnable and testable without a browser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.types import Interaction, RedDot
+from repro.platform.service import LightorWebService
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["ProgressBarView", "BrowserExtension"]
+
+_VIDEO_URL_PATTERN = re.compile(r"^https?://[^/]+/videos/(?P<video_id>[A-Za-z0-9_-]+)$")
+
+
+@dataclass(frozen=True)
+class ProgressBarView:
+    """A textual rendering of the progress bar with red-dot markers."""
+
+    video_id: str
+    duration: float
+    dot_positions: tuple[float, ...]
+    width: int = 60
+
+    def render(self) -> str:
+        """Return e.g. ``|----*------*----|`` with ``*`` marking red dots."""
+        require_positive(self.width, "width")
+        cells = ["-"] * self.width
+        for position in self.dot_positions:
+            index = min(self.width - 1, int(position / self.duration * self.width))
+            cells[index] = "*"
+        return "|" + "".join(cells) + "|"
+
+    @property
+    def n_dots(self) -> int:
+        """Number of dots rendered."""
+        return len(self.dot_positions)
+
+
+@dataclass
+class BrowserExtension:
+    """Simulated LIGHTOR browser extension."""
+
+    service: LightorWebService
+    k: int = 5
+    active_video_id: str | None = field(default=None, repr=False)
+    current_dots: list[RedDot] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------ page open
+    @staticmethod
+    def extract_video_id(url: str) -> str | None:
+        """Extract the video id from a recorded-video URL; None otherwise.
+
+        The extension only activates on recorded-video pages, not on live
+        streams or channel pages.
+        """
+        match = _VIDEO_URL_PATTERN.match(url)
+        if match is None:
+            return None
+        return match.group("video_id")
+
+    def open_page(self, url: str) -> ProgressBarView | None:
+        """Handle a page navigation.
+
+        On a recorded-video page: request red dots from the service and
+        return the rendered progress bar.  On any other page: deactivate and
+        return None.
+        """
+        video_id = self.extract_video_id(url)
+        if video_id is None:
+            self.active_video_id = None
+            self.current_dots = []
+            return None
+        dots = self.service.request_red_dots(video_id, k=self.k)
+        self.active_video_id = video_id
+        self.current_dots = list(dots)
+        video = self.service.store.get_video(video_id)
+        return ProgressBarView(
+            video_id=video_id,
+            duration=video.duration,
+            dot_positions=tuple(dot.position for dot in dots),
+        )
+
+    # --------------------------------------------------------- interactions
+    def forward_interactions(self, interactions: Sequence[Interaction]) -> int:
+        """Forward the viewer's interactions on the active video to the service."""
+        if self.active_video_id is None:
+            raise ValidationError("no active recorded-video page; open one first")
+        return self.service.log_interactions(self.active_video_id, interactions)
+
+    def click_dot(self, dot_index: int) -> RedDot:
+        """Simulate the viewer clicking the ``dot_index``-th red dot."""
+        if not self.current_dots:
+            raise ValidationError("no red dots are rendered on the current page")
+        if not 0 <= dot_index < len(self.current_dots):
+            raise ValidationError(
+                f"dot_index {dot_index} out of range 0..{len(self.current_dots) - 1}"
+            )
+        return self.current_dots[dot_index]

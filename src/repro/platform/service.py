@@ -1,0 +1,134 @@
+"""LIGHTOR back-end web service (Figure 5's "Web Service" box).
+
+The service ties the platform substrate to the LIGHTOR core:
+
+1. the front end (browser extension) opens a recorded video and asks for red
+   dots by video id;
+2. the service crawls the chat on demand, runs the Highlight Initializer and
+   returns (and stores) the top-k red dots;
+3. the front end logs viewer interactions back to the service;
+4. when enough interactions have accumulated around a dot, the service runs
+   one Highlight Extractor refinement round and updates the stored dots and
+   highlight results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import LightorConfig
+from repro.core.extractor.extractor import HighlightExtractor
+from repro.core.extractor.plays import interactions_to_plays, plays_near_dot
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.core.types import Interaction, RedDot, VideoChatLog
+from repro.platform.crawler import ChatCrawler
+from repro.platform.storage import InMemoryStore
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["LightorWebService"]
+
+_LOGGER = get_logger("platform.service")
+
+
+@dataclass
+class LightorWebService:
+    """Serves red dots, logs interactions and refines highlights.
+
+    Parameters
+    ----------
+    store / crawler:
+        The back-end store and chat crawler.
+    initializer:
+        A *fitted* Highlight Initializer (train it on a labelled video before
+        wiring it into the service).
+    extractor:
+        The Highlight Extractor used for refinement rounds.
+    min_interactions_for_refinement:
+        A refinement round runs only when at least this many interaction
+        events have been logged near a dot since the last refinement.
+    """
+
+    store: InMemoryStore
+    crawler: ChatCrawler
+    initializer: HighlightInitializer
+    extractor: HighlightExtractor = field(default_factory=HighlightExtractor)
+    config: LightorConfig = field(default_factory=LightorConfig)
+    min_interactions_for_refinement: int = 20
+    refinement_rounds_: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.min_interactions_for_refinement, "min_interactions_for_refinement")
+
+    # -------------------------------------------------------------- red dots
+    def request_red_dots(self, video_id: str, k: int | None = None) -> list[RedDot]:
+        """Front-end request: return the red dots to render for a video.
+
+        Chat is crawled on demand; computed dots are cached in the store and
+        reused on subsequent requests (until refinement updates them).
+        """
+        cached = self.store.get_red_dots(video_id)
+        if cached:
+            return cached
+        self.crawler.crawl_video(video_id)
+        chat_log = self.store.get_chat_log(video_id)
+        if not self.initializer.is_applicable(chat_log):
+            _LOGGER.info(
+                "video %s below the chat-rate threshold (%.0f msgs/hour); serving no dots",
+                video_id,
+                chat_log.messages_per_hour,
+            )
+            self.store.put_red_dots(video_id, [])
+            return []
+        dots = self.initializer.propose(chat_log, k=k)
+        self.store.put_red_dots(video_id, dots)
+        return dots
+
+    # ---------------------------------------------------------- interactions
+    def log_interactions(self, video_id: str, interactions: Sequence[Interaction]) -> int:
+        """Front-end callback: persist viewer interactions for a video."""
+        if not self.store.has_video(video_id):
+            raise ValidationError(f"interactions logged for unknown video {video_id!r}")
+        return self.store.log_interactions(video_id, interactions)
+
+    # ------------------------------------------------------------ refinement
+    def refine_video(self, video_id: str) -> int:
+        """Run one Extractor refinement pass over the video's logged data.
+
+        For every stored red dot with enough nearby plays, the Extractor's
+        filtering → classification → aggregation dataflow runs on the logged
+        interactions; refined boundaries are stored and the dot is moved to
+        the refined start (or backwards for Type I dots).  Returns the number
+        of dots that were updated.
+        """
+        dots = self.store.get_red_dots(video_id)
+        if not dots:
+            return 0
+        video = self.store.get_video(video_id)
+        logged = self.store.get_interactions(video_id)
+        plays = interactions_to_plays(logged, video_duration=video.duration)
+
+        updated = 0
+        new_dots: list[RedDot] = []
+        for dot in dots:
+            local = plays_near_dot(plays, dot, radius=self.config.play_radius)
+            if len(local) * 2 < self.min_interactions_for_refinement:
+                new_dots.append(dot)
+                continue
+
+            def replay_source(current_dot: RedDot, round_index: int) -> list:
+                # Refinement over logged data is a single-round extraction:
+                # later rounds re-use the same logged plays.
+                return plays_near_dot(plays, current_dot, radius=self.config.play_radius)
+
+            result = self.extractor.extract(dot, replay_source, video_duration=video.duration)
+            if result.highlight is not None:
+                self.store.put_highlight(video_id, result.highlight)
+                new_dots.append(dot.moved_to(result.highlight.start))
+                updated += 1
+            else:
+                new_dots.append(result.dot)
+        self.store.put_red_dots(video_id, new_dots)
+        self.refinement_rounds_[video_id] = self.refinement_rounds_.get(video_id, 0) + 1
+        return updated

@@ -1,0 +1,43 @@
+"""Simulation substrate: synthetic Twitch-like data and crowd behaviour.
+
+The paper's evaluation uses (a) crawled Twitch chat logs for Dota2 and LoL
+videos with human highlight labels and (b) play/interaction data collected
+from ~500 Amazon Mechanical Turk workers.  Neither resource is available
+offline, so this package provides deterministic, seeded generators that
+reproduce the *statistical signatures* the paper reports and analyses:
+
+* :mod:`profiles <repro.simulation.profiles>` — per-game statistics
+  (chat rate, highlight count/length, reaction delay, viewer counts) matching
+  the numbers in Section VII-A.
+* :mod:`vocab <repro.simulation.vocab>` — game vocabularies, emotes and
+  chat-bot phrases used to synthesise message text.
+* :mod:`video <repro.simulation.video>` — videos with ground-truth highlights.
+* :mod:`chat <repro.simulation.chat>` — time-stamped chat with background
+  chatter, delayed reaction bursts (short, similar messages) and bot spam.
+* :mod:`viewers <repro.simulation.viewers>` — viewer sessions around red dots
+  reproducing the Type I (diffuse) / Type II (concentrated) play regimes of
+  Fig. 3.
+* :mod:`crowd <repro.simulation.crowd>` — AMT-style crowd rounds feeding the
+  Highlight Extractor's iterative loop.
+"""
+
+from repro.simulation.profiles import GameProfile, DOTA2_PROFILE, LOL_PROFILE, profile_for_game
+from repro.simulation.vocab import GameVocabulary, vocabulary_for_game
+from repro.simulation.video import VideoGenerator
+from repro.simulation.chat import ChatSimulator
+from repro.simulation.viewers import ViewerBehaviorModel, ViewerPopulation
+from repro.simulation.crowd import CrowdSimulator
+
+__all__ = [
+    "GameProfile",
+    "DOTA2_PROFILE",
+    "LOL_PROFILE",
+    "profile_for_game",
+    "GameVocabulary",
+    "vocabulary_for_game",
+    "VideoGenerator",
+    "ChatSimulator",
+    "ViewerBehaviorModel",
+    "ViewerPopulation",
+    "CrowdSimulator",
+]

@@ -1,0 +1,252 @@
+"""Chat-stream simulation.
+
+Generates a time-stamped chat log for a synthetic video that reproduces the
+phenomena the paper's Highlight Initializer relies on and must survive:
+
+* **background chatter** — a Poisson stream of longer, diverse messages
+  spread over the whole video;
+* **reaction bursts** — after each ground-truth highlight, the chat rate
+  ramps up and peaks ``reaction_delay`` seconds after the highlight start;
+  burst messages are short and repetitive (emote spam, the same exclamation),
+  giving the message-length and message-similarity features their signal;
+* **bot spam bursts** — occasional advertisement bursts with *high* message
+  counts but *long*, dissimilar messages; these fool a detector that only
+  looks at message counts (the naive baseline and the msg-num-only ablation)
+  but not the full three-feature model.
+
+Every quantity is drawn from the per-game :class:`GameProfile`, so the two
+synthetic datasets differ in chat rate, vocabulary and reaction delay just as
+the paper's Dota2 and LoL datasets do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.types import ChatMessage, Video, VideoChatLog
+from repro.simulation.profiles import GameProfile, profile_for_game
+from repro.simulation.vocab import GameVocabulary, vocabulary_for_game
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["ChatSimulator"]
+
+# Bot bursts post this many messages within a few seconds.
+_BOT_BURST_SIZE = (12, 30)
+_BOT_BURST_SPAN = 6.0
+# Off-topic conversation surges (count-only detector bait).
+_SURGE_RATE_PER_HOUR = 4.0
+_SURGE_SIZE = (20, 45)
+_SURGE_SPAN = 18.0
+# Number of synthetic chatter user names to draw from.
+_CHATTER_POOL = 400
+
+
+@dataclass
+class ChatSimulator:
+    """Generates a :class:`VideoChatLog` for a synthetic video."""
+
+    seeds: SeedSequenceFactory
+
+    def simulate(self, video: Video) -> VideoChatLog:
+        """Generate the chat log for ``video`` (deterministic per video id)."""
+        profile = profile_for_game(video.game)
+        vocab = vocabulary_for_game(video.game)
+        rng = self.seeds.rng("chat", video.video_id)
+
+        # Channels differ in chat activity: a popular tournament rerun chats
+        # several times faster than a small personal stream.  The per-video
+        # activity factor scales both the background chatter and the reaction
+        # bursts, producing the spread of chat rates behind the paper's
+        # applicability CDF (Fig. 9a) — including a tail of quiet videos
+        # below the 500 messages/hour threshold.
+        activity = float(np.exp(rng.normal(0.0, 0.8)))
+        profile = replace(
+            profile,
+            background_chat_rate=profile.background_chat_rate * activity,
+            burst_chat_rate=profile.burst_chat_rate * activity,
+        )
+
+        messages: list[ChatMessage] = []
+        messages.extend(self._background_messages(rng, video, profile, vocab))
+        messages.extend(self._reaction_messages(rng, video, profile, vocab))
+        messages.extend(self._conversation_surges(rng, video, profile, vocab, activity))
+        messages.extend(self._bot_messages(rng, video, profile, vocab, activity))
+        return VideoChatLog(video=video, messages=messages)
+
+    # ---------------------------------------------------------- background
+    def _background_messages(
+        self,
+        rng: np.random.Generator,
+        video: Video,
+        profile: GameProfile,
+        vocab: GameVocabulary,
+    ) -> list[ChatMessage]:
+        """Poisson stream of casual chatter across the whole video."""
+        expected = profile.background_chat_rate * video.duration
+        count = int(rng.poisson(expected))
+        timestamps = np.sort(rng.uniform(0.0, video.duration, size=count))
+        messages = []
+        for timestamp in timestamps:
+            messages.append(
+                ChatMessage(
+                    timestamp=float(timestamp),
+                    user=self._chatter_name(rng),
+                    text=vocab.sample_background(rng),
+                )
+            )
+        return messages
+
+    # ------------------------------------------------------------ reactions
+    def _reaction_messages(
+        self,
+        rng: np.random.Generator,
+        video: Video,
+        profile: GameProfile,
+        vocab: GameVocabulary,
+    ) -> list[ChatMessage]:
+        """Delayed reaction burst after each ground-truth highlight.
+
+        The burst is a Gaussian-shaped rate bump whose peak lies
+        ``reaction_delay`` seconds after the highlight *start* (viewers react
+        once they have seen the exciting moment), with total mass
+        ``burst_chat_rate * burst_duration`` messages.
+        """
+        messages: list[ChatMessage] = []
+        for highlight in video.highlights:
+            # Viewers react to the *climax* of the highlight — the big play
+            # usually lands somewhere in the first half to two-thirds of the
+            # labelled segment, not exactly at its start — and their messages
+            # arrive a typing delay after that.  The peak therefore lags the
+            # labelled start by climax offset + reaction delay, which is what
+            # the adjustment stage has to learn (and why some adjusted dots
+            # still land after short highlights end, producing the Type I
+            # cases the Extractor has to repair).
+            climax_offset = float(rng.uniform(0.1, 0.6)) * min(highlight.duration, 25.0)
+            delay = max(
+                3.0,
+                climax_offset
+                + rng.normal(profile.reaction_delay_mean, profile.reaction_delay_std),
+            )
+            peak_time = min(video.duration - 1.0, highlight.start + delay)
+            n_messages = max(4, int(rng.poisson(profile.burst_chat_rate * profile.burst_duration)))
+            spread = profile.burst_duration / 2.5
+            offsets = rng.normal(0.0, spread, size=n_messages)
+            # Viewers echo each other: a burst revolves around one or two
+            # "topic" exclamations (plus emote spam), which is what gives the
+            # message-similarity feature its signal (paper Fig. 2b).
+            topic_phrases = [vocab.sample_reaction(rng) for _ in range(int(rng.integers(1, 3)))]
+            for offset in offsets:
+                timestamp = float(np.clip(peak_time + offset, 0.0, video.duration - 1e-6))
+                # Reaction messages should not precede the highlight itself:
+                # nobody reacts to what they have not seen yet.
+                if timestamp < highlight.start:
+                    timestamp = float(
+                        rng.uniform(highlight.start, min(video.duration - 1e-6, peak_time + spread))
+                    )
+                if rng.random() < 0.7:
+                    text = str(rng.choice(topic_phrases))
+                    if rng.random() < 0.35:
+                        text = f"{text} {rng.choice(vocab.emotes)}"
+                else:
+                    text = vocab.sample_reaction(rng)
+                messages.append(
+                    ChatMessage(
+                        timestamp=timestamp,
+                        user=self._chatter_name(rng),
+                        text=text,
+                    )
+                )
+        return messages
+
+    # --------------------------------------------------------------- surges
+    def _conversation_surges(
+        self,
+        rng: np.random.Generator,
+        video: Video,
+        profile: GameProfile,
+        vocab: GameVocabulary,
+        activity: float = 1.0,
+    ) -> list[ChatMessage]:
+        """Off-topic conversation surges (high count, long diverse messages).
+
+        The paper notes that with only the message-number feature, windows
+        where "viewers were discussing something on random topics which were
+        not related to the highlights" get ranked as highlights (Fig. 6a).
+        These surges — the streamer asks chat a question, a debate breaks out
+        between games — are bursts of *long, dissimilar* messages at
+        non-highlight positions, so they fool a count-only detector but not
+        the three-feature model.
+        """
+        hours = video.duration / 3600.0
+        n_surges = int(rng.poisson(_SURGE_RATE_PER_HOUR * hours))
+        messages: list[ChatMessage] = []
+        for _ in range(n_surges):
+            center = self._non_highlight_position(rng, video)
+            if center is None:
+                continue
+            surge_size = max(4, int(rng.integers(*_SURGE_SIZE) * min(activity, 1.5)))
+            span = _SURGE_SPAN
+            for _ in range(surge_size):
+                timestamp = float(
+                    np.clip(center + rng.normal(0.0, span / 2.0), 0.0, video.duration - 1e-6)
+                )
+                messages.append(
+                    ChatMessage(
+                        timestamp=timestamp,
+                        user=self._chatter_name(rng),
+                        text=vocab.sample_background(rng),
+                    )
+                )
+        return messages
+
+    # ----------------------------------------------------------------- bots
+    def _bot_messages(
+        self,
+        rng: np.random.Generator,
+        video: Video,
+        profile: GameProfile,
+        vocab: GameVocabulary,
+        activity: float = 1.0,
+    ) -> list[ChatMessage]:
+        """Advertisement spam bursts at random, non-highlight positions."""
+        hours = video.duration / 3600.0
+        n_bursts = int(rng.poisson(profile.bot_spam_rate_per_hour * hours))
+        messages: list[ChatMessage] = []
+        for burst_index in range(n_bursts):
+            center = self._non_highlight_position(rng, video)
+            if center is None:
+                continue
+            burst_size = max(4, int(rng.integers(*_BOT_BURST_SIZE) * min(activity, 1.5)))
+            bot_name = f"promo_bot_{burst_index}"
+            for _ in range(burst_size):
+                timestamp = float(
+                    np.clip(
+                        center + rng.uniform(-_BOT_BURST_SPAN, _BOT_BURST_SPAN),
+                        0.0,
+                        video.duration - 1e-6,
+                    )
+                )
+                messages.append(
+                    ChatMessage(timestamp=timestamp, user=bot_name, text=vocab.sample_bot(rng))
+                )
+        return messages
+
+    @staticmethod
+    def _non_highlight_position(
+        rng: np.random.Generator, video: Video, margin: float = 90.0, attempts: int = 30
+    ) -> float | None:
+        """A random position at least ``margin`` seconds from any highlight."""
+        for _ in range(attempts):
+            candidate = float(rng.uniform(0.0, video.duration))
+            if all(
+                candidate < h.start - margin or candidate > h.end + margin
+                for h in video.highlights
+            ):
+                return candidate
+        return None
+
+    @staticmethod
+    def _chatter_name(rng: np.random.Generator) -> str:
+        return f"viewer_{int(rng.integers(0, _CHATTER_POOL))}"

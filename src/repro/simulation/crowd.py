@@ -1,0 +1,73 @@
+"""AMT-style crowd simulation feeding the Highlight Extractor.
+
+The paper publishes a red-dot task on Amazon Mechanical Turk, waits for ~10
+worker responses, recomputes the dot position, publishes a new task, and
+repeats until convergence.  :class:`CrowdSimulator` reproduces that loop: it
+wraps the :class:`ViewerBehaviorModel` into the *interaction source* callable
+expected by :class:`~repro.core.extractor.extractor.HighlightExtractor`, so
+every extractor round corresponds to one crowd task round with fresh viewers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.extractor.extractor import InteractionSource
+from repro.core.types import Interaction, RedDot, Video
+from repro.simulation.viewers import ViewerBehaviorModel, ViewerPopulation
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require_positive
+
+__all__ = ["CrowdSimulator"]
+
+
+@dataclass
+class CrowdSimulator:
+    """Simulates rounds of crowd workers interacting with red dots.
+
+    Parameters
+    ----------
+    seeds:
+        Seed factory shared with the rest of the simulation.
+    responses_per_round:
+        Number of worker responses collected before the dot is recomputed
+        (the paper waits for 10 responses per task).
+    population:
+        Worker pool; defaults to ~500 workers as in the paper's study.
+    behavior:
+        The viewer behaviour model; a custom one can be injected to study
+        noisier or cleaner crowds.
+    """
+
+    seeds: SeedSequenceFactory
+    responses_per_round: int = 10
+    population: ViewerPopulation = field(default_factory=ViewerPopulation)
+    behavior: ViewerBehaviorModel | None = None
+    total_responses_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.responses_per_round, "responses_per_round")
+        if self.behavior is None:
+            self.behavior = ViewerBehaviorModel(seeds=self.seeds)
+
+    def collect_round(
+        self, video: Video, dot: RedDot, round_index: int
+    ) -> list[Interaction]:
+        """Collect one round of worker interactions for ``dot``."""
+        interactions = self.behavior.simulate_round(
+            video=video,
+            dot=dot,
+            n_viewers=self.responses_per_round,
+            round_index=round_index,
+            population=self.population,
+        )
+        self.total_responses_ += self.responses_per_round
+        return interactions
+
+    def interaction_source(self, video: Video) -> InteractionSource:
+        """Return the per-video interaction source used by the Extractor."""
+
+        def source(dot: RedDot, round_index: int) -> list[Interaction]:
+            return self.collect_round(video, dot, round_index)
+
+        return source

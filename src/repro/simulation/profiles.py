@@ -1,0 +1,133 @@
+"""Game profiles: the statistical parameters of each synthetic dataset.
+
+The numbers are calibrated to Section VII-A of the paper:
+
+* **Dota2** — 60 Twitch personal-channel videos, 0.5–2 h long, ~10 labelled
+  highlights per video, highlight length 5–50 s, 800–4300 chat messages per
+  video.
+* **LoL** — 173 NALCS tournament videos, 0.5–1 h long, ~14 labelled
+  highlights per video, highlight length 2–81 s, tournament chat is denser
+  and uses a different vocabulary.
+
+Section VII-B measures a chat reaction delay of roughly 20–27 s; both
+profiles therefore centre their reaction delay in that band (with different
+means, so the learned constant is a property of the data, not a constant of
+the simulator shared with the system under test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["GameProfile", "DOTA2_PROFILE", "LOL_PROFILE", "profile_for_game"]
+
+
+@dataclass(frozen=True)
+class GameProfile:
+    """Statistical description of a game's videos, chat and audience.
+
+    Attributes
+    ----------
+    name:
+        Game identifier (``"dota2"`` or ``"lol"``).
+    min_duration / max_duration:
+        Video length range in seconds.
+    mean_highlights_per_video:
+        Average number of ground-truth highlights per video.
+    min_highlight_length / max_highlight_length:
+        Highlight duration range in seconds.
+    background_chat_rate:
+        Baseline chatter intensity in messages per second (off-highlight).
+    burst_chat_rate:
+        Peak reaction intensity in messages per second during a highlight
+        discussion burst.
+    reaction_delay_mean / reaction_delay_std:
+        Typing/reaction delay between the highlight's climax and the peak of
+        its chat burst (the total start-to-peak delay also includes the
+        climax position inside the highlight).
+    burst_duration:
+        How long a reaction burst lasts, in seconds.
+    bot_spam_rate_per_hour:
+        Expected number of advertisement chat-bot bursts per hour (high
+        message count, long dissimilar messages — the noise that breaks the
+        naive message-count detector).
+    mean_viewers / viewer_spread:
+        Log-normal-ish audience size parameters for the applicability study.
+    """
+
+    name: str
+    min_duration: float
+    max_duration: float
+    mean_highlights_per_video: float
+    min_highlight_length: float
+    max_highlight_length: float
+    background_chat_rate: float
+    burst_chat_rate: float
+    reaction_delay_mean: float
+    reaction_delay_std: float
+    burst_duration: float
+    bot_spam_rate_per_hour: float
+    mean_viewers: float
+    viewer_spread: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.min_duration, "min_duration")
+        if self.max_duration < self.min_duration:
+            raise ValidationError("max_duration must be >= min_duration")
+        require_positive(self.mean_highlights_per_video, "mean_highlights_per_video")
+        require_positive(self.min_highlight_length, "min_highlight_length")
+        if self.max_highlight_length < self.min_highlight_length:
+            raise ValidationError("max_highlight_length must be >= min_highlight_length")
+        require_positive(self.background_chat_rate, "background_chat_rate")
+        require_positive(self.burst_chat_rate, "burst_chat_rate")
+        require_positive(self.reaction_delay_mean, "reaction_delay_mean")
+        require_positive(self.burst_duration, "burst_duration")
+        require_positive(self.mean_viewers, "mean_viewers")
+
+
+DOTA2_PROFILE = GameProfile(
+    name="dota2",
+    min_duration=1800.0,
+    max_duration=7200.0,
+    mean_highlights_per_video=10.0,
+    min_highlight_length=5.0,
+    max_highlight_length=50.0,
+    background_chat_rate=0.25,
+    burst_chat_rate=2.2,
+    reaction_delay_mean=16.0,
+    reaction_delay_std=4.0,
+    burst_duration=22.0,
+    bot_spam_rate_per_hour=3.0,
+    mean_viewers=2500.0,
+    viewer_spread=1.0,
+)
+
+LOL_PROFILE = GameProfile(
+    name="lol",
+    min_duration=1800.0,
+    max_duration=3600.0,
+    mean_highlights_per_video=14.0,
+    min_highlight_length=2.0,
+    max_highlight_length=81.0,
+    background_chat_rate=0.45,
+    burst_chat_rate=3.0,
+    reaction_delay_mean=14.0,
+    reaction_delay_std=3.5,
+    burst_duration=18.0,
+    bot_spam_rate_per_hour=2.0,
+    mean_viewers=9000.0,
+    viewer_spread=0.8,
+)
+
+_PROFILES = {profile.name: profile for profile in (DOTA2_PROFILE, LOL_PROFILE)}
+
+
+def profile_for_game(game: str) -> GameProfile:
+    """Return the profile for ``game`` (``"dota2"`` or ``"lol"``)."""
+    try:
+        return _PROFILES[game.lower()]
+    except KeyError as error:
+        known = ", ".join(sorted(_PROFILES))
+        raise ValidationError(f"unknown game {game!r}; known games: {known}") from error

@@ -1,0 +1,273 @@
+"""Viewer behaviour model: how people interact with a red dot.
+
+The paper's key empirical observation (Fig. 3) is that viewer play data falls
+into two regimes depending on where the red dot sits relative to the
+highlight:
+
+* **Type II** (dot before the highlight end) — viewers click the dot, watch
+  the highlight, and stop shortly after it ends.  Play starts concentrate at
+  or slightly after the dot (people skip the first few uneventful seconds),
+  so the start-offset distribution is roughly normal with a small positive
+  median.
+* **Type I** (dot after the highlight end) — viewers click the dot, see
+  nothing interesting, and start hunting: short probe plays, backward seeks
+  to random earlier positions, forward skips.  Start offsets are roughly
+  uniform over tens of seconds.
+
+A further fraction of viewers behave randomly regardless of the dot (opening
+the video somewhere else, leaving the player running), providing the noise
+the Extractor's filters must remove.
+
+The model emits raw :class:`~repro.core.types.Interaction` events (play,
+pause, seeks, stop), so the Extractor's play-reconstruction code path is
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Highlight, Interaction, InteractionKind, RedDot, Video
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require_positive
+
+__all__ = ["ViewerBehaviorModel", "ViewerPopulation"]
+
+
+@dataclass
+class ViewerPopulation:
+    """A pool of synthetic crowd workers.
+
+    The paper recruited 492 AMT workers; the default population matches that
+    order of magnitude.  Workers are addressed by index so rounds can sample
+    disjoint or overlapping subsets deterministically.
+    """
+
+    size: int = 500
+    name_prefix: str = "worker"
+
+    def __post_init__(self) -> None:
+        require_positive(self.size, "size")
+
+    def worker_name(self, index: int) -> str:
+        """Stable worker name for ``index`` (wraps around the pool)."""
+        return f"{self.name_prefix}_{index % self.size:04d}"
+
+    def sample_workers(self, rng: np.random.Generator, count: int) -> list[str]:
+        """Sample ``count`` distinct workers from the pool."""
+        count = min(count, self.size)
+        indices = rng.choice(self.size, size=count, replace=False)
+        return [self.worker_name(int(i)) for i in indices]
+
+
+@dataclass
+class ViewerBehaviorModel:
+    """Generates viewer interactions for one red dot.
+
+    Parameters
+    ----------
+    seeds:
+        Seed factory; the stream is keyed by (video, dot position, round), so
+        every crowd round sees fresh but reproducible viewers.
+    skip_mean:
+        Mean of the "skip the boring first seconds" offset for engaged
+        Type-II viewers (the paper measures a 5–10 s median).
+    watch_past_end:
+        How long after the highlight end an engaged viewer keeps watching.
+    noise_fraction:
+        Fraction of viewers whose behaviour ignores the dot entirely.
+    probe_duration:
+        Length of a "check whether anything is here" probe play in seconds
+        (short enough to be removed by the duration filter).
+    """
+
+    seeds: SeedSequenceFactory
+    skip_mean: float = 7.0
+    skip_std: float = 3.0
+    watch_past_end: float = 6.0
+    noise_fraction: float = 0.2
+    probe_duration: float = 4.0
+    hunt_span: float = 45.0
+
+    # ------------------------------------------------------------ public API
+    def simulate_round(
+        self,
+        video: Video,
+        dot: RedDot,
+        n_viewers: int,
+        round_index: int = 0,
+        population: ViewerPopulation | None = None,
+    ) -> list[Interaction]:
+        """Generate the interactions of ``n_viewers`` watching around ``dot``."""
+        require_positive(n_viewers, "n_viewers")
+        population = population or ViewerPopulation()
+        rng = self.seeds.rng("viewers", video.video_id, round(dot.position, 1), round_index)
+        workers = population.sample_workers(rng, n_viewers)
+        target = self._closest_highlight(video, dot)
+
+        interactions: list[Interaction] = []
+        for worker in workers:
+            if rng.random() < self.noise_fraction or target is None:
+                interactions.extend(self._noise_session(rng, video, dot, worker))
+            elif dot.position > target.end:
+                interactions.extend(self._hunting_session(rng, video, dot, target, worker))
+            else:
+                interactions.extend(self._engaged_session(rng, video, dot, target, worker))
+        # Keep arrival (causal) order per worker: sorting by video position
+        # would re-order a re-watch STOP before the seek that caused it.
+        return interactions
+
+    # -------------------------------------------------------------- sessions
+    def _engaged_session(
+        self,
+        rng: np.random.Generator,
+        video: Video,
+        dot: RedDot,
+        highlight: Highlight,
+        worker: str,
+    ) -> list[Interaction]:
+        """Type-II behaviour: click the dot, watch the highlight, stop after it.
+
+        Viewers skip the first uneventful seconds with probability ~0.7 (the
+        "most exciting part happens a few seconds after the start" effect),
+        which produces the small positive median start offset of Fig. 3b.
+        A quarter of them re-watch the clip: after reaching the end they seek
+        back near where they started and play it again — one of the reasons
+        the paper gives for backward seeks being an ambiguous signal.
+        """
+        start = dot.position
+        if rng.random() < 0.7:
+            # Viewers skip towards the exciting part of the clip, but not past
+            # it: the skip saturates at roughly a third of the way into the
+            # highlight, so repeated crowd rounds do not drift the dot
+            # forward indefinitely.
+            attractor = highlight.start + 0.35 * highlight.duration
+            skipped = dot.position + max(0.0, rng.normal(self.skip_mean, self.skip_std))
+            start = min(skipped, max(dot.position, attractor))
+        start = float(np.clip(start, 0.0, video.duration - 1.0))
+        end = highlight.end + max(0.0, rng.normal(self.watch_past_end, 2.0))
+        end = float(np.clip(end, start + 1.0, video.duration))
+        events = [Interaction(timestamp=start, kind=InteractionKind.PLAY, user=worker)]
+        if rng.random() < 0.15:
+            # Re-watches are imprecise: people seek back to roughly where
+            # they remember the action starting, not to an exact timestamp.
+            rewatch_start = float(
+                np.clip(start + rng.normal(-8.0, 10.0), 0.0, end - 1.0)
+            )
+            rewatch_end = float(
+                np.clip(rewatch_start + rng.uniform(8.0, max(9.0, highlight.duration)), rewatch_start + 1.0, video.duration)
+            )
+            events.append(
+                Interaction(
+                    timestamp=end,
+                    kind=InteractionKind.SEEK_BACKWARD,
+                    user=worker,
+                    target=rewatch_start,
+                )
+            )
+            events.append(
+                Interaction(timestamp=rewatch_end, kind=InteractionKind.STOP, user=worker)
+            )
+        else:
+            events.append(Interaction(timestamp=end, kind=InteractionKind.STOP, user=worker))
+        return events
+
+    def _hunting_session(
+        self,
+        rng: np.random.Generator,
+        video: Video,
+        dot: RedDot,
+        highlight: Highlight,
+        worker: str,
+    ) -> list[Interaction]:
+        """Type-I behaviour: probe at the dot, then hunt backwards for the highlight.
+
+        The session starts with a short probe play at the dot (nothing
+        interesting is there since the highlight already ended), followed by
+        one or two backward seeks to roughly uniform earlier positions and a
+        medium-length play at each, matching the diffuse offsets of Fig. 3a.
+        """
+        events: list[Interaction] = []
+        probe_start = float(np.clip(dot.position, 0.0, video.duration - 1.0))
+        probe_end = float(np.clip(probe_start + self.probe_duration, 0.0, video.duration))
+        events.append(Interaction(timestamp=probe_start, kind=InteractionKind.PLAY, user=worker))
+
+        n_hunts = int(rng.integers(1, 3))
+        seek_origin = probe_end
+        for _ in range(n_hunts):
+            jump_back = float(rng.uniform(5.0, self.hunt_span))
+            target = float(np.clip(seek_origin - jump_back, 0.0, video.duration - 1.0))
+            events.append(
+                Interaction(
+                    timestamp=seek_origin,
+                    kind=InteractionKind.SEEK_BACKWARD,
+                    user=worker,
+                    target=target,
+                )
+            )
+            watch = float(rng.uniform(8.0, 25.0))
+            seek_origin = float(np.clip(target + watch, 0.0, video.duration))
+        events.append(Interaction(timestamp=seek_origin, kind=InteractionKind.STOP, user=worker))
+        return events
+
+    def _noise_session(
+        self,
+        rng: np.random.Generator,
+        video: Video,
+        dot: RedDot,
+        worker: str,
+    ) -> list[Interaction]:
+        """Behaviour unrelated to the dot: probing, random navigation, marathons."""
+        roll = rng.random()
+        if roll < 0.4:
+            # Random short probe somewhere near (but not at) the dot.
+            offset = float(rng.uniform(-90.0, 90.0))
+            start = float(np.clip(dot.position + offset, 0.0, video.duration - 1.0))
+            end = float(np.clip(start + rng.uniform(1.0, self.probe_duration), 0.0, video.duration))
+            return [
+                Interaction(timestamp=start, kind=InteractionKind.PLAY, user=worker),
+                Interaction(timestamp=end, kind=InteractionKind.STOP, user=worker),
+            ]
+        if roll < 0.75:
+            # Random navigation: watch a little, then jump somewhere else
+            # entirely — the seek noise that dilutes seek-histogram methods.
+            start = float(rng.uniform(0.0, max(1.0, video.duration - 120.0)))
+            watched = float(np.clip(start + rng.uniform(5.0, 40.0), 0.0, video.duration - 1.0))
+            target = float(rng.uniform(0.0, video.duration - 1.0))
+            kind = (
+                InteractionKind.SEEK_BACKWARD if target < watched else InteractionKind.SEEK_FORWARD
+            )
+            stop = float(np.clip(target + rng.uniform(3.0, 30.0), target, video.duration))
+            return [
+                Interaction(timestamp=start, kind=InteractionKind.PLAY, user=worker),
+                Interaction(timestamp=watched, kind=kind, user=worker, target=target),
+                Interaction(timestamp=stop, kind=InteractionKind.STOP, user=worker),
+            ]
+        # Marathon: leaves the player running far beyond any highlight.
+        start = float(np.clip(dot.position - rng.uniform(0.0, 30.0), 0.0, video.duration - 1.0))
+        end = float(np.clip(start + rng.uniform(400.0, 900.0), 0.0, video.duration))
+        return [
+            Interaction(timestamp=start, kind=InteractionKind.PLAY, user=worker),
+            Interaction(timestamp=end, kind=InteractionKind.STOP, user=worker),
+        ]
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _closest_highlight(video: Video, dot: RedDot, max_distance: float = 120.0) -> Highlight | None:
+        """The ground-truth highlight nearest the dot, if any is within range.
+
+        Dots that the Initializer placed on non-highlight chatter have no
+        nearby highlight; their viewers behave like noise, which is exactly
+        what happens on the real platform.
+        """
+        best: Highlight | None = None
+        best_distance = float("inf")
+        for highlight in video.highlights:
+            if highlight.start - max_distance <= dot.position <= highlight.end + max_distance:
+                distance = abs(dot.position - highlight.midpoint)
+                if distance < best_distance:
+                    best_distance = distance
+                    best = highlight
+        return best

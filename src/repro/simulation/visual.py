@@ -1,0 +1,67 @@
+"""Synthetic per-second visual-excitement track for a video.
+
+The paper's Joint-LSTM baseline consumes image features extracted from the
+video frames by a pre-trained CNN.  No video frames exist in this offline
+reproduction, so this module generates what such a feature extractor would
+see: a per-second scalar "visual excitement" signal that is
+
+* elevated while a ground-truth highlight is on screen (big fights fill the
+  screen with effects),
+* noisy everywhere (camera pans, HUD changes),
+* and occasionally elevated by *false bumps* — visually busy moments that are
+  not actually highlights (shop menus, replays, crowd shots), which is what
+  limits a purely visual model's precision.
+
+The track is a property of the simulated video content, so it lives in the
+simulation package; the deep baselines merely consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Video
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.smoothing import gaussian_smooth
+
+__all__ = ["VisualTrackSimulator"]
+
+
+@dataclass
+class VisualTrackSimulator:
+    """Generates the per-second visual-excitement signal of a video."""
+
+    seeds: SeedSequenceFactory
+    highlight_level: float = 1.0
+    noise_std: float = 0.35
+    false_bumps_per_hour: float = 10.0
+    bump_level: float = 1.0
+    bump_duration: float = 15.0
+    smoothing_sigma: float = 3.0
+
+    def simulate(self, video: Video) -> np.ndarray:
+        """Return a ``(ceil(duration),)`` array of visual excitement values."""
+        rng = self.seeds.rng("visual", video.video_id)
+        n_seconds = int(np.ceil(video.duration))
+        track = rng.normal(0.0, self.noise_std, size=n_seconds)
+
+        for highlight in video.highlights:
+            start = int(highlight.start)
+            end = min(n_seconds, int(np.ceil(highlight.end)))
+            # A real visual model misses some highlights (off-screen action,
+            # subtle plays) and over-fires on flashy non-highlights, which is
+            # why a purely visual detector is imperfect.
+            track[start:end] += self.highlight_level * rng.uniform(0.35, 1.2)
+
+        hours = video.duration / 3600.0
+        n_bumps = int(rng.poisson(self.false_bumps_per_hour * hours))
+        for _ in range(n_bumps):
+            center = int(rng.uniform(0, n_seconds))
+            half = int(self.bump_duration / 2)
+            start = max(0, center - half)
+            end = min(n_seconds, center + half)
+            track[start:end] += self.bump_level * rng.uniform(0.6, 1.1)
+
+        return gaussian_smooth(track, sigma=self.smoothing_sigma)

@@ -1,0 +1,190 @@
+"""Game vocabularies used to synthesise chat message text.
+
+Each game has its own reaction tokens (hero names, champion names, emotes) so
+that character-level models trained on one game do not transfer to the other
+— the property behind the paper's generalization study (Fig. 11) — while
+LIGHTOR's general features (count, length, similarity) are insensitive to the
+vocabulary and do transfer.
+
+Three text registers are provided per game:
+
+* **reaction phrases** — short, repetitive exclamations posted right after a
+  highlight ("KILL!", emote spam);
+* **background phrases** — longer, more diverse casual chatter;
+* **bot phrases** — long advertisement messages posted in rapid bursts by
+  spam bots (the noise that fools a naive message-count detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["GameVocabulary", "vocabulary_for_game", "DOTA2_VOCAB", "LOL_VOCAB", "FILLER_WORDS"]
+
+# Generic conversational words used to pad background chatter so that casual
+# messages are long and rarely repeat each other's tokens — the property that
+# separates them from reaction bursts under the message-similarity feature.
+FILLER_WORDS: tuple[str, ...] = (
+    "honestly", "really", "maybe", "probably", "though", "because", "today",
+    "yesterday", "tomorrow", "stream", "game", "play", "player", "team",
+    "think", "feel", "watch", "watching", "waiting", "question", "answer",
+    "anyone", "someone", "everyone", "nobody", "always", "never", "sometimes",
+    "pretty", "kind", "sort", "thing", "stuff", "whole", "entire", "actual",
+    "literally", "basically", "still", "already", "again", "later", "earlier",
+    "minute", "hour", "second", "point", "moment", "chance", "reason", "idea",
+    "opinion", "favourite", "better", "worse", "best", "worst", "crazy",
+    "weird", "normal", "classic", "typical", "random", "serious", "joking",
+    "laughing", "crying", "hungry", "tired", "sleepy", "awake", "morning",
+    "evening", "night", "weekend", "school", "work", "home", "friend",
+    "brother", "sister", "internet", "connection", "quality", "volume",
+    "music", "song", "keyboard", "mouse", "screen", "monitor", "settings",
+    "update", "patch", "version", "server", "region", "ping", "lag",
+    "ranked", "casual", "tournament", "match", "round", "score", "winner",
+    "loser", "draft", "pick", "ban", "strategy", "tactic", "build", "item",
+    "gold", "level", "experience", "objective", "map", "lane", "jungle",
+    "timer", "clock", "break", "pause", "delay", "schedule", "caster",
+    "analyst", "interview", "replay", "camera", "angle", "overlay",
+)
+
+
+@dataclass(frozen=True)
+class GameVocabulary:
+    """The phrase pools for one game."""
+
+    game: str
+    emotes: tuple[str, ...]
+    reaction_phrases: tuple[str, ...]
+    background_phrases: tuple[str, ...]
+    bot_phrases: tuple[str, ...]
+
+    def sample_reaction(self, rng: np.random.Generator) -> str:
+        """A short reaction message: a phrase, an emote, or repeated emotes."""
+        roll = rng.random()
+        if roll < 0.45:
+            return str(rng.choice(self.reaction_phrases))
+        if roll < 0.8:
+            emote = str(rng.choice(self.emotes))
+            return " ".join([emote] * int(rng.integers(1, 4)))
+        phrase = str(rng.choice(self.reaction_phrases))
+        emote = str(rng.choice(self.emotes))
+        return f"{phrase} {emote}"
+
+    def sample_background(self, rng: np.random.Generator) -> str:
+        """A longer, more diverse casual-chat message.
+
+        Roughly a third of casual messages reuse a stock phrase; the rest are
+        composed from a generic word pool so that two background messages
+        rarely share tokens — casual chatter is long *and* dissimilar, which
+        is what the message-length and message-similarity features exploit.
+        """
+        if rng.random() < 0.35:
+            base = str(rng.choice(self.background_phrases))
+            n_fillers = int(rng.integers(0, 4))
+        else:
+            base = ""
+            n_fillers = int(rng.integers(5, 14))
+        fillers = [str(word) for word in rng.choice(FILLER_WORDS, size=n_fillers)] if n_fillers else []
+        text = " ".join(([base] if base else []) + fillers)
+        return text if text else str(rng.choice(self.background_phrases))
+
+    def sample_bot(self, rng: np.random.Generator) -> str:
+        """A long advertisement message posted by a spam bot."""
+        return str(rng.choice(self.bot_phrases))
+
+
+DOTA2_VOCAB = GameVocabulary(
+    game="dota2",
+    emotes=("PogChamp", "Kreygasm", "LUL", "EZ", "gg", "4Head", "BabyRage", "monkaS"),
+    reaction_phrases=(
+        "KILL!",
+        "wombo combo",
+        "rampage!!",
+        "black hole!!!",
+        "what a dream coil",
+        "echo slam!!",
+        "divine rapier",
+        "ultra kill",
+        "team wipe",
+        "that juke",
+        "buyback and win",
+        "aegis snatch",
+        "roshan steal",
+        "refresher echo",
+    ),
+    background_phrases=(
+        "what item should he build next though",
+        "anyone know when the next major starts this year",
+        "i think the draft was lost in the first two picks honestly",
+        "chat can we please talk about the new patch notes",
+        "this laning stage has been so slow and boring to watch",
+        "does anyone else think the carry is way too greedy here",
+        "what rank do you need to be to play like this",
+        "the support player never buys wards and it shows",
+        "just came back from work what did i miss in this game",
+        "the caster voice is so soothing i could sleep to this",
+        "why does he keep farming the jungle instead of pushing",
+        "i had this exact game last night and we lost in 20 minutes",
+    ),
+    bot_phrases=(
+        "FOLLOW my channel for FREE dota coaching every day www dot coachbot dot example",
+        "WIN skins NOW visit giveaway-example-site dot com and enter code DOTA for free arcana",
+        "best vpn for gamers use code DOTA2 for 80 percent off your first year subscribe now",
+        "join our discord for daily giveaways and free boosting services invite link in profile",
+    ),
+)
+
+LOL_VOCAB = GameVocabulary(
+    game="lol",
+    emotes=("PogU", "OMEGALUL", "Pog", "KEKW", "GIGACHAD", "monkaW", "PepeHands", "EZ Clap"),
+    reaction_phrases=(
+        "PENTAKILL",
+        "what a flash",
+        "baron steal!!",
+        "1v5 outplay",
+        "insec kick!!",
+        "perfect teamfight",
+        "elder steal",
+        "backdoor!!!",
+        "quadra kill",
+        "that dodge",
+        "faker what was that",
+        "nexus race",
+        "level one cheese",
+        "hexgate play",
+    ),
+    background_phrases=(
+        "who do you think wins worlds this year chat",
+        "the meta is so tank heavy right now it is not fun",
+        "what runes should i take on this champion in ranked",
+        "this best of five has been pretty one sided so far",
+        "the casters keep mispronouncing his name and it bothers me",
+        "i think the jungler is getting blamed for the mid lane diff",
+        "anyone watching from europe this is so late for me",
+        "they should have banned that champion in the draft phase",
+        "scaling comp versus early game comp classic matchup honestly",
+        "my solo queue games never look anything like this",
+        "the production quality of this broadcast is really good",
+        "when is the next game starting after this break",
+    ),
+    bot_phrases=(
+        "get CHEAP rp at rp-deals-example dot com use code NALCS for ten percent off today",
+        "FREE skin giveaway every hour follow and type join in chat to enter the raffle now",
+        "climb to diamond with our coaching site first lesson free link in the channel panels",
+        "best gaming chair discount ends tonight use code LEAGUE at checkout for 50 percent off",
+    ),
+)
+
+_VOCABS = {vocab.game: vocab for vocab in (DOTA2_VOCAB, LOL_VOCAB)}
+
+
+def vocabulary_for_game(game: str) -> GameVocabulary:
+    """Return the vocabulary for ``game`` (``"dota2"`` or ``"lol"``)."""
+    try:
+        return _VOCABS[game.lower()]
+    except KeyError as error:
+        known = ", ".join(sorted(_VOCABS))
+        raise ValidationError(f"unknown game {game!r}; known games: {known}") from error

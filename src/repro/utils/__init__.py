@@ -1,0 +1,36 @@
+"""Shared utilities for the LIGHTOR reproduction.
+
+The utilities here are intentionally small and dependency-free (numpy only):
+deterministic random-number management, curve smoothing, histogram helpers,
+input validation, and lightweight structured logging.
+"""
+
+from repro.utils.rng import SeedSequenceFactory, derive_rng, stable_hash
+from repro.utils.smoothing import gaussian_smooth, moving_average
+from repro.utils.histograms import Histogram, cumulative_distribution
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_range,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_rng",
+    "stable_hash",
+    "gaussian_smooth",
+    "moving_average",
+    "Histogram",
+    "cumulative_distribution",
+    "ValidationError",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "require_range",
+    "get_logger",
+]

@@ -1,0 +1,117 @@
+"""Histogram and distribution helpers used throughout the evaluation.
+
+The Highlight Initializer analyses per-second chat counts (Fig. 2a), the
+SocialSkip / MOOCer baselines accumulate per-second interaction histograms,
+and the applicability study (Fig. 9) reports cumulative distributions of
+chat rate and viewer counts.  This module keeps those primitives in one
+place so they are tested once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["Histogram", "cumulative_distribution", "empirical_cdf_at"]
+
+
+@dataclass
+class Histogram:
+    """A per-bin counter over a fixed time range ``[0, duration)``.
+
+    Parameters
+    ----------
+    duration:
+        Total length of the axis in seconds.
+    bin_size:
+        Width of each bin in seconds (default one second, as in the paper's
+        interaction histograms).
+    """
+
+    duration: float
+    bin_size: float = 1.0
+    counts: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.duration, "duration")
+        require_positive(self.bin_size, "bin_size")
+        n_bins = int(np.ceil(self.duration / self.bin_size))
+        self.counts = np.zeros(n_bins, dtype=float)
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins in the histogram."""
+        return int(self.counts.size)
+
+    def bin_index(self, timestamp: float) -> int:
+        """Return the bin index containing ``timestamp``.
+
+        Raises :class:`ValidationError` when the timestamp falls outside the
+        histogram range.
+        """
+        if timestamp < 0 or timestamp >= self.duration:
+            raise ValidationError(
+                f"timestamp {timestamp!r} outside histogram range [0, {self.duration})"
+            )
+        return min(self.n_bins - 1, int(timestamp // self.bin_size))
+
+    def add_point(self, timestamp: float, weight: float = 1.0) -> None:
+        """Add ``weight`` to the bin containing ``timestamp``."""
+        self.counts[self.bin_index(timestamp)] += weight
+
+    def add_range(self, start: float, end: float, weight: float = 1.0) -> None:
+        """Add ``weight`` to every bin overlapping ``[start, end)``.
+
+        Timestamps are clipped to the histogram range, so plays that slightly
+        overrun the video end do not raise.
+        """
+        if end <= start:
+            return
+        start = max(0.0, start)
+        end = min(float(self.duration), end)
+        if end <= start:
+            return
+        first = int(start // self.bin_size)
+        last = min(self.n_bins - 1, int(np.ceil(end / self.bin_size)) - 1)
+        self.counts[first : last + 1] += weight
+
+    def bin_centers(self) -> np.ndarray:
+        """Return the centre timestamp of each bin."""
+        return (np.arange(self.n_bins) + 0.5) * self.bin_size
+
+    def argmax_time(self) -> float:
+        """Return the centre timestamp of the highest bin."""
+        return float(self.bin_centers()[int(np.argmax(self.counts))])
+
+    def to_array(self) -> np.ndarray:
+        """Return a copy of the raw bin counts."""
+        return self.counts.copy()
+
+
+def cumulative_distribution(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_percentage)`` for plotting a CDF.
+
+    Percentages are in ``[0, 100]`` as in Fig. 9 of the paper.  An empty
+    input yields two empty arrays.
+    """
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        return data, data.copy()
+    percentages = 100.0 * np.arange(1, data.size + 1) / data.size
+    return data, percentages
+
+
+def empirical_cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Return the fraction of ``values`` that are <= ``threshold``.
+
+    Used by the applicability analysis (e.g. "what fraction of videos have
+    fewer than 500 chat messages per hour?").  Returns 0.0 for empty input.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return 0.0
+    return float(np.mean(data <= threshold))

@@ -1,0 +1,46 @@
+"""Lightweight logging configuration.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace.  By default nothing is emitted (a ``NullHandler`` is
+attached); applications and the CLI opt in by calling
+:func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``get_logger("simulation.chat")`` returns ``repro.simulation.chat``.
+    Passing a name that already starts with ``repro`` returns it unchanged.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler with a terse format to the ``repro`` logger.
+
+    Calling this more than once does not duplicate handlers.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    has_stream = any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in root.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)

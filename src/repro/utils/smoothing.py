@@ -1,0 +1,83 @@
+"""Curve smoothing utilities.
+
+The paper smooths per-second chat-message histograms before finding peaks
+(Fig. 2a) and the SocialSkip / MOOCer baselines smooth interaction histograms
+before extracting local maxima.  Both use simple low-pass smoothing; we
+provide a moving average and a Gaussian kernel smoother.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = ["moving_average", "gaussian_smooth", "find_local_maxima"]
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Smooth ``values`` with a centred moving average of size ``window``.
+
+    Edges are handled by shrinking the window (the average is taken over the
+    available samples only), so the output has the same length as the input
+    and no edge bias towards zero.
+    """
+    require_positive(window, "window")
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("moving_average expects a 1-D array")
+    if values.size == 0:
+        return values.copy()
+    window = int(window)
+    kernel = np.ones(window)
+    summed = np.convolve(values, kernel, mode="same")
+    counts = np.convolve(np.ones_like(values), kernel, mode="same")
+    return summed / counts
+
+
+def gaussian_smooth(values: np.ndarray, sigma: float) -> np.ndarray:
+    """Smooth ``values`` with a Gaussian kernel of standard deviation ``sigma``.
+
+    The kernel is truncated at ``4 * sigma`` and renormalised at the edges so
+    that a constant input maps to the same constant output.
+    """
+    require_positive(sigma, "sigma")
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("gaussian_smooth expects a 1-D array")
+    if values.size == 0:
+        return values.copy()
+    radius = max(1, int(np.ceil(4.0 * sigma)))
+    offsets = np.arange(-radius, radius + 1, dtype=float)
+    kernel = np.exp(-0.5 * (offsets / sigma) ** 2)
+    kernel /= kernel.sum()
+    summed = np.convolve(values, kernel, mode="same")
+    weight = np.convolve(np.ones_like(values), kernel, mode="same")
+    return summed / weight
+
+
+def find_local_maxima(values: np.ndarray, min_height: float = 0.0) -> list[int]:
+    """Return indices of strict local maxima of ``values``.
+
+    A point is a local maximum when it is at least as large as both
+    neighbours and strictly larger than one of them; plateaus report their
+    first index.  Points below ``min_height`` are ignored.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("find_local_maxima expects a 1-D array")
+    maxima: list[int] = []
+    n = values.size
+    for i in range(n):
+        left = values[i - 1] if i > 0 else -np.inf
+        right = values[i + 1] if i < n - 1 else -np.inf
+        if values[i] < min_height:
+            continue
+        if values[i] >= left and values[i] >= right and (values[i] > left or values[i] > right):
+            # Skip plateau continuations: only keep the first point.
+            if maxima and i == maxima[-1] + 1 and values[i] == values[maxima[-1]]:
+                continue
+            maxima.append(i)
+    if not maxima and n > 0 and np.all(values == values[0]) and values[0] >= min_height:
+        maxima.append(0)
+    return maxima

@@ -1,0 +1,72 @@
+"""Input validation helpers.
+
+The public API raises :class:`ValidationError` (a subclass of ``ValueError``)
+with actionable messages instead of letting malformed configuration propagate
+into numpy errors deep inside the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ValidationError",
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_range",
+    "require_sorted",
+    "require_non_empty",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a user-supplied value fails validation."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def require_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_sorted(values: Sequence[float], name: str) -> None:
+    """Require ``values`` to be non-decreasing."""
+    for previous, current in zip(values, values[1:]):
+        if current < previous:
+            raise ValidationError(f"{name} must be sorted in non-decreasing order")
+
+
+def require_non_empty(values: Iterable[object], name: str) -> None:
+    """Require ``values`` to contain at least one element."""
+    if hasattr(values, "__len__"):
+        is_empty = len(values) == 0  # type: ignore[arg-type]
+    else:
+        is_empty = not list(values)
+    if is_empty:
+        raise ValidationError(f"{name} must not be empty")

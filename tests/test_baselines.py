@@ -1,0 +1,155 @@
+"""Tests for the baseline detectors and extractors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.chat_lstm import ChatLSTMBaseline
+from repro.baselines.joint_lstm import JointLSTMBaseline
+from repro.baselines.moocer import MoocerExtractor
+from repro.baselines.naive import NaivePeakDetector
+from repro.baselines.socialskip import SocialSkipExtractor
+from repro.baselines.toretter import ToretterDetector
+from repro.core.types import (
+    ChatMessage,
+    Interaction,
+    InteractionKind,
+    PlayRecord,
+    Video,
+    VideoChatLog,
+)
+from repro.utils.validation import ValidationError
+
+
+def _burst_log(duration=1200.0, burst_at=600.0, n_burst=40, background=20):
+    """A synthetic chat log with a single obvious burst."""
+    video = Video(video_id="baseline", duration=duration)
+    messages = [ChatMessage(timestamp=float(i * duration / background), text="slow chat here")
+                for i in range(background)]
+    messages += [
+        ChatMessage(timestamp=burst_at + i * 0.2, text="POG") for i in range(n_burst)
+    ]
+    messages = [m for m in messages if m.timestamp < duration]
+    return VideoChatLog(video=video, messages=messages)
+
+
+class TestNaivePeakDetector:
+    def test_finds_the_burst(self):
+        log = _burst_log()
+        dots = NaivePeakDetector().propose(log, k=1)
+        assert len(dots) == 1
+        assert abs(dots[0].position - 600.0) < 30.0
+
+    def test_respects_spacing(self):
+        log = _burst_log()
+        dots = NaivePeakDetector(min_dot_spacing=100.0).propose(log, k=3)
+        positions = [d.position for d in dots]
+        for i, a in enumerate(positions):
+            for b in positions[i + 1 :]:
+                assert abs(a - b) > 100.0
+
+    def test_empty_chat(self):
+        video = Video(video_id="empty", duration=100.0)
+        assert NaivePeakDetector().propose(VideoChatLog(video=video), k=3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            NaivePeakDetector().propose(_burst_log(), k=0)
+
+
+class TestToretter:
+    def test_detects_burst_after_it_happens(self):
+        log = _burst_log()
+        dots = ToretterDetector().propose(log, k=1)
+        assert len(dots) == 1
+        # The event is reported at the end of the anomalous window, i.e. after
+        # the burst started — the lack of delay adjustment the paper points out.
+        assert dots[0].position >= 600.0
+
+    def test_returns_at_most_k(self):
+        dots = ToretterDetector().propose(_burst_log(), k=3)
+        assert 1 <= len(dots) <= 3
+
+    def test_quiet_chat_yields_low_scores(self):
+        video = Video(video_id="flat", duration=1000.0)
+        messages = [ChatMessage(timestamp=float(i), text="hi") for i in range(0, 1000, 10)]
+        dots = ToretterDetector().propose(VideoChatLog(video=video, messages=messages), k=2)
+        assert all(dot.score <= 1.0 for dot in dots)
+
+
+class TestSocialSkip:
+    def test_backward_seeks_mark_highlights(self):
+        interactions = []
+        for i in range(6):
+            interactions.append(
+                Interaction(timestamp=520.0, kind=InteractionKind.SEEK_BACKWARD, user=f"u{i}", target=480.0)
+            )
+        highlights = SocialSkipExtractor().extract(interactions, video_duration=1000.0, k=2)
+        assert highlights
+        top = highlights[0]
+        assert 460.0 <= top.start <= 520.0
+
+    def test_forward_seeks_do_not_create_highlights(self):
+        interactions = [
+            Interaction(timestamp=100.0, kind=InteractionKind.SEEK_FORWARD, user="u", target=300.0)
+        ]
+        assert SocialSkipExtractor().extract(interactions, video_duration=1000.0, k=2) == []
+
+    def test_no_interactions(self):
+        assert SocialSkipExtractor().extract([], video_duration=100.0, k=3) == []
+
+
+class TestMoocer:
+    def test_play_coverage_peak_found(self):
+        plays = [PlayRecord(user=f"u{i}", start=500.0 + i, end=540.0 + i) for i in range(8)]
+        plays.append(PlayRecord(user="stray", start=50.0, end=60.0))
+        highlights = MoocerExtractor().extract(plays, video_duration=1000.0, k=1)
+        assert len(highlights) == 1
+        assert 480.0 <= highlights[0].start <= 545.0
+        assert highlights[0].end >= highlights[0].start
+
+    def test_no_plays(self):
+        assert MoocerExtractor().extract([], video_duration=100.0, k=2) == []
+
+    def test_requires_positive_duration(self):
+        with pytest.raises(ValidationError):
+            MoocerExtractor().extract([], video_duration=0.0, k=2)
+
+
+class TestChatLSTMBaseline:
+    def test_fit_and_propose(self, lol_dataset):
+        baseline = ChatLSTMBaseline(hidden_size=10, n_epochs=1, frames_per_video=10, frame_step=30.0)
+        baseline.fit(lol_dataset[:1])
+        assert baseline.n_training_examples_ > 0
+        assert baseline.training_seconds_ > 0
+        dots = baseline.propose(lol_dataset[1].chat_log, k=3)
+        assert 1 <= len(dots) <= 3
+        positions = [d.position for d in dots]
+        assert positions == sorted(positions)
+        for i, a in enumerate(positions):
+            for b in positions[i + 1 :]:
+                assert abs(a - b) > baseline.min_dot_spacing
+
+    def test_unfitted_propose_raises(self, lol_dataset):
+        with pytest.raises(ValidationError):
+            ChatLSTMBaseline().propose(lol_dataset[0].chat_log, k=3)
+
+    def test_fit_requires_videos(self):
+        with pytest.raises(ValidationError):
+            ChatLSTMBaseline().fit([])
+
+
+class TestJointLSTMBaseline:
+    def test_fit_and_propose(self, lol_dataset, dota2_dataset):
+        chat = ChatLSTMBaseline(hidden_size=8, n_epochs=1, frames_per_video=8, frame_step=40.0)
+        baseline = JointLSTMBaseline(chat_baseline=chat, frame_step=40.0)
+        baseline.fit(lol_dataset[:1])
+        assert baseline.training_seconds_ > 0
+        dots = baseline.propose(dota2_dataset[1].chat_log, k=3)
+        assert 1 <= len(dots) <= 3
+        assert all(0.0 <= d.score <= 1.0 for d in dots)
+
+    def test_unfitted_propose_raises(self, dota2_dataset):
+        with pytest.raises(ValidationError):
+            JointLSTMBaseline().propose(dota2_dataset[0].chat_log, k=2)

@@ -1,0 +1,45 @@
+"""Tests for the ``lightor`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parsed(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig7"])
+        assert args.command == "run"
+        assert args.experiment == "fig7"
+        assert args.scale == "small"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7", "--scale", "huge"])
+
+
+class TestMain:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig2", "fig7", "table1"):
+            assert experiment_id in output
+
+    def test_run_fig2(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo", "--k", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "red dots" in output
+        assert "extracted highlights" in output

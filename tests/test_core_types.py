@@ -1,0 +1,164 @@
+"""Tests for the core value objects and configuration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LightorConfig
+from repro.core.types import (
+    ChatMessage,
+    Highlight,
+    Interaction,
+    InteractionKind,
+    PlayRecord,
+    RedDot,
+    Video,
+    VideoChatLog,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestChatMessage:
+    def test_word_count(self):
+        assert ChatMessage(timestamp=1.0, text="what a play").word_count == 3
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValidationError):
+            ChatMessage(timestamp=-1.0)
+
+    def test_ordering_by_timestamp(self):
+        assert ChatMessage(timestamp=1.0) < ChatMessage(timestamp=2.0)
+
+
+class TestHighlight:
+    def test_duration_and_midpoint(self):
+        highlight = Highlight(start=10.0, end=30.0)
+        assert highlight.duration == 20.0
+        assert highlight.midpoint == 20.0
+
+    def test_contains(self):
+        highlight = Highlight(start=10.0, end=30.0)
+        assert highlight.contains(10.0) and highlight.contains(30.0)
+        assert not highlight.contains(9.9)
+
+    def test_overlaps(self):
+        assert Highlight(0, 10).overlaps(Highlight(10, 20))
+        assert not Highlight(0, 10).overlaps(Highlight(11, 20))
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValidationError):
+            Highlight(start=10.0, end=5.0)
+
+    def test_shifted_clamps_at_zero(self):
+        shifted = Highlight(start=5.0, end=10.0).shifted(-8.0)
+        assert shifted.start == 0.0 and shifted.end == 2.0
+
+    @given(st.floats(min_value=0, max_value=1e4), st.floats(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_preserves_duration_when_not_clamped(self, start, length):
+        highlight = Highlight(start=start + 200, end=start + 200 + length)
+        shifted = highlight.shifted(-100)
+        assert shifted.duration == pytest.approx(highlight.duration)
+
+
+class TestRedDot:
+    def test_moved_to_clamps(self):
+        assert RedDot(position=5.0).moved_to(-3.0).position == 0.0
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValidationError):
+            RedDot(position=-1.0)
+
+
+class TestInteraction:
+    def test_seek_requires_target(self):
+        with pytest.raises(ValidationError):
+            Interaction(timestamp=1.0, kind=InteractionKind.SEEK_BACKWARD)
+
+    def test_play_does_not_require_target(self):
+        event = Interaction(timestamp=1.0, kind=InteractionKind.PLAY)
+        assert event.target is None
+
+
+class TestPlayRecord:
+    def test_duration(self):
+        assert PlayRecord(user="a", start=10.0, end=25.0).duration == 15.0
+
+    def test_overlaps_and_covers(self):
+        play = PlayRecord(user="a", start=10.0, end=20.0)
+        assert play.overlaps(PlayRecord(user="b", start=20.0, end=30.0))
+        assert not play.overlaps(PlayRecord(user="b", start=21.0, end=30.0))
+        assert play.covers(15.0) and not play.covers(21.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValidationError):
+            PlayRecord(user="a", start=10.0, end=5.0)
+
+
+class TestVideo:
+    def test_highlight_outside_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            Video(video_id="v", duration=100.0, highlights=(Highlight(90.0, 120.0),))
+
+    def test_with_highlights(self):
+        video = Video(video_id="v", duration=100.0)
+        updated = video.with_highlights([Highlight(10.0, 20.0)])
+        assert updated.n_highlights == 1 and video.n_highlights == 0
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            Video(video_id="v", duration=0.0)
+
+
+class TestVideoChatLog:
+    def test_sorts_messages(self):
+        video = Video(video_id="v", duration=100.0)
+        log = VideoChatLog(video=video, messages=[ChatMessage(50.0), ChatMessage(10.0)])
+        assert log.timestamps() == [10.0, 50.0]
+
+    def test_message_past_duration_rejected(self):
+        video = Video(video_id="v", duration=100.0)
+        with pytest.raises(ValidationError):
+            VideoChatLog(video=video, messages=[ChatMessage(150.0)])
+
+    def test_messages_between_half_open(self):
+        video = Video(video_id="v", duration=100.0)
+        log = VideoChatLog(video=video, messages=[ChatMessage(10.0), ChatMessage(20.0)])
+        assert len(log.messages_between(10.0, 20.0)) == 1
+
+    def test_messages_per_hour(self):
+        video = Video(video_id="v", duration=1800.0)
+        log = VideoChatLog(video=video, messages=[ChatMessage(float(i)) for i in range(50)])
+        assert log.messages_per_hour == pytest.approx(100.0)
+
+    def test_from_pairs(self):
+        video = Video(video_id="v", duration=100.0)
+        log = VideoChatLog.from_pairs(video, [(5.0, "gg"), (1.0, "wp")])
+        assert len(log) == 2 and log.messages[0].text == "wp"
+
+
+class TestLightorConfig:
+    def test_paper_defaults(self):
+        config = LightorConfig.paper_defaults()
+        assert config.window_size == 25.0
+        assert config.min_dot_spacing == 120.0
+        assert config.play_radius == 60.0
+        assert config.start_tolerance == 10.0
+
+    def test_with_overrides(self):
+        config = LightorConfig().with_overrides(top_k=3)
+        assert config.top_k == 3 and LightorConfig().top_k == 10
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValidationError):
+            LightorConfig(window_size=0.0)
+        with pytest.raises(ValidationError):
+            LightorConfig(top_k=0)
+        with pytest.raises(ValueError):
+            LightorConfig(min_play_duration=10.0, max_play_duration=5.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            LightorConfig().top_k = 5  # type: ignore[misc]

@@ -1,0 +1,82 @@
+"""Tests for dataset generation, caching and splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generate import DatasetSpec, build_dataset
+from repro.datasets.loaders import DatasetCache, train_test_split, training_pairs
+from repro.utils.validation import ValidationError
+
+
+class TestDatasetSpec:
+    def test_named_constructors(self):
+        assert DatasetSpec.dota2().game == "dota2"
+        assert DatasetSpec.dota2().size == 60
+        assert DatasetSpec.lol().size == 173
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValidationError):
+            DatasetSpec(game="dota2", size=0)
+
+
+class TestBuildDataset:
+    def test_prefix_property(self):
+        small = build_dataset(DatasetSpec.dota2(size=2))
+        larger = build_dataset(DatasetSpec.dota2(size=4))
+        assert [v.video.video_id for v in small] == [v.video.video_id for v in larger[:2]]
+        assert [m.text for m in small[0].chat_log] == [m.text for m in larger[0].chat_log]
+
+    def test_games_differ(self):
+        dota = build_dataset(DatasetSpec.dota2(size=1))[0]
+        lol = build_dataset(DatasetSpec.lol(size=1))[0]
+        assert dota.video.game == "dota2" and lol.video.game == "lol"
+        assert dota.video.video_id != lol.video.video_id
+
+    def test_training_pair_shape(self):
+        labelled = build_dataset(DatasetSpec.dota2(size=1))[0]
+        chat_log, highlights = labelled.training_pair
+        assert chat_log is labelled.chat_log
+        assert highlights == labelled.highlights
+
+
+class TestDatasetCache:
+    def test_cache_reuses_materialised_suite(self):
+        cache = DatasetCache()
+        big = cache.get(DatasetSpec.dota2(size=3))
+        small = cache.get(DatasetSpec.dota2(size=2))
+        assert small == big[:2]
+
+    def test_cache_distinguishes_seeds(self):
+        cache = DatasetCache()
+        a = cache.get(DatasetSpec(game="dota2", size=1, seed=1))
+        b = cache.get(DatasetSpec(game="dota2", size=1, seed=2))
+        assert a[0].chat_log.messages != b[0].chat_log.messages
+
+    def test_clear(self):
+        cache = DatasetCache()
+        cache.get(DatasetSpec.dota2(size=1))
+        cache.clear()
+        assert cache._cache == {}
+
+
+class TestSplits:
+    def test_train_test_split_sizes(self, dota2_dataset):
+        train, test = train_test_split(dota2_dataset, n_train=2, n_test=3)
+        assert len(train) == 2 and len(test) == 3
+        assert train[0].video.video_id != test[0].video.video_id
+
+    def test_split_without_explicit_test_size(self, dota2_dataset):
+        train, test = train_test_split(dota2_dataset, n_train=2)
+        assert len(train) + len(test) == len(dota2_dataset)
+
+    def test_split_validation(self, dota2_dataset):
+        with pytest.raises(ValidationError):
+            train_test_split(dota2_dataset, n_train=len(dota2_dataset))
+        with pytest.raises(ValidationError):
+            train_test_split(dota2_dataset, n_train=1, n_test=len(dota2_dataset))
+
+    def test_training_pairs(self, dota2_dataset):
+        pairs = training_pairs(dota2_dataset[:2])
+        assert len(pairs) == 2
+        assert pairs[0][0] is dota2_dataset[0].chat_log

@@ -1,0 +1,144 @@
+"""Tests for the evaluation package (matching predicates, metrics, reports, runner)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.initializer.predictor import FeatureSet
+from repro.core.initializer.windows import SlidingWindow
+from repro.core.types import Highlight
+from repro.datasets.loaders import train_test_split
+from repro.eval.matching import (
+    is_correct_end,
+    is_correct_start,
+    is_good_red_dot,
+    matched_highlight,
+    window_matches_highlight,
+)
+from repro.eval.metrics import (
+    chat_precision_at_k,
+    video_precision_end_at_k,
+    video_precision_start_at_k,
+)
+from repro.eval.reports import format_caption, format_series, format_table
+from repro.eval.runner import EvaluationRunner
+from repro.utils.validation import ValidationError
+
+HIGHLIGHTS = [Highlight(start=100.0, end=130.0), Highlight(start=300.0, end=310.0)]
+
+
+class TestMatching:
+    def test_correct_start_window(self):
+        assert is_correct_start(95.0, HIGHLIGHTS)      # within 10s before
+        assert is_correct_start(130.0, HIGHLIGHTS)     # at the end
+        assert not is_correct_start(131.0, HIGHLIGHTS)
+        assert not is_correct_start(89.0, HIGHLIGHTS)
+
+    def test_correct_end_window(self):
+        assert is_correct_end(305.0, HIGHLIGHTS)
+        assert is_correct_end(320.0, HIGHLIGHTS)       # within 10s after
+        assert not is_correct_end(321.0, HIGHLIGHTS)
+        assert not is_correct_end(295.0, HIGHLIGHTS)
+
+    def test_good_red_dot_equals_correct_start(self):
+        for position in (89.0, 95.0, 130.0, 131.0):
+            assert is_good_red_dot(position, HIGHLIGHTS) == is_correct_start(position, HIGHLIGHTS)
+
+    def test_matched_highlight_prefers_closest_start(self):
+        highlights = [Highlight(90.0, 200.0), Highlight(95.0, 120.0)]
+        match = matched_highlight(96.0, highlights)
+        assert match == Highlight(95.0, 120.0)
+        assert matched_highlight(500.0, highlights) is None
+
+    def test_window_matches_highlight_includes_reaction_delay(self):
+        window = SlidingWindow(start=135.0, end=160.0)
+        assert window_matches_highlight(window, HIGHLIGHTS, reaction_delay=30.0)
+        assert not window_matches_highlight(window, HIGHLIGHTS, reaction_delay=0.0)
+
+    @given(st.floats(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_good_dot_positions_form_union_of_intervals(self, position):
+        expected = any(h.start - 10.0 <= position <= h.end for h in HIGHLIGHTS)
+        assert is_good_red_dot(position, HIGHLIGHTS) == expected
+
+
+class TestMetrics:
+    def test_chat_precision(self):
+        windows = [SlidingWindow(100.0, 125.0), SlidingWindow(400.0, 425.0)]
+        assert chat_precision_at_k(windows, HIGHLIGHTS, k=2) == 0.5
+        assert chat_precision_at_k(windows, HIGHLIGHTS, k=1) == 1.0
+
+    def test_video_precision_start(self):
+        positions = [95.0, 200.0, 305.0]
+        assert video_precision_start_at_k(positions, HIGHLIGHTS, k=3) == pytest.approx(2 / 3)
+        assert video_precision_start_at_k(positions, HIGHLIGHTS, k=1) == 1.0
+
+    def test_video_precision_end(self):
+        positions = [135.0, 200.0]
+        assert video_precision_end_at_k(positions, HIGHLIGHTS, k=2) == 0.5
+
+    def test_empty_positions_score_zero(self):
+        assert video_precision_start_at_k([], HIGHLIGHTS, k=5) == 0.0
+        assert chat_precision_at_k([], HIGHLIGHTS, k=5) == 0.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValidationError):
+            video_precision_start_at_k([1.0], HIGHLIGHTS, k=0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=500), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_precision_bounded(self, positions, k):
+        value = video_precision_start_at_k(positions, HIGHLIGHTS, k=k)
+        assert 0.0 <= value <= 1.0
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["system", "p@5"], [["LIGHTOR", 0.9], ["LSTM", 0.6]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("system")
+        assert "0.900" in lines[2]
+
+    def test_format_table_caption(self):
+        text = format_table(["a"], [[1]], caption="cap")
+        assert text.splitlines()[0] == "cap"
+
+    def test_format_series_union_of_x_values(self):
+        text = format_series("k", {"a": {1: 0.5}, "b": {2: 0.7}})
+        assert "1" in text and "2" in text and "-" in text
+
+    def test_format_caption(self):
+        assert format_caption("Table I", "desc") == "=== Table I: desc ==="
+
+
+class TestEvaluationRunner:
+    def test_initializer_evaluation(self, config, dota2_dataset):
+        train, test = train_test_split(dota2_dataset, n_train=1, n_test=3)
+        runner = EvaluationRunner(config=config, feature_set=FeatureSet.ALL)
+        initializer = runner.fit_initializer(train)
+        evaluation = runner.evaluate_initializer(initializer, test, k=5)
+        assert 0.0 <= evaluation.chat_precision <= 1.0
+        assert 0.0 <= evaluation.start_precision <= 1.0
+        assert evaluation.n_test_videos == 3
+        assert evaluation.adjustment_constant > 0
+
+    def test_chat_precision_curve_keys(self, config, dota2_dataset):
+        train, test = train_test_split(dota2_dataset, n_train=1, n_test=2)
+        runner = EvaluationRunner(config=config)
+        initializer = runner.fit_initializer(train)
+        curve = runner.chat_precision_curve(initializer, test, [1, 5])
+        assert set(curve) == {1, 5}
+
+    def test_run_pipeline_outputs_expected_keys(self, config, dota2_dataset):
+        train, test = train_test_split(dota2_dataset, n_train=1, n_test=2)
+        runner = EvaluationRunner(config=config)
+        metrics = runner.run_pipeline(train, test, k=3, crowd_seed=5)
+        assert set(metrics) == {"start_precision", "end_precision", "training_seconds"}
+        assert metrics["training_seconds"] > 0.0
+        assert metrics["start_precision"] >= 0.5

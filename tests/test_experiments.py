@@ -1,0 +1,70 @@
+"""Smoke tests for the experiment registry and the lighter experiments.
+
+The heavier experiments (LSTM baselines, crowd loops) are exercised by the
+benchmark harness; here we check the registry wiring, the result schemas and
+the cheap experiments end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments import fig2_chat_analysis, fig3_play_offsets, fig9_applicability
+from repro.experiments.common import resolve_scale
+from repro.utils.validation import ValidationError
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "ablations"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_get_experiment(self):
+        spec = get_experiment("fig7")
+        assert spec.paper_artifact == "Figure 7"
+        assert callable(spec.run) and callable(spec.report)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValidationError):
+            get_experiment("fig99")
+
+    def test_scales(self):
+        assert resolve_scale("small").name == "small"
+        assert resolve_scale("paper").lstm_many == 123
+        with pytest.raises(ValidationError):
+            resolve_scale("galactic")
+
+
+class TestLightExperiments:
+    def test_fig2_schema_and_shape(self):
+        results = fig2_chat_analysis.run(scale="small")
+        assert results["n_messages"] > 0
+        assert results["mean_chat_delay"] > 5.0
+        stats = results["feature_stats"]
+        assert stats["message_number"]["highlight_mean"] > stats["message_number"]["non_highlight_mean"]
+        assert stats["message_length"]["highlight_mean"] < stats["message_length"]["non_highlight_mean"]
+        report = fig2_chat_analysis.report(results)
+        assert "Figure 2" in report
+
+    def test_fig3_schema_and_shape(self):
+        results = fig3_play_offsets.run(scale="small", viewers_per_dot=15)
+        assert results["type_i"]["count"] > 0
+        assert results["type_ii"]["count"] > 0
+        # Type II offsets are far more concentrated than Type I offsets.
+        assert results["type_ii"]["std"] < results["type_i"]["std"]
+        report = fig3_play_offsets.report(results)
+        assert "Figure 3" in report
+
+    def test_fig9_schema_and_shape(self):
+        results = fig9_applicability.run(scale="small", n_channels=4, videos_per_channel=4)
+        assert results["n_videos"] == 16
+        assert 0.0 <= results["fraction_below_chat_threshold"] <= 0.5
+        assert results["fraction_below_viewer_threshold"] == 0.0
+        report = fig9_applicability.report(results)
+        assert "Figure 9" in report
+
+    def test_run_experiment_returns_report(self):
+        results, report = run_experiment("fig2", scale="small")
+        assert isinstance(results, dict)
+        assert report.startswith("===")

@@ -1,0 +1,315 @@
+"""Tests for the Highlight Extractor (plays, filtering, classifier, aggregation, loop)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LightorConfig
+from repro.core.extractor.aggregation import aggregate_type_ii, move_backward
+from repro.core.extractor.classifier import (
+    RedDotTypeClassifier,
+    extract_play_position_features,
+)
+from repro.core.extractor.extractor import HighlightExtractor
+from repro.core.extractor.filtering import PlayFilter, overlap_graph_inliers
+from repro.core.extractor.plays import interactions_to_plays, plays_near_dot, plays_per_user
+from repro.core.types import (
+    Highlight,
+    Interaction,
+    InteractionKind,
+    PlayRecord,
+    RedDot,
+    RedDotType,
+)
+from repro.utils.validation import ValidationError
+
+
+def _play(start, end, user="u"):
+    return PlayRecord(user=user, start=start, end=end)
+
+
+class TestInteractionsToPlays:
+    def test_play_then_stop(self):
+        events = [
+            Interaction(timestamp=10.0, kind=InteractionKind.PLAY, user="a"),
+            Interaction(timestamp=30.0, kind=InteractionKind.STOP, user="a"),
+        ]
+        plays = interactions_to_plays(events)
+        assert plays == [PlayRecord(user="a", start=10.0, end=30.0)]
+
+    def test_seek_closes_and_reopens(self):
+        # Arrival order: play from 10, seek back to 5 at position 30, stop at
+        # 20 while re-watching.  Two plays: [10, 30] and [5, 20].
+        events = [
+            Interaction(timestamp=10.0, kind=InteractionKind.PLAY, user="a"),
+            Interaction(timestamp=30.0, kind=InteractionKind.SEEK_BACKWARD, user="a", target=5.0),
+            Interaction(timestamp=20.0, kind=InteractionKind.STOP, user="a"),
+        ]
+        plays = interactions_to_plays(events)
+        assert _play(10.0, 30.0, "a") in plays
+        assert _play(5.0, 20.0, "a") in plays
+
+    def test_dangling_play_closed_at_last_position(self):
+        events = [
+            Interaction(timestamp=10.0, kind=InteractionKind.PLAY, user="a"),
+            Interaction(timestamp=50.0, kind=InteractionKind.PAUSE, user="b"),
+        ]
+        plays = interactions_to_plays(events, video_duration=100.0)
+        assert plays == []  # a's play never advanced; zero-length plays are dropped
+
+    def test_users_are_independent(self):
+        events = [
+            Interaction(timestamp=10.0, kind=InteractionKind.PLAY, user="a"),
+            Interaction(timestamp=15.0, kind=InteractionKind.PLAY, user="b"),
+            Interaction(timestamp=20.0, kind=InteractionKind.STOP, user="a"),
+            Interaction(timestamp=40.0, kind=InteractionKind.STOP, user="b"),
+        ]
+        grouped = plays_per_user(interactions_to_plays(events))
+        assert grouped["a"] == [_play(10.0, 20.0, "a")]
+        assert grouped["b"] == [_play(15.0, 40.0, "b")]
+
+    def test_empty_input(self):
+        assert interactions_to_plays([]) == []
+
+
+class TestPlaysNearDot:
+    def test_selects_plays_within_radius(self):
+        dot = RedDot(position=100.0)
+        plays = [_play(30.0, 39.0), _play(90.0, 110.0), _play(160.5, 200.0)]
+        near = plays_near_dot(plays, dot, radius=60.0)
+        assert _play(90.0, 110.0) in near
+        assert _play(160.5, 200.0) not in near  # starts just outside the +60s band
+        assert _play(30.0, 39.0) not in near
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            plays_near_dot([], RedDot(position=10.0), radius=-1.0)
+
+
+class TestFiltering:
+    def test_graph_outlier_removal_keeps_cluster(self):
+        cluster = [_play(100.0, 120.0, f"u{i}") for i in range(4)]
+        outlier = _play(300.0, 320.0, "far")
+        inliers, outliers = overlap_graph_inliers(cluster + [outlier])
+        assert outlier in outliers
+        assert len(inliers) == 4
+
+    def test_graph_with_single_play(self):
+        play = _play(0.0, 10.0)
+        inliers, outliers = overlap_graph_inliers([play])
+        assert inliers == [play] and outliers == []
+
+    def test_filter_removes_short_and_long_plays(self, config):
+        dot = RedDot(position=100.0)
+        plays = [
+            _play(98.0, 100.5, "probe"),       # too short
+            _play(90.0, 700.0, "marathon"),    # too long
+            _play(100.0, 125.0, "good1"),
+            _play(101.0, 124.0, "good2"),
+        ]
+        report = PlayFilter(config=config).apply(plays, dot)
+        kept_users = {p.user for p in report.kept}
+        assert kept_users == {"good1", "good2"}
+        assert report.removed_short == 1
+        assert report.removed_long == 1
+        assert report.input_count == 4
+
+    def test_filter_removes_far_plays(self, config):
+        dot = RedDot(position=1000.0)
+        plays = [_play(0.0, 20.0, "far"), _play(995.0, 1020.0, "near")]
+        kept = PlayFilter(config=config).filter(plays, dot)
+        assert [p.user for p in kept] == ["near"]
+
+    def test_report_counts_are_consistent(self, config):
+        dot = RedDot(position=100.0)
+        plays = [_play(95.0 + i, 120.0 + i, f"u{i}") for i in range(5)]
+        report = PlayFilter(config=config).apply(plays, dot)
+        assert report.kept_count + report.removed_count == report.input_count
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=500), st.floats(min_value=1, max_value=200)
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_filter_output_is_subset_of_input(self, config, raw):
+        plays = [_play(start, start + length, f"u{i}") for i, (start, length) in enumerate(raw)]
+        dot = RedDot(position=250.0)
+        kept = PlayFilter(config=config).filter(plays, dot)
+        assert all(play in plays for play in kept)
+
+
+class TestClassifier:
+    def test_feature_extraction(self):
+        dot = RedDot(position=100.0)
+        plays = [
+            _play(100.5, 130.0, "after"),
+            _play(60.0, 90.0, "before"),
+            _play(80.0, 110.0, "across"),
+        ]
+        features = extract_play_position_features(plays, dot)
+        assert features.plays_after == 1
+        assert features.plays_before == 1
+        assert features.plays_across == 1
+        assert features.total == 3
+
+    def test_rule_based_type_ii_when_plays_start_after_dot(self):
+        dot = RedDot(position=100.0)
+        plays = [_play(100.0 + i, 130.0 + i, f"u{i}") for i in range(8)]
+        assert RedDotTypeClassifier().classify(plays, dot) is RedDotType.TYPE_II
+
+    def test_rule_based_type_i_when_viewers_hunt_backwards(self):
+        dot = RedDot(position=100.0)
+        plays = [_play(60.0 + i, 90.0 + i, f"u{i}") for i in range(5)]
+        plays += [_play(101.0, 120.0, "probe")]
+        assert RedDotTypeClassifier().classify(plays, dot) is RedDotType.TYPE_I
+
+    def test_unknown_without_plays(self):
+        assert RedDotTypeClassifier().classify([], RedDot(position=5.0)) is RedDotType.UNKNOWN
+
+    def test_learned_classifier_beats_chance(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        features = []
+        labels = []
+        dot = RedDot(position=100.0)
+        for _ in range(60):
+            if rng.random() < 0.5:  # Type II example
+                plays = [_play(100.0 + rng.uniform(0, 5), 130.0, f"u{i}") for i in range(6)]
+                labels.append(True)
+            else:  # Type I example
+                plays = [_play(60.0 + rng.uniform(0, 20), 95.0, f"u{i}") for i in range(4)]
+                plays += [_play(100.0, 128.0, "probe")]
+                labels.append(False)
+            features.append(extract_play_position_features(plays, dot))
+        classifier = RedDotTypeClassifier().fit(features, labels)
+        correct = sum(
+            (classifier.classify_features(f) is RedDotType.TYPE_II) == label
+            for f, label in zip(features, labels)
+        )
+        assert correct / len(labels) >= 0.8
+
+    def test_probability_bounds(self):
+        dot = RedDot(position=100.0)
+        plays = [_play(101.0, 130.0)]
+        probability = RedDotTypeClassifier().probability_type_ii(plays, dot)
+        assert 0.0 <= probability <= 1.0
+
+    def test_fit_validation(self):
+        with pytest.raises(ValidationError):
+            RedDotTypeClassifier().fit([], [])
+
+
+class TestAggregation:
+    def test_median_aggregation(self):
+        dot = RedDot(position=100.0)
+        plays = [_play(100.0, 130.0), _play(104.0, 128.0), _play(108.0, 136.0)]
+        highlight = aggregate_type_ii(plays, dot)
+        assert highlight.start == pytest.approx(104.0)
+        assert highlight.end == pytest.approx(130.0)
+
+    def test_drops_plays_ending_before_dot(self):
+        dot = RedDot(position=100.0)
+        plays = [_play(40.0, 60.0), _play(100.0, 130.0), _play(102.0, 128.0)]
+        highlight = aggregate_type_ii(plays, dot)
+        assert highlight.start >= 100.0
+
+    def test_no_usable_plays_raises(self):
+        dot = RedDot(position=100.0)
+        with pytest.raises(ValidationError):
+            aggregate_type_ii([_play(10.0, 20.0)], dot)
+
+    def test_median_robust_to_outlier(self):
+        dot = RedDot(position=100.0)
+        plays = [_play(100.0, 130.0), _play(101.0, 131.0), _play(102.0, 132.0), _play(150.0, 500.0)]
+        highlight = aggregate_type_ii(plays, dot)
+        assert highlight.start <= 103.0
+        assert highlight.end <= 140.0
+
+    def test_move_backward(self):
+        dot = RedDot(position=100.0)
+        assert move_backward(dot, 20.0).position == 80.0
+        assert move_backward(RedDot(position=5.0), 20.0).position == 0.0
+        with pytest.raises(ValidationError):
+            move_backward(dot, 0.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=100, max_value=160), st.floats(min_value=1, max_value=60)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_aggregated_boundary_within_play_envelope(self, raw):
+        dot = RedDot(position=100.0)
+        plays = [_play(start, start + length, f"u{i}") for i, (start, length) in enumerate(raw)]
+        highlight = aggregate_type_ii(plays, dot)
+        assert min(p.start for p in plays) <= highlight.start <= max(p.start for p in plays)
+        assert highlight.end <= max(p.end for p in plays)
+
+
+class TestHighlightExtractorLoop:
+    def _source_for(self, plays_by_round):
+        def source(dot, round_index):
+            return plays_by_round[min(round_index, len(plays_by_round) - 1)]
+
+        return source
+
+    def test_type_ii_converges_in_one_round(self, config):
+        dot = RedDot(position=100.0)
+        plays = [_play(100.0 + i, 130.0 + i, f"u{i}") for i in range(6)]
+        extractor = HighlightExtractor(config=config)
+        result = extractor.extract(dot, self._source_for([plays]))
+        assert result.converged
+        assert result.highlight is not None
+        assert 100.0 <= result.highlight.start <= 106.0
+        assert result.final_type is RedDotType.TYPE_II
+
+    def test_type_i_dot_moves_backwards(self, config):
+        dot = RedDot(position=200.0)
+        # Round 0: hunting pattern (Type I) ... later rounds: clean Type II.
+        hunting = [_play(150.0 + i * 3, 185.0 + i * 3, f"h{i}") for i in range(5)]
+        hunting += [_play(200.0, 210.0, "probe")]
+        clean = [_play(180.0 + i, 215.0 + i, f"c{i}") for i in range(6)]
+        extractor = HighlightExtractor(config=config)
+        result = extractor.extract(dot, self._source_for([hunting, clean, clean]))
+        assert result.iterations[0].classified_type is RedDotType.TYPE_I
+        assert result.dot.position < 200.0
+        assert result.highlight is not None
+
+    def test_no_plays_yields_unknown_and_no_highlight(self, config):
+        extractor = HighlightExtractor(config=config)
+        result = extractor.extract(RedDot(position=50.0), self._source_for([[]]))
+        assert result.highlight is None
+        assert not result.converged
+        assert result.final_type is RedDotType.UNKNOWN
+
+    def test_iteration_cap_respected(self, config):
+        capped = config.with_overrides(max_extractor_iterations=3)
+        hunting = [_play(150.0, 185.0, "h0"), _play(140.0, 170.0, "h1"), _play(200.0, 212.0, "p")]
+        extractor = HighlightExtractor(config=capped)
+        result = extractor.extract(RedDot(position=200.0), self._source_for([hunting]))
+        assert result.n_iterations <= 3
+
+    def test_accepts_raw_interactions(self, config):
+        events = []
+        for i in range(6):
+            events.append(Interaction(timestamp=100.0 + i, kind=InteractionKind.PLAY, user=f"u{i}"))
+            events.append(Interaction(timestamp=130.0 + i, kind=InteractionKind.STOP, user=f"u{i}"))
+        extractor = HighlightExtractor(config=config)
+        result = extractor.extract(RedDot(position=100.0), lambda dot, i: events)
+        assert result.highlight is not None
+
+    def test_extract_all_preserves_order(self, config):
+        plays = [_play(100.0 + i, 130.0 + i, f"u{i}") for i in range(6)]
+        extractor = HighlightExtractor(config=config)
+        dots = [RedDot(position=100.0), RedDot(position=101.0)]
+        results = extractor.extract_all(dots, self._source_for([plays]))
+        assert len(results) == 2

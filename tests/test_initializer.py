@@ -1,0 +1,241 @@
+"""Tests for the Highlight Initializer (windows, features, predictor, adjustment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.adjustment import PeakAdjuster, learn_adjustment_constant, reward
+from repro.core.initializer.features import FEATURE_NAMES, WindowFeatureExtractor
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.core.initializer.predictor import FeatureSet, WindowPredictor
+from repro.core.initializer.windows import SlidingWindow, build_sliding_windows, window_for_timestamp
+from repro.core.types import ChatMessage, Highlight, Video, VideoChatLog
+from repro.utils.validation import ValidationError
+
+
+def _chat_log(duration=600.0, timestamps=(), texts=None):
+    video = Video(video_id="unit", duration=duration)
+    texts = texts or ["gg"] * len(timestamps)
+    messages = [ChatMessage(timestamp=t, text=text) for t, text in zip(timestamps, texts)]
+    return VideoChatLog(video=video, messages=messages)
+
+
+class TestSlidingWindows:
+    def test_non_overlapping_cover(self):
+        log = _chat_log(timestamps=[10.0, 40.0, 70.0, 580.0])
+        windows = build_sliding_windows(log, window_size=25.0)
+        assert all(w.duration <= 25.0 for w in windows)
+        assert all(w.message_count >= 1 for w in windows)
+
+    def test_overlap_resolution_keeps_denser_window(self):
+        timestamps = [100.0 + i for i in range(10)] + [112.0 + i for i in range(3)]
+        log = _chat_log(timestamps=sorted(timestamps))
+        windows = build_sliding_windows(log, window_size=25.0, stride=12.5)
+        for a in windows:
+            for b in windows:
+                if a is not b:
+                    assert not a.overlaps(b)
+
+    def test_min_messages_filter(self):
+        log = _chat_log(timestamps=[10.0])
+        assert build_sliding_windows(log, window_size=25.0, min_messages=2) == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            SlidingWindow(start=10.0, end=10.0)
+
+    def test_peak_timestamp_finds_burst(self):
+        burst = [100.0 + 0.2 * i for i in range(20)]
+        sparse = [85.0, 90.0]
+        log = _chat_log(timestamps=sorted(sparse + burst))
+        windows = build_sliding_windows(log, window_size=25.0)
+        window = window_for_timestamp(windows, 100.0)
+        assert window is not None
+        assert 99.0 <= window.peak_timestamp() <= 104.0
+
+    def test_peak_of_empty_window_is_start(self):
+        window = SlidingWindow(start=10.0, end=35.0, messages=[])
+        assert window.peak_timestamp() == 10.0
+
+    def test_window_for_timestamp_miss(self):
+        log = _chat_log(timestamps=[10.0])
+        windows = build_sliding_windows(log, window_size=25.0)
+        assert window_for_timestamp(windows, 599.0) is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=599), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_every_message_lands_in_at_most_one_window(self, timestamps):
+        log = _chat_log(timestamps=sorted(timestamps))
+        windows = build_sliding_windows(log, window_size=25.0, stride=12.5)
+        for timestamp in timestamps:
+            containing = [w for w in windows if w.contains(timestamp)]
+            assert len(containing) <= 1
+
+
+class TestFeatures:
+    def test_feature_names_order(self):
+        assert FEATURE_NAMES == ("message_number", "message_length", "message_similarity")
+
+    def test_raw_features_reflect_content(self):
+        extractor = WindowFeatureExtractor()
+        reaction = SlidingWindow(
+            start=0.0,
+            end=25.0,
+            messages=[ChatMessage(float(i), text="rampage!!") for i in range(10)],
+        )
+        chatter = SlidingWindow(
+            start=25.0,
+            end=50.0,
+            messages=[
+                ChatMessage(26.0, text="what item should he build next though"),
+                ChatMessage(30.0, text="anyone know when the next major starts"),
+            ],
+        )
+        reaction_features = extractor.raw_features(reaction)
+        chatter_features = extractor.raw_features(chatter)
+        assert reaction_features.message_number > chatter_features.message_number
+        assert reaction_features.message_length < chatter_features.message_length
+        assert reaction_features.message_similarity > chatter_features.message_similarity
+
+    def test_feature_matrix_normalised_range(self):
+        extractor = WindowFeatureExtractor()
+        windows = [
+            SlidingWindow(0.0, 25.0, [ChatMessage(1.0, text="gg")]),
+            SlidingWindow(25.0, 50.0, [ChatMessage(26.0, text="gg gg"), ChatMessage(27.0, text="gg")]),
+        ]
+        matrix = extractor.feature_matrix(windows)
+        assert matrix.shape == (2, 3)
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_feature_matrix_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            WindowFeatureExtractor().feature_matrix([])
+
+    def test_label_windows_uses_discussion_period(self):
+        extractor = WindowFeatureExtractor()
+        windows = [SlidingWindow(0.0, 25.0), SlidingWindow(50.0, 75.0), SlidingWindow(200.0, 225.0)]
+        highlights = [Highlight(start=30.0, end=40.0)]
+        labels = extractor.label_windows(windows, highlights, reaction_delay=30.0)
+        # Window [50, 75) overlaps [30, 70] discussion period; the others do not.
+        assert labels.tolist() == [0, 1, 0]
+
+
+class TestAdjustment:
+    def test_reward_definition(self):
+        highlight = Highlight(start=100.0, end=120.0)
+        assert reward(95.0, highlight) == 1          # within 10s before start
+        assert reward(120.0, highlight) == 1         # at the end
+        assert reward(121.0, highlight) == 0         # after the end
+        assert reward(89.0, highlight) == 0          # too early
+
+    def test_learn_constant_recovers_shared_delay(self):
+        highlights = [Highlight(start=100.0 * i, end=100.0 * i + 30.0) for i in range(1, 6)]
+        peaks = [h.start + 22.0 for h in highlights]
+        constant = learn_adjustment_constant(peaks, highlights)
+        assert 12.0 <= constant <= 32.0
+        assert all(reward(p - constant, h) == 1 for p, h in zip(peaks, highlights))
+
+    def test_learn_constant_requires_examples(self):
+        with pytest.raises(ValidationError):
+            learn_adjustment_constant([], [])
+
+    def test_learn_constant_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            learn_adjustment_constant([1.0], [])
+
+    def test_adjuster_fit_and_adjust(self, dota2_dataset, config):
+        adjuster = PeakAdjuster(config=config)
+        adjuster.fit([dota2_dataset[0].training_pair])
+        assert adjuster.training_pairs_ > 0
+        assert 5.0 <= adjuster.constant <= 50.0
+        assert adjuster.adjust(100.0) == pytest.approx(100.0 - adjuster.constant)
+        assert adjuster.adjust(0.5) == 0.0
+
+    def test_adjuster_unfitted_raises(self):
+        with pytest.raises(ValidationError):
+            PeakAdjuster().constant
+
+
+class TestPredictor:
+    def test_fit_requires_training_data(self, config):
+        with pytest.raises(ValidationError):
+            WindowPredictor(config=config).fit([])
+
+    def test_top_k_respects_spacing(self, fitted_initializer, dota2_dataset, config):
+        labelled = dota2_dataset[2]
+        windows = fitted_initializer.model.predictor.top_k_windows(labelled.chat_log, k=8)
+        peaks = [w.peak_timestamp() for w in windows]
+        for i, a in enumerate(peaks):
+            for b in peaks[i + 1 :]:
+                assert abs(a - b) > config.min_dot_spacing
+
+    def test_scores_are_probabilities(self, fitted_initializer, dota2_dataset):
+        labelled = dota2_dataset[3]
+        windows = fitted_initializer.model.predictor.score_windows(labelled.chat_log)
+        assert windows
+        assert all(0.0 <= (w.score or 0.0) <= 1.0 for w in windows)
+
+    def test_feature_set_column_indices(self):
+        assert FeatureSet.MSG_NUM.column_indices == [0]
+        assert FeatureSet.MSG_NUM_LEN.column_indices == [0, 1]
+        assert FeatureSet.ALL.column_indices == [0, 1, 2]
+
+    def test_unfitted_predictor_raises(self, config, dota2_dataset):
+        with pytest.raises(ValidationError):
+            WindowPredictor(config=config).score_windows(dota2_dataset[0].chat_log)
+
+    def test_invalid_k_rejected(self, fitted_initializer, dota2_dataset):
+        with pytest.raises(ValidationError):
+            fitted_initializer.model.predictor.top_k_windows(dota2_dataset[0].chat_log, k=0)
+
+
+class TestHighlightInitializer:
+    def test_propose_returns_sorted_dots(self, fitted_initializer, dota2_dataset):
+        labelled = dota2_dataset[2]
+        dots = fitted_initializer.propose(labelled.chat_log, k=5)
+        assert 1 <= len(dots) <= 5
+        positions = [dot.position for dot in dots]
+        assert positions == sorted(positions)
+        assert all(dot.video_id == labelled.video.video_id for dot in dots)
+
+    def test_most_dots_are_good(self, fitted_initializer, dota2_dataset, config):
+        from repro.eval.matching import is_good_red_dot
+
+        labelled = dota2_dataset[2]
+        dots = fitted_initializer.propose(labelled.chat_log, k=5)
+        good = sum(
+            is_good_red_dot(d.position, labelled.highlights, config.start_tolerance) for d in dots
+        )
+        assert good >= len(dots) * 0.6
+
+    def test_unfitted_propose_raises(self, config, dota2_dataset):
+        with pytest.raises(ValidationError):
+            HighlightInitializer(config=config).propose(dota2_dataset[0].chat_log)
+
+    def test_model_exposes_weights_and_constant(self, fitted_initializer):
+        weights = fitted_initializer.model.feature_weights
+        assert set(weights) == set(FeatureSet.ALL.value)
+        assert fitted_initializer.model.adjustment_constant > 0
+
+    def test_applicability_threshold(self, fitted_initializer, config):
+        quiet_video = Video(video_id="quiet", duration=3600.0)
+        quiet_log = VideoChatLog(
+            video=quiet_video, messages=[ChatMessage(float(i * 30)) for i in range(10)]
+        )
+        assert not fitted_initializer.is_applicable(quiet_log)
+
+    def test_training_on_lol_generalises_to_dota(self, config, lol_dataset, dota2_dataset):
+        from repro.eval.metrics import video_precision_start_at_k
+
+        initializer = HighlightInitializer(config=config)
+        initializer.fit([lol_dataset[0].training_pair])
+        labelled = dota2_dataset[2]
+        dots = initializer.propose(labelled.chat_log, k=5)
+        precision = video_precision_start_at_k(
+            [dot.position for dot in dots], labelled.highlights, k=5
+        )
+        assert precision >= 0.4

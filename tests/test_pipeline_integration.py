@@ -1,0 +1,84 @@
+"""Integration tests: the full LIGHTOR pipeline against the crowd simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LightorConfig
+from repro.core.pipeline import LightorPipeline
+from repro.datasets.loaders import training_pairs
+from repro.eval.metrics import video_precision_end_at_k, video_precision_start_at_k
+from repro.simulation.crowd import CrowdSimulator
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def trained_pipeline(dota2_dataset):
+    pipeline = LightorPipeline(LightorConfig())
+    pipeline.fit(training_pairs(dota2_dataset[:1]))
+    return pipeline
+
+
+class TestPipeline:
+    def test_unfitted_pipeline_raises(self, dota2_dataset):
+        with pytest.raises(ValidationError):
+            LightorPipeline(LightorConfig()).propose(dota2_dataset[0].chat_log)
+
+    def test_training_is_fast_and_recorded(self, trained_pipeline):
+        # One of the paper's headline claims: training takes on the order of
+        # seconds, not days.
+        assert 0.0 < trained_pipeline.training_seconds_ < 60.0
+
+    def test_propose_respects_k(self, trained_pipeline, dota2_dataset):
+        dots = trained_pipeline.propose(dota2_dataset[2].chat_log, k=3)
+        assert 1 <= len(dots) <= 3
+
+    def test_end_to_end_precision(self, trained_pipeline, dota2_dataset):
+        """The headline shape: high start/end precision with implicit feedback."""
+        crowd = CrowdSimulator(seeds=SeedSequenceFactory(123))
+        start_scores = []
+        end_scores = []
+        for labelled in dota2_dataset[1:4]:
+            result = trained_pipeline.run(
+                labelled.chat_log, crowd.interaction_source(labelled.video), k=5
+            )
+            start_scores.append(
+                video_precision_start_at_k(result.start_positions, labelled.highlights, k=5)
+            )
+            end_scores.append(
+                video_precision_end_at_k(result.end_positions, labelled.highlights, k=5)
+            )
+        assert sum(start_scores) / len(start_scores) >= 0.6
+        assert sum(end_scores) / len(end_scores) >= 0.6
+
+    def test_result_structure(self, trained_pipeline, dota2_dataset, crowd):
+        labelled = dota2_dataset[2]
+        result = trained_pipeline.run(
+            labelled.chat_log, crowd.interaction_source(labelled.video), k=4
+        )
+        assert result.video_id == labelled.video.video_id
+        assert len(result.extractions) == len(result.red_dots)
+        assert len(result.start_positions) == len(result.red_dots)
+        for highlight in result.highlights:
+            assert 0.0 <= highlight.start <= highlight.end <= labelled.video.duration
+
+    def test_run_many(self, trained_pipeline, dota2_dataset, crowd):
+        results = trained_pipeline.run_many(
+            [v.chat_log for v in dota2_dataset[1:3]],
+            lambda video: crowd.interaction_source(video),
+            k=3,
+        )
+        assert len(results) == 2
+        assert {r.video_id for r in results} == {v.video.video_id for v in dota2_dataset[1:3]}
+
+    def test_extraction_refines_or_keeps_dots(self, trained_pipeline, dota2_dataset, crowd):
+        labelled = dota2_dataset[3]
+        result = trained_pipeline.run(
+            labelled.chat_log, crowd.interaction_source(labelled.video), k=5
+        )
+        refined = [e for e in result.extractions if e.highlight is not None]
+        # The crowd is large and mostly engaged, so most dots get refined.
+        assert len(refined) >= len(result.extractions) // 2
+        for extraction in refined:
+            assert extraction.n_iterations >= 1

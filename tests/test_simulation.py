@@ -1,0 +1,221 @@
+"""Tests for the simulation substrate (profiles, vocab, video, chat, viewers, crowd)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.extractor.plays import interactions_to_plays, plays_near_dot
+from repro.core.types import RedDot
+from repro.simulation.chat import ChatSimulator
+from repro.simulation.crowd import CrowdSimulator
+from repro.simulation.profiles import DOTA2_PROFILE, LOL_PROFILE, profile_for_game
+from repro.simulation.video import VideoGenerator
+from repro.simulation.viewers import ViewerBehaviorModel, ViewerPopulation
+from repro.simulation.visual import VisualTrackSimulator
+from repro.simulation.vocab import vocabulary_for_game
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert profile_for_game("dota2") is DOTA2_PROFILE
+        assert profile_for_game("LoL") is LOL_PROFILE
+
+    def test_unknown_game_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_for_game("chess")
+
+    def test_paper_calibration(self):
+        assert DOTA2_PROFILE.min_highlight_length == 5.0
+        assert DOTA2_PROFILE.max_highlight_length == 50.0
+        assert LOL_PROFILE.max_highlight_length == 81.0
+        assert LOL_PROFILE.mean_highlights_per_video > DOTA2_PROFILE.mean_highlights_per_video
+
+
+class TestVocabulary:
+    def test_lookup_and_registers(self, seeds):
+        rng = seeds.rng("vocab")
+        for game in ("dota2", "lol"):
+            vocab = vocabulary_for_game(game)
+            reaction = vocab.sample_reaction(rng)
+            background = vocab.sample_background(rng)
+            bot = vocab.sample_bot(rng)
+            assert reaction and background and bot
+
+    def test_games_have_distinct_reaction_vocabulary(self):
+        dota = set(vocabulary_for_game("dota2").reaction_phrases)
+        lol = set(vocabulary_for_game("lol").reaction_phrases)
+        assert not dota & lol
+
+    def test_bot_messages_are_long(self, seeds):
+        rng = seeds.rng("bots")
+        vocab = vocabulary_for_game("dota2")
+        assert all(len(vocab.sample_bot(rng).split()) >= 8 for _ in range(10))
+
+    def test_unknown_game_rejected(self):
+        with pytest.raises(ValidationError):
+            vocabulary_for_game("valorant")
+
+
+class TestVideoGenerator:
+    def test_deterministic(self, seeds):
+        a = VideoGenerator(seeds=SeedSequenceFactory(1)).generate(3, game="dota2")
+        b = VideoGenerator(seeds=SeedSequenceFactory(1)).generate(3, game="dota2")
+        assert a == b
+
+    def test_respects_profile_ranges(self, seeds):
+        generator = VideoGenerator(seeds=seeds)
+        for index in range(5):
+            video = generator.generate(index, game="dota2")
+            assert DOTA2_PROFILE.min_duration <= video.duration <= DOTA2_PROFILE.max_duration
+            assert video.n_highlights >= 6
+            for highlight in video.highlights:
+                assert highlight.duration <= DOTA2_PROFILE.max_highlight_length + 1e-9
+                assert highlight.end <= video.duration
+
+    def test_highlights_are_separated(self, seeds):
+        video = VideoGenerator(seeds=seeds).generate(0, game="lol")
+        starts = [h.start for h in video.highlights]
+        assert all(b - a >= 60.0 for a, b in zip(starts, starts[1:]))
+
+    def test_generate_many(self, seeds):
+        videos = VideoGenerator(seeds=seeds).generate_many(3, game="dota2")
+        assert [v.video_id for v in videos] == ["dota2-0000", "dota2-0001", "dota2-0002"]
+
+    def test_requires_game_or_profile(self, seeds):
+        with pytest.raises(ValidationError):
+            VideoGenerator(seeds=seeds).generate(0)
+
+
+class TestChatSimulator:
+    def test_deterministic(self):
+        video = VideoGenerator(seeds=SeedSequenceFactory(5)).generate(0, game="dota2")
+        a = ChatSimulator(seeds=SeedSequenceFactory(5)).simulate(video)
+        b = ChatSimulator(seeds=SeedSequenceFactory(5)).simulate(video)
+        assert [m.text for m in a] == [m.text for m in b]
+
+    def test_messages_within_video(self, labelled_video):
+        assert all(0 <= m.timestamp <= labelled_video.video.duration for m in labelled_video.chat_log)
+
+    def test_chat_rate_in_paper_range(self, dota2_dataset):
+        rates = [v.chat_log.messages_per_hour for v in dota2_dataset]
+        assert np.median(rates) > 400.0
+
+    def test_bursts_follow_highlights(self, labelled_video):
+        """The densest minute after a highlight should out-chat a random quiet minute."""
+        chat_log = labelled_video.chat_log
+        highlight = labelled_video.highlights[0]
+        burst_count = len(chat_log.messages_between(highlight.start, highlight.end + 60.0))
+        quiet_point = None
+        for candidate in np.arange(120.0, labelled_video.video.duration - 120.0, 37.0):
+            if all(
+                candidate + 60.0 < h.start - 60.0 or candidate > h.end + 90.0
+                for h in labelled_video.highlights
+            ):
+                quiet_point = float(candidate)
+                break
+        assert quiet_point is not None
+        quiet_count = len(chat_log.messages_between(quiet_point, quiet_point + 60.0))
+        assert burst_count > quiet_count
+
+    def test_reaction_peak_lags_highlight_start(self, dota2_dataset):
+        """The average start→peak delay should be tens of seconds, as in Fig. 2."""
+        delays = []
+        for labelled in dota2_dataset[:3]:
+            for highlight in labelled.highlights:
+                window = labelled.chat_log.messages_between(highlight.start, highlight.end + 60.0)
+                if len(window) < 5:
+                    continue
+                counts = np.zeros(int(highlight.duration + 60.0) + 1)
+                for message in window:
+                    counts[int(message.timestamp - highlight.start)] += 1
+                delays.append(float(np.argmax(counts)))
+        assert delays
+        assert 10.0 <= float(np.mean(delays)) <= 45.0
+
+
+class TestViewerBehavior:
+    def test_type_ii_plays_are_concentrated(self, seeds, dota2_dataset):
+        labelled = dota2_dataset[2]
+        highlight = labelled.highlights[0]
+        model = ViewerBehaviorModel(seeds=seeds)
+        dot = RedDot(position=max(0.0, highlight.start - 5.0), video_id=labelled.video.video_id)
+        interactions = model.simulate_round(labelled.video, dot, n_viewers=40)
+        plays = plays_near_dot(
+            interactions_to_plays(interactions, video_duration=labelled.video.duration), dot, 60.0
+        )
+        offsets = np.array([p.start - highlight.start for p in plays])
+        assert offsets.size > 10
+        assert abs(np.median(offsets)) < 15.0
+
+    def test_type_i_plays_are_diffuse(self, seeds, dota2_dataset):
+        labelled = dota2_dataset[2]
+        highlight = labelled.highlights[0]
+        model = ViewerBehaviorModel(seeds=seeds)
+        type_i_dot = RedDot(position=highlight.end + 15.0, video_id=labelled.video.video_id)
+        type_ii_dot = RedDot(position=max(0.0, highlight.start - 5.0))
+        diffuse = model.simulate_round(labelled.video, type_i_dot, n_viewers=40)
+        concentrated = model.simulate_round(labelled.video, type_ii_dot, n_viewers=40)
+
+        def start_std(interactions, dot):
+            plays = plays_near_dot(
+                interactions_to_plays(interactions, video_duration=labelled.video.duration),
+                dot,
+                60.0,
+            )
+            return float(np.std([p.start for p in plays]))
+
+        assert start_std(diffuse, type_i_dot) > start_std(concentrated, type_ii_dot)
+
+    def test_population_sampling(self, seeds):
+        population = ViewerPopulation(size=50)
+        workers = population.sample_workers(seeds.rng("w"), 10)
+        assert len(set(workers)) == 10
+        assert all(w.startswith("worker_") for w in workers)
+
+    def test_invalid_viewer_count_rejected(self, seeds, dota2_dataset):
+        model = ViewerBehaviorModel(seeds=seeds)
+        with pytest.raises(ValidationError):
+            model.simulate_round(dota2_dataset[0].video, RedDot(position=10.0), n_viewers=0)
+
+
+class TestCrowdSimulator:
+    def test_rounds_are_reproducible(self, dota2_dataset):
+        labelled = dota2_dataset[2]
+        dot = RedDot(position=labelled.highlights[0].start)
+        a = CrowdSimulator(seeds=SeedSequenceFactory(7)).collect_round(labelled.video, dot, 0)
+        b = CrowdSimulator(seeds=SeedSequenceFactory(7)).collect_round(labelled.video, dot, 0)
+        assert a == b
+
+    def test_different_rounds_differ(self, dota2_dataset):
+        labelled = dota2_dataset[2]
+        dot = RedDot(position=labelled.highlights[0].start)
+        crowd = CrowdSimulator(seeds=SeedSequenceFactory(7))
+        assert crowd.collect_round(labelled.video, dot, 0) != crowd.collect_round(
+            labelled.video, dot, 1
+        )
+
+    def test_interaction_source_counts_responses(self, dota2_dataset):
+        labelled = dota2_dataset[2]
+        crowd = CrowdSimulator(seeds=SeedSequenceFactory(7), responses_per_round=5)
+        source = crowd.interaction_source(labelled.video)
+        source(RedDot(position=200.0), 0)
+        source(RedDot(position=200.0), 1)
+        assert crowd.total_responses_ == 10
+
+
+class TestVisualTrack:
+    def test_track_length_matches_duration(self, seeds, dota2_dataset):
+        video = dota2_dataset[0].video
+        track = VisualTrackSimulator(seeds=seeds).simulate(video)
+        assert track.size == int(np.ceil(video.duration))
+
+    def test_highlights_are_elevated(self, seeds, dota2_dataset):
+        video = dota2_dataset[0].video
+        track = VisualTrackSimulator(seeds=seeds).simulate(video)
+        highlight_values = []
+        for highlight in video.highlights:
+            highlight_values.extend(track[int(highlight.start) : int(highlight.end)])
+        assert float(np.mean(highlight_values)) > float(np.mean(track))

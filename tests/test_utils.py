@@ -1,0 +1,221 @@
+"""Unit and property tests for :mod:`repro.utils`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.histograms import Histogram, cumulative_distribution, empirical_cdf_at
+from repro.utils.rng import SeedSequenceFactory, derive_rng, stable_hash
+from repro.utils.smoothing import find_local_maxima, gaussian_smooth, moving_average
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_range,
+    require_sorted,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("dota2", 7) == stable_hash("dota2", 7)
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("dota2", 7) != stable_hash("lol", 7)
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_returns_non_negative_int(self):
+        value = stable_hash("x")
+        assert isinstance(value, int) and value >= 0
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        a = SeedSequenceFactory(42).rng("chat", 1).random(5)
+        b = SeedSequenceFactory(42).rng("chat", 1).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_different_streams(self):
+        a = SeedSequenceFactory(42).rng("chat", 1).random(5)
+        b = SeedSequenceFactory(42).rng("chat", 2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_is_deterministic(self):
+        a = SeedSequenceFactory(42).spawn("crowd").rng("x").random(3)
+        b = SeedSequenceFactory(42).spawn("crowd").rng("x").random(3)
+        assert np.allclose(a, b)
+
+    def test_derive_rng_matches_factory(self):
+        factory = SeedSequenceFactory(7)
+        assert np.allclose(factory.rng("a").random(3), derive_rng(7, "a").random(3))
+
+    def test_choice_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(1).choice([], "x")
+
+    def test_permutation_is_a_permutation(self):
+        perm = SeedSequenceFactory(3).permutation(10, "p")
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory("not-an-int")  # type: ignore[arg-type]
+
+
+class TestSmoothing:
+    def test_moving_average_preserves_constant(self):
+        values = np.full(20, 3.5)
+        assert np.allclose(moving_average(values, 5), values)
+
+    def test_moving_average_length_preserved(self):
+        assert moving_average(np.arange(11, dtype=float), 4).size == 11
+
+    def test_gaussian_smooth_preserves_constant(self):
+        values = np.full(30, 2.0)
+        assert np.allclose(gaussian_smooth(values, sigma=3.0), values)
+
+    def test_gaussian_smooth_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        noisy = rng.normal(size=200)
+        assert np.var(gaussian_smooth(noisy, sigma=4.0)) < np.var(noisy)
+
+    def test_empty_input_passthrough(self):
+        assert moving_average(np.array([]), 3).size == 0
+        assert gaussian_smooth(np.array([]), 2.0).size == 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            moving_average(np.arange(5, dtype=float), 0)
+
+    def test_find_local_maxima_simple(self):
+        curve = np.array([0.0, 1.0, 0.0, 2.0, 0.0])
+        assert find_local_maxima(curve) == [1, 3]
+
+    def test_find_local_maxima_min_height(self):
+        curve = np.array([0.0, 1.0, 0.0, 2.0, 0.0])
+        assert find_local_maxima(curve, min_height=1.5) == [3]
+
+    def test_find_local_maxima_constant_curve(self):
+        maxima = find_local_maxima(np.ones(5))
+        assert maxima[0] == 0
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_moving_average_bounded_by_extremes(self, values):
+        array = np.asarray(values, dtype=float)
+        smoothed = moving_average(array, 3)
+        assert smoothed.min() >= array.min() - 1e-9
+        assert smoothed.max() <= array.max() + 1e-9
+
+
+class TestHistogram:
+    def test_add_point_counts(self):
+        histogram = Histogram(duration=10.0, bin_size=1.0)
+        histogram.add_point(0.5)
+        histogram.add_point(0.7)
+        histogram.add_point(9.9)
+        assert histogram.counts[0] == 2
+        assert histogram.counts[9] == 1
+
+    def test_add_point_out_of_range_rejected(self):
+        histogram = Histogram(duration=10.0)
+        with pytest.raises(ValidationError):
+            histogram.add_point(10.0)
+        with pytest.raises(ValidationError):
+            histogram.add_point(-1.0)
+
+    def test_add_range_covers_bins(self):
+        histogram = Histogram(duration=10.0, bin_size=1.0)
+        histogram.add_range(2.0, 5.0)
+        assert histogram.counts[2] == 1 and histogram.counts[4] == 1
+        assert histogram.counts[5] == 0 or histogram.counts[5] == 0.0
+
+    def test_add_range_clips_to_duration(self):
+        histogram = Histogram(duration=10.0)
+        histogram.add_range(8.0, 50.0)
+        assert histogram.counts[9] == 1
+
+    def test_add_empty_range_is_noop(self):
+        histogram = Histogram(duration=10.0)
+        histogram.add_range(5.0, 5.0)
+        assert histogram.to_array().sum() == 0
+
+    def test_argmax_time(self):
+        histogram = Histogram(duration=10.0)
+        histogram.add_point(3.2)
+        histogram.add_point(3.4)
+        histogram.add_point(7.0)
+        assert histogram.argmax_time() == pytest.approx(3.5)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram(duration=0.0)
+
+
+class TestCumulativeDistribution:
+    def test_percentages_monotone_and_bounded(self):
+        values, percentages = cumulative_distribution([5.0, 1.0, 3.0])
+        assert list(values) == [1.0, 3.0, 5.0]
+        assert list(percentages) == pytest.approx([100 / 3, 200 / 3, 100.0])
+
+    def test_empty_input(self):
+        values, percentages = cumulative_distribution([])
+        assert values.size == 0 and percentages.size == 0
+
+    def test_empirical_cdf_at(self):
+        assert empirical_cdf_at([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+        assert empirical_cdf_at([], 1.0) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_is_monotone(self, values):
+        _, percentages = cumulative_distribution(values)
+        assert np.all(np.diff(percentages) >= -1e-9)
+        assert percentages[-1] == pytest.approx(100.0)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValidationError):
+            require(False, "boom")
+
+    def test_require_positive(self):
+        require_positive(1.0, "x")
+        with pytest.raises(ValidationError):
+            require_positive(0.0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0.0, "x")
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.1, "x")
+
+    def test_require_probability(self):
+        require_probability(0.5, "p")
+        with pytest.raises(ValidationError):
+            require_probability(1.5, "p")
+
+    def test_require_range(self):
+        require_range(5, 0, 10, "x")
+        with pytest.raises(ValidationError):
+            require_range(11, 0, 10, "x")
+
+    def test_require_sorted(self):
+        require_sorted([1, 2, 2, 3], "x")
+        with pytest.raises(ValidationError):
+            require_sorted([3, 1], "x")
+
+    def test_require_non_empty(self):
+        require_non_empty([1], "x")
+        with pytest.raises(ValidationError):
+            require_non_empty([], "x")
+        with pytest.raises(ValidationError):
+            require_non_empty(iter([]), "x")
