@@ -11,10 +11,28 @@ micro-benchmarks).
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 BENCH_SCALE = os.environ.get("LIGHTOR_BENCH_SCALE", "small")
+
+_BENCH_DIR = Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The tier-1 gate runs ``-m "not bench"`` so the (slower) experiment
+    harnesses stay out of it while remaining one plain ``pytest`` away.
+    """
+    for item in items:
+        try:
+            in_bench_dir = Path(str(item.fspath)).resolve().is_relative_to(_BENCH_DIR)
+        except AttributeError:  # pragma: no cover - Python < 3.9 fallback
+            in_bench_dir = str(_BENCH_DIR) in str(item.fspath)
+        if in_bench_dir:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

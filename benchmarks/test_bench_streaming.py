@@ -1,0 +1,132 @@
+"""BENCH-STREAM — throughput of the streaming engine vs per-message batch.
+
+The streaming engine's reason to exist is that ``LightorPipeline.propose``
+pays O(video) work per call: re-windowing, re-tokenizing and re-featurising
+the entire chat log.  Serving a live channel by re-running the batch
+Initializer after every message is therefore O(video) *per message*; the
+streaming engine folds a message in with O(1) amortised work and defers
+scoring to sealed-window summaries.
+
+This bench ingests a 10k-message synthetic log through the streaming engine,
+reports messages/sec and the p50/p99 per-message ingest latency, measures
+the batch Initializer's per-call cost on prefixes of the same log, and
+asserts the incremental path is at least 10x cheaper per message — the
+ISSUE's acceptance bar (in practice the gap is several orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.core.types import ChatMessage, Video, VideoChatLog
+from repro.datasets.generate import DatasetSpec, build_dataset
+from repro.datasets.loaders import training_pairs
+from repro.streaming import EmitPolicy, StreamingInitializer
+
+N_MESSAGES = 10_000
+VIDEO_DURATION = 7_200.0
+REQUIRED_SPEEDUP = 10.0
+# How many propose() calls to sample when estimating the per-message cost of
+# the batch-per-message strategy (running all 10k would take hours — which is
+# the point of this bench).
+BATCH_SAMPLES = (2_500, 5_000, 10_000)
+
+
+def _synthetic_log(n_messages: int = N_MESSAGES) -> VideoChatLog:
+    """A dense, bursty 10k-message chat log (deterministic)."""
+    rng = np.random.default_rng(1234)
+    video = Video(video_id="bench-live", duration=VIDEO_DURATION)
+    phrases = ("gg", "rampage!!", "PogChamp", "what a play", "clip it", "lol no way")
+    timestamps = np.sort(rng.uniform(0.0, VIDEO_DURATION - 1.0, size=n_messages))
+    messages = [
+        ChatMessage(
+            timestamp=float(t),
+            user=f"viewer_{int(rng.integers(0, 500))}",
+            text=str(rng.choice(phrases)),
+        )
+        for t in timestamps
+    ]
+    return VideoChatLog(video=video, messages=messages)
+
+
+@pytest.fixture(scope="module")
+def fitted_for_bench():
+    dataset = build_dataset(DatasetSpec.dota2(size=2))
+    initializer = HighlightInitializer(config=LightorConfig())
+    initializer.fit(training_pairs(dataset[:1]))
+    return initializer
+
+
+def test_bench_streaming_throughput(benchmark, fitted_for_bench):
+    chat_log = _synthetic_log()
+
+    def ingest_stream():
+        streaming = StreamingInitializer.from_initializer(
+            fitted_for_bench,
+            k=10,
+            video_id=chat_log.video.video_id,
+            policy=EmitPolicy(eval_every_messages=200, eval_every_seconds=60.0),
+        )
+        latencies = np.empty(len(chat_log.messages))
+        for index, message in enumerate(chat_log.messages):
+            started = time.perf_counter()
+            streaming.ingest(message)
+            latencies[index] = time.perf_counter() - started
+        dots = streaming.finalize(chat_log.video.duration)
+        return latencies, dots
+
+    latencies, dots = benchmark.pedantic(ingest_stream, rounds=1, iterations=1)
+
+    total_seconds = float(latencies.sum())
+    per_message_streaming = total_seconds / len(latencies)
+    throughput = len(latencies) / total_seconds if total_seconds > 0 else float("inf")
+    p50 = float(np.percentile(latencies, 50)) * 1e6
+    p99 = float(np.percentile(latencies, 99)) * 1e6
+
+    # Batch-per-message strategy: one full propose() per arriving message.
+    # Sample propose() on growing prefixes and average, so the estimate
+    # reflects the whole stream rather than only the expensive tail.
+    batch_calls = []
+    for prefix in BATCH_SAMPLES:
+        prefix_log = VideoChatLog(
+            video=chat_log.video, messages=chat_log.messages[:prefix]
+        )
+        started = time.perf_counter()
+        fitted_for_bench.propose(prefix_log, k=10)
+        batch_calls.append(time.perf_counter() - started)
+    per_message_batch = float(np.mean(batch_calls))
+    speedup = per_message_batch / per_message_streaming
+
+    print()
+    print(f"streaming ingest: {len(latencies):,} messages in {total_seconds:.3f}s "
+          f"({throughput:,.0f} msg/s)")
+    print(f"per-message latency: p50 {p50:.1f}us, p99 {p99:.1f}us")
+    print(f"batch propose() per call (prefixes {BATCH_SAMPLES}): "
+          f"{', '.join(f'{c * 1e3:.1f}ms' for c in batch_calls)}")
+    print(f"incremental vs batch-per-message speedup: {speedup:,.0f}x "
+          f"(required ≥ {REQUIRED_SPEEDUP:.0f}x)")
+    print(f"final dots: {len(dots)}")
+
+    assert dots, "the bursty synthetic log must yield red dots"
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"incremental updates only {speedup:.1f}x faster than re-running the "
+        f"batch initializer per message (need ≥ {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def test_bench_streaming_parity_on_bench_log(fitted_for_bench):
+    """The bench log is also a parity scenario — speed must not cost exactness."""
+    chat_log = _synthetic_log(2_000)
+    streaming = StreamingInitializer.from_initializer(
+        fitted_for_bench, k=10, video_id=chat_log.video.video_id
+    )
+    for message in chat_log.messages:
+        streaming.ingest(message)
+    assert streaming.finalize(chat_log.video.duration) == fitted_for_bench.propose(
+        chat_log, k=10
+    )

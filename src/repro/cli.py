@@ -7,6 +7,9 @@ Sub-commands:
 * ``lightor run-all --scale small`` — run every experiment in sequence.
 * ``lightor demo`` — train on one synthetic video and extract highlights from
   another, printing the progress bar with red dots.
+* ``lightor stream`` — replay synthetic live channels through the streaming
+  engine, printing provisional dot emissions/retractions and the final
+  batch-parity check.
 """
 
 from __future__ import annotations
@@ -46,6 +49,26 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser = subparsers.add_parser("demo", help="end-to-end demo on synthetic videos")
     demo_parser.add_argument("--k", type=int, default=5, help="number of highlights to extract")
     demo_parser.add_argument("--seed", type=int, default=2020, help="dataset seed")
+
+    stream_parser = subparsers.add_parser(
+        "stream", help="run the streaming engine over simulated live channels"
+    )
+    stream_parser.add_argument(
+        "--channels", type=int, default=2, help="number of concurrent live channels"
+    )
+    stream_parser.add_argument("--k", type=int, default=5, help="provisional top-k per channel")
+    stream_parser.add_argument("--seed", type=int, default=2020, help="dataset seed")
+    stream_parser.add_argument(
+        "--emit-every-messages", type=int, default=50,
+        help="re-evaluate the provisional dots after this many messages",
+    )
+    stream_parser.add_argument(
+        "--emit-every-seconds", type=float, default=30.0,
+        help="re-evaluate when stream time advanced this far",
+    )
+    stream_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-event output"
+    )
     return parser
 
 
@@ -111,6 +134,89 @@ def _command_demo(k: int, seed: int) -> int:
     return 0
 
 
+def _command_stream(
+    channels: int,
+    k: int,
+    seed: int,
+    emit_every_messages: int,
+    emit_every_seconds: float,
+    quiet: bool,
+) -> int:
+    import time
+
+    from repro import LightorConfig
+    from repro.core.initializer.initializer import HighlightInitializer
+    from repro.datasets import DatasetSpec, build_dataset
+    from repro.eval.parity import compare_red_dots
+    from repro.simulation.chat import interleave_live
+    from repro.streaming import DotEmitted, DotRetracted, EmitPolicy, StreamOrchestrator
+    from repro.utils.validation import ValidationError
+
+    if channels < 1:
+        print("--channels must be at least 1", flush=True)
+        return 1
+    if k < 1:
+        print("--k must be at least 1", flush=True)
+        return 1
+    try:
+        policy = EmitPolicy(
+            eval_every_messages=emit_every_messages,
+            eval_every_seconds=emit_every_seconds,
+        )
+    except ValidationError as error:
+        print(f"invalid emit policy: {error}", flush=True)
+        return 1
+
+    dataset = build_dataset(DatasetSpec.dota2(size=channels + 1, seed=seed))
+    train, targets = dataset[0], dataset[1 : channels + 1]
+
+    initializer = HighlightInitializer(config=LightorConfig())
+    initializer.fit([train.training_pair])
+    print(f"trained on {train.video.video_id}; serving {len(targets)} live channel(s)")
+
+    orchestrator = StreamOrchestrator(
+        initializer=initializer,
+        policy=policy,
+        k=k,
+        # Every channel must stay live until its parity check at the end, so
+        # the LRU bound is sized to the run instead of the serving default.
+        max_sessions=channels,
+    )
+
+    logs = {t.video.video_id: t.chat_log for t in targets}
+    n_messages = 0
+    started = time.perf_counter()
+    for video_id, message in interleave_live(list(logs.values())):
+        n_messages += 1
+        for event in orchestrator.ingest_message(video_id, message):
+            if quiet:
+                continue
+            if isinstance(event, DotEmitted):
+                verb, dot = "emit   ", event.dot
+            elif isinstance(event, DotRetracted):
+                verb, dot = "retract", event.dot
+            else:
+                continue
+            print(
+                f"  t={event.stream_time:8.1f}s {video_id} {verb} "
+                f"dot @ {dot.position:8.1f}s (score {dot.score:.3f})"
+            )
+    elapsed = time.perf_counter() - started
+    rate = n_messages / elapsed if elapsed > 0 else float("inf")
+    print(f"ingested {n_messages} messages across {len(targets)} channel(s) "
+          f"in {elapsed:.2f}s ({rate:,.0f} msg/s)")
+
+    exit_code = 0
+    for video_id, chat_log in logs.items():
+        streamed = orchestrator.close_session(video_id, chat_log.video.duration)
+        batch = initializer.propose(chat_log, k=k)
+        report = compare_red_dots(batch, streamed)
+        print(f"{video_id}: {len(streamed)} final dots; batch {report.describe()}")
+        if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``lightor`` console script."""
     parser = build_parser()
@@ -125,6 +231,15 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run_all(args.scale)
     if args.command == "demo":
         return _command_demo(args.k, args.seed)
+    if args.command == "stream":
+        return _command_stream(
+            channels=args.channels,
+            k=args.k,
+            seed=args.seed,
+            emit_every_messages=args.emit_every_messages,
+            emit_every_seconds=args.emit_every_seconds,
+            quiet=args.quiet,
+        )
     parser.print_help()
     return 1
 

@@ -18,15 +18,27 @@ top-k "red dots" — approximate highlight start positions:
    into Algorithm 1 and exposes training on labelled videos.
 """
 
-from repro.core.initializer.windows import SlidingWindow, build_sliding_windows
-from repro.core.initializer.features import WindowFeatureExtractor, WindowFeatures
+from repro.core.initializer.windows import (
+    SlidingWindow,
+    StreamingWindowBuilder,
+    build_sliding_windows,
+    resolve_overlapping_windows,
+)
+from repro.core.initializer.features import (
+    RunningWindowFeatures,
+    WindowFeatureExtractor,
+    WindowFeatures,
+)
 from repro.core.initializer.predictor import WindowPredictor, FeatureSet
 from repro.core.initializer.adjustment import PeakAdjuster, learn_adjustment_constant
 from repro.core.initializer.initializer import HighlightInitializer, InitializerModel
 
 __all__ = [
     "SlidingWindow",
+    "StreamingWindowBuilder",
     "build_sliding_windows",
+    "resolve_overlapping_windows",
+    "RunningWindowFeatures",
     "WindowFeatureExtractor",
     "WindowFeatures",
     "WindowPredictor",

@@ -17,7 +17,7 @@ regression transfers across videos and games.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,7 +27,12 @@ from repro.ml.scaler import MinMaxScaler
 from repro.ml.text import BagOfWordsVectorizer, tokenize
 from repro.utils.validation import ValidationError
 
-__all__ = ["WindowFeatures", "WindowFeatureExtractor", "FEATURE_NAMES"]
+__all__ = [
+    "WindowFeatures",
+    "RunningWindowFeatures",
+    "WindowFeatureExtractor",
+    "FEATURE_NAMES",
+]
 
 FEATURE_NAMES = ("message_number", "message_length", "message_similarity")
 
@@ -46,6 +51,66 @@ class WindowFeatures:
             [self.message_number, self.message_length, self.message_similarity],
             dtype=float,
         )
+
+
+@dataclass
+class RunningWindowFeatures:
+    """Per-message accumulator of one window's raw general features.
+
+    The streaming engine feeds each arriving :class:`ChatMessage` into the
+    accumulators of the windows containing it; :meth:`raw` then produces the
+    exact :class:`WindowFeatures` the batch extractor would compute for the
+    same member messages.  The batch path
+    (:meth:`WindowFeatureExtractor.raw_features`) is itself implemented as a
+    replay through this class, so the two can never disagree.
+
+    State kept per window: the message count, the per-message token counts
+    (for the length feature) and the token lists of non-blank messages (for
+    the similarity feature, whose leave-one-out cosine needs the full
+    bag-of-words of the window and is therefore computed once, when the
+    window is sealed).
+    """
+
+    message_count: int = 0
+    _token_counts: list[int] = field(default_factory=list, repr=False)
+    _token_lists: list[list[str]] = field(default_factory=list, repr=False)
+
+    def add(self, text: str, tokens: list[str] | None = None) -> None:
+        """Fold one message into the window state.
+
+        ``tokens`` lets the caller tokenize a message once and share the
+        result across every window containing it (a message belongs to
+        ``ceil(window_size / stride)`` overlapping windows).
+        """
+        if tokens is None:
+            tokens = tokenize(text)
+        self.message_count += 1
+        self._token_counts.append(len(tokens))
+        if text.strip():
+            self._token_lists.append(tokens)
+
+    def raw(self) -> WindowFeatures:
+        """The raw feature triple for the messages folded in so far."""
+        return WindowFeatures(
+            message_number=float(self.message_count),
+            message_length=self._average_length(),
+            message_similarity=self._similarity(),
+        )
+
+    def _average_length(self) -> float:
+        if not self._token_counts:
+            return 0.0
+        return float(np.mean(self._token_counts))
+
+    def _similarity(self) -> float:
+        if len(self._token_lists) < 2:
+            return 0.0
+        vectors = BagOfWordsVectorizer(binary=True).fit_transform_tokens(
+            self._token_lists
+        )
+        if vectors.shape[1] == 0:
+            return 0.0
+        return average_similarity_to_center(vectors, exclude_self=True)
 
 
 class WindowFeatureExtractor:
@@ -68,63 +133,46 @@ class WindowFeatureExtractor:
 
     # ----------------------------------------------------------- raw values
     def raw_features(self, window: SlidingWindow) -> WindowFeatures:
-        """Compute unnormalised features for one window."""
-        texts = window.texts
-        message_number = float(len(texts))
-        message_length = self._average_length(texts)
-        message_similarity = self._similarity(texts)
-        return WindowFeatures(
-            message_number=message_number,
-            message_length=message_length,
-            message_similarity=message_similarity,
-        )
+        """Compute unnormalised features for one window.
 
-    @staticmethod
-    def _average_length(texts: list[str]) -> float:
-        """Average number of word tokens per message (0.0 for no messages)."""
-        if not texts:
-            return 0.0
-        lengths = [len(tokenize(text)) for text in texts]
-        return float(np.mean(lengths))
-
-    @staticmethod
-    def _similarity(texts: list[str]) -> float:
-        """Average cosine similarity of messages to their k-means centre.
-
-        Uses the leave-one-out form (see
-        :func:`repro.ml.kmeans.average_similarity_to_center`): windows where
-        viewers echo the same exclamation score high, windows of unrelated
-        chatter score near zero, and windows with fewer than two messages
-        carry no similarity signal.
+        Implemented as a replay of the streaming accumulator so the batch
+        and live engines compute bit-identical features for identical window
+        membership.
         """
-        non_empty = [text for text in texts if text.strip()]
-        if len(non_empty) < 2:
-            return 0.0
-        vectors = BagOfWordsVectorizer(binary=True).fit_transform(non_empty)
-        if vectors.shape[1] == 0:
-            return 0.0
-        return average_similarity_to_center(vectors, exclude_self=True)
+        running = RunningWindowFeatures()
+        for message in window.messages:
+            running.add(message.text)
+        return running.raw()
 
     # --------------------------------------------------------- feature matrix
+    def normalise(self, raw: np.ndarray) -> np.ndarray:
+        """Scale a raw ``(n, 3)`` feature matrix to ``[0, 1]`` per column.
+
+        The message-length column is flipped (``1 - scaled``) when
+        ``invert_length`` is set so that larger always means "more
+        highlight-like" for every feature.  Both the batch path
+        (:meth:`feature_matrix`) and the streaming engine's summary scorer
+        normalise through this one method, so they cannot drift apart.
+        """
+        scaled = MinMaxScaler().fit_transform(raw)
+        if self.invert_length:
+            scaled[:, 1] = 1.0 - scaled[:, 1]
+        return scaled
+
     def feature_matrix(
         self, windows: list[SlidingWindow], normalise: bool = True
     ) -> np.ndarray:
         """Return an ``(n_windows, 3)`` feature matrix for ``windows``.
 
-        With ``normalise=True`` (default) each column is min-max scaled to
-        ``[0, 1]`` over the supplied windows, and the message-length column is
-        flipped (``1 - scaled``) when ``invert_length`` is set so that larger
-        always means "more highlight-like" for every feature.
+        With ``normalise=True`` (default) the matrix is scaled through
+        :meth:`normalise`.
         """
         if not windows:
             raise ValidationError("feature_matrix requires at least one window")
         raw = np.vstack([self.raw_features(window).as_array() for window in windows])
         if not normalise:
             return raw
-        scaled = MinMaxScaler().fit_transform(raw)
-        if self.invert_length:
-            scaled[:, 1] = 1.0 - scaled[:, 1]
-        return scaled
+        return self.normalise(raw)
 
     def label_windows(
         self,

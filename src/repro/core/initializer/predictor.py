@@ -24,7 +24,36 @@ from repro.core.types import Highlight, VideoChatLog
 from repro.ml.logistic import LogisticRegression
 from repro.utils.validation import ValidationError
 
-__all__ = ["FeatureSet", "WindowPredictor"]
+__all__ = ["FeatureSet", "WindowPredictor", "select_spaced_top_k"]
+
+
+def select_spaced_top_k(
+    records: list[tuple], k: int, min_spacing: float
+) -> list[tuple]:
+    """Greedy top-k under the δ spacing constraint, shared batch/stream.
+
+    ``records`` are ``(item, score, peak, start)`` tuples.  Candidates are
+    considered in decreasing score order (ties broken by start); one is
+    skipped when its peak lies within ``min_spacing`` of an already selected
+    peak (the paper's ``Top`` function "makes sure that H does not contain
+    too close highlights").  Returns the selected records sorted by start.
+
+    Both :meth:`WindowPredictor.top_k_windows` and the streaming engine's
+    summary scorer select through this one function, so the batch/stream
+    parity contract cannot drift here.
+    """
+    ranked = sorted(records, key=lambda record: (-(record[1] or 0.0), record[3]))
+    selected: list[tuple] = []
+    for record in ranked:
+        if len(selected) >= k:
+            break
+        too_close = any(
+            abs(record[2] - chosen[2]) <= min_spacing for chosen in selected
+        )
+        if too_close:
+            continue
+        selected.append(record)
+    return sorted(selected, key=lambda record: record[3])
 
 
 class FeatureSet(enum.Enum):
@@ -124,20 +153,12 @@ class WindowPredictor:
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k!r}")
         windows = self.score_windows(chat_log)
-        ranked = sorted(windows, key=lambda w: (-(w.score or 0.0), w.start))
-        selected: list[SlidingWindow] = []
-        for window in ranked:
-            if len(selected) >= k:
-                break
-            peak = window.peak_timestamp()
-            too_close = any(
-                abs(peak - chosen.peak_timestamp()) <= self.config.min_dot_spacing
-                for chosen in selected
-            )
-            if too_close:
-                continue
-            selected.append(window)
-        return sorted(selected, key=lambda w: w.start)
+        records = [
+            (window, window.score or 0.0, window.peak_timestamp(), window.start)
+            for window in windows
+        ]
+        selected = select_spaced_top_k(records, k, self.config.min_dot_spacing)
+        return [record[0] for record in selected]
 
     # -------------------------------------------------------------- helpers
     def _windows_for(self, chat_log: VideoChatLog) -> list[SlidingWindow]:

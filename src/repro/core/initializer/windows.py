@@ -6,16 +6,30 @@ overlap, keeps the one with more messages.  We reproduce that greedy
 resolution: windows are generated on a regular stride, ranked by message
 count, and accepted greedily unless they overlap an already-accepted denser
 window.
+
+The construction is *streaming-first*: :class:`StreamingWindowBuilder`
+consumes one :class:`~repro.core.types.ChatMessage` at a time (in timestamp
+order, as a live chat delivers them) and seals windows as the stream moves
+past their end.  The batch entry point :func:`build_sliding_windows` is a
+replay of that stream, so the recorded-video path and the live path produce
+identical windows by construction.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.types import ChatMessage, VideoChatLog
 from repro.utils.validation import ValidationError, require_positive
 
-__all__ = ["SlidingWindow", "build_sliding_windows", "window_for_timestamp"]
+__all__ = [
+    "SlidingWindow",
+    "StreamingWindowBuilder",
+    "build_sliding_windows",
+    "resolve_overlapping_windows",
+    "window_for_timestamp",
+]
 
 
 @dataclass
@@ -88,6 +102,173 @@ class SlidingWindow:
         return self.start <= timestamp < self.end
 
 
+@dataclass
+class StreamingWindowBuilder:
+    """Incrementally assigns a chat stream to candidate sliding windows.
+
+    Candidate window ``i`` spans ``[i * stride, i * stride + window_size)``.
+    Messages must arrive in non-decreasing timestamp order (live chat order);
+    each message is appended to every candidate window containing it, and a
+    window is *sealed* — handed back to the caller, never to change again —
+    once a message arrives at or beyond its end.  :meth:`flush` closes the
+    remaining windows when the stream ends, truncating them at the video
+    duration exactly like the batch builder.
+
+    Memory is bounded by the live edge: the builder only holds the windows
+    that can still receive messages (``ceil(window_size / stride)`` of them),
+    never the whole stream.
+    """
+
+    window_size: float
+    stride: float | None = None
+    min_messages: int = 1
+    _active: dict[int, SlidingWindow] = field(default_factory=dict, repr=False)
+    _next_seal: int = 0
+    _last_timestamp: float = field(default=-math.inf, repr=False)
+    messages_seen: int = 0
+    windows_sealed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.window_size, "window_size")
+        if self.stride is None:
+            self.stride = self.window_size
+        require_positive(self.stride, "stride")
+
+    # ------------------------------------------------------------------ feed
+    def add(self, message: ChatMessage) -> list[SlidingWindow]:
+        """Feed one message; return the windows sealed by its arrival.
+
+        Sealed windows are complete: every message they can ever contain has
+        been seen.  They are returned in start order and removed from the
+        builder's state.
+        """
+        timestamp = message.timestamp
+        if timestamp < self._last_timestamp:
+            raise ValidationError(
+                f"messages must arrive in timestamp order; got {timestamp} "
+                f"after {self._last_timestamp}"
+            )
+        self._last_timestamp = timestamp
+        self.messages_seen += 1
+
+        sealed = self._seal_through(timestamp)
+
+        # Append to every live window [s, s + window_size) containing the
+        # message.  The index range is derived arithmetically and then each
+        # candidate is verified with the exact membership predicate, so
+        # floating-point rounding of the division can never change membership.
+        lowest = max(
+            self._next_seal, self._index_at_or_before(timestamp - self.window_size) - 1
+        )
+        highest = self._index_at_or_before(timestamp) + 1
+        for index in range(max(0, lowest), highest + 1):
+            start = index * self.stride
+            if start <= timestamp < start + self.window_size:
+                window = self._active.get(index)
+                if window is None:
+                    window = SlidingWindow(start=start, end=start + self.window_size)
+                    self._active[index] = window
+                window.messages.append(message)
+        return sealed
+
+    def flush(self, duration: float) -> list[SlidingWindow]:
+        """Close the stream at ``duration`` and return the remaining windows.
+
+        Windows extending past ``duration`` are truncated to end there, and
+        messages at or beyond the truncated end are dropped (the batch
+        semantics of ``messages_between(start, min(start + l, duration))``).
+        """
+        require_positive(duration, "duration")
+        remaining: list[SlidingWindow] = []
+        index = self._next_seal
+        while index * self.stride < duration:
+            start = index * self.stride
+            end = min(start + self.window_size, duration)
+            window = self._active.pop(index, None)
+            if window is None:
+                if self.min_messages <= 0:
+                    window = SlidingWindow(start=start, end=end)
+                else:
+                    index += 1
+                    continue
+            else:
+                window.end = end
+                window.messages = [m for m in window.messages if m.timestamp < end]
+            if len(window.messages) >= self.min_messages:
+                remaining.append(window)
+                self.windows_sealed += 1
+            index += 1
+        self._next_seal = index
+        self._active.clear()
+        return remaining
+
+    # -------------------------------------------------------------- internals
+    def _seal_through(self, timestamp: float) -> list[SlidingWindow]:
+        """Seal every window whose end lies at or before ``timestamp``."""
+        sealed: list[SlidingWindow] = []
+        while self._next_seal * self.stride + self.window_size <= timestamp:
+            index = self._next_seal
+            window = self._active.pop(index, None)
+            if window is None and self.min_messages <= 0:
+                start = index * self.stride
+                window = SlidingWindow(start=start, end=start + self.window_size)
+            if window is not None and len(window.messages) >= self.min_messages:
+                sealed.append(window)
+                self.windows_sealed += 1
+            self._next_seal += 1
+        return sealed
+
+    def _index_at_or_before(self, timestamp: float) -> int:
+        """Largest window index whose start could lie at or before ``timestamp``."""
+        if timestamp < 0:
+            return -1
+        return int(math.floor(timestamp / self.stride))
+
+    @property
+    def active_window_count(self) -> int:
+        """Number of windows currently able to receive messages."""
+        return len(self._active)
+
+    @property
+    def frontier_start(self) -> float:
+        """Start of the oldest window that can still receive messages.
+
+        Everything before this point is sealed history; callers keyed on
+        message lifetime (e.g. token caches) can drop state older than it.
+        """
+        return self._next_seal * self.stride
+
+
+def resolve_overlapping_windows(candidates: list) -> list:
+    """Greedy overlap resolution: densest window first, reject overlaps.
+
+    Reproduces the paper's rule — "when two sliding windows have an overlap,
+    we keep the one with more messages".  Works on anything exposing
+    ``start``, ``end`` and ``message_count`` (both :class:`SlidingWindow` and
+    the streaming engine's window summaries), so the batch and live paths
+    share one resolution.  Returns the accepted windows sorted by start.
+
+    Accepted windows are mutually disjoint, so a candidate can only collide
+    with its immediate neighbours in start order — the check is two bisected
+    comparisons instead of a scan over everything accepted, which keeps the
+    streaming engine's periodic re-resolution cheap on long channels.
+    """
+    from bisect import bisect_left
+
+    ranked = sorted(candidates, key=lambda w: (-w.message_count, w.start))
+    accepted: list = []
+    accepted_starts: list[float] = []
+    for window in ranked:
+        index = bisect_left(accepted_starts, window.start)
+        if index > 0 and accepted[index - 1].end > window.start:
+            continue
+        if index < len(accepted) and accepted[index].start < window.end:
+            continue
+        accepted_starts.insert(index, window.start)
+        accepted.insert(index, window)
+    return accepted
+
+
 def build_sliding_windows(
     chat_log: VideoChatLog,
     window_size: float,
@@ -96,6 +277,11 @@ def build_sliding_windows(
     min_messages: int = 1,
 ) -> list[SlidingWindow]:
     """Generate candidate sliding windows over ``chat_log``.
+
+    This is a replay of the streaming construction: the recorded messages are
+    fed through a :class:`StreamingWindowBuilder` in timestamp order and the
+    stream is flushed at the video duration, which guarantees the batch and
+    live engines agree window-for-window.
 
     Parameters
     ----------
@@ -125,30 +311,17 @@ def build_sliding_windows(
         stride = window_size
     require_positive(stride, "stride")
 
-    duration = chat_log.video.duration
+    builder = StreamingWindowBuilder(
+        window_size=window_size, stride=stride, min_messages=min_messages
+    )
     candidates: list[SlidingWindow] = []
-    start = 0.0
-    while start < duration:
-        end = min(start + window_size, duration)
-        if end - start > 0:
-            messages = chat_log.messages_between(start, end)
-            if len(messages) >= min_messages:
-                candidates.append(SlidingWindow(start=start, end=end, messages=messages))
-        start += stride
+    for message in chat_log.messages:
+        candidates.extend(builder.add(message))
+    candidates.extend(builder.flush(chat_log.video.duration))
 
     if not resolve_overlaps or stride >= window_size:
         return candidates
-
-    # Greedy resolution: densest window first, reject anything overlapping an
-    # already-accepted window ("when two sliding windows have an overlap, we
-    # keep the one with more messages").
-    ranked = sorted(candidates, key=lambda w: (-w.message_count, w.start))
-    accepted: list[SlidingWindow] = []
-    for window in ranked:
-        if any(window.overlaps(existing) for existing in accepted):
-            continue
-        accepted.append(window)
-    return sorted(accepted, key=lambda w: w.start)
+    return resolve_overlapping_windows(candidates)
 
 
 def window_for_timestamp(

@@ -49,8 +49,20 @@ class PipelineResult:
 
     @property
     def end_positions(self) -> list[float]:
-        """Refined end positions (only dots with an extracted boundary)."""
-        return [e.highlight.end for e in self.extractions if e.highlight is not None]
+        """Refined end positions, aligned index-wise with ``start_positions``.
+
+        Falls back to the dot position when the extractor could not refine a
+        boundary, mirroring :attr:`start_positions`, so consumers can safely
+        ``zip(start_positions, end_positions)`` — the k-th entry of both
+        lists always describes the k-th red dot.
+        """
+        positions: list[float] = []
+        for extraction in self.extractions:
+            if extraction.highlight is not None:
+                positions.append(extraction.highlight.end)
+            else:
+                positions.append(extraction.dot.position)
+        return positions
 
 
 @dataclass
@@ -146,3 +158,8 @@ class LightorPipeline:
     def _check_fitted(self) -> None:
         if self.initializer is None or self.initializer.model is None:
             raise ValidationError("pipeline is not fitted; call fit() first")
+        if self.extractor is None:
+            raise ValidationError(
+                "pipeline has no extractor configured; assign a HighlightExtractor "
+                "before running"
+            )

@@ -21,10 +21,14 @@ from repro.eval.metrics import (
     video_precision_end_at_k,
     video_precision_start_at_k,
 )
+from repro.eval.parity import DotMismatch, ParityReport, compare_red_dots
 from repro.eval.runner import EvaluationRunner, InitializerEvaluation
 from repro.eval.reports import format_series, format_table
 
 __all__ = [
+    "DotMismatch",
+    "ParityReport",
+    "compare_red_dots",
     "is_good_red_dot",
     "is_correct_start",
     "is_correct_end",

@@ -1,0 +1,98 @@
+"""Batch/stream parity checks.
+
+The streaming engine's contract is that replaying a recorded chat log
+message-by-message and finalizing at the video duration reproduces the batch
+``HighlightInitializer.propose`` output *exactly* — same positions, same
+scores, same top-k order.  These helpers state that contract once so the
+parity test suite, the CLI's live demo and ad-hoc debugging all check it the
+same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.types import RedDot
+
+__all__ = ["DotMismatch", "ParityReport", "compare_red_dots"]
+
+
+@dataclass(frozen=True)
+class DotMismatch:
+    """One position at which the batch and streamed dot lists disagree."""
+
+    index: int
+    batch: RedDot | None
+    streamed: RedDot | None
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and assertion messages."""
+
+        def show(dot: RedDot | None) -> str:
+            if dot is None:
+                return "<missing>"
+            return f"pos={dot.position:.3f} score={dot.score:.6f} window={dot.window}"
+
+        return f"[{self.index}] batch {show(self.batch)} != streamed {show(self.streamed)}"
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Outcome of comparing a batch dot list against a streamed one."""
+
+    n_batch: int
+    n_streamed: int
+    mismatches: tuple[DotMismatch, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the two lists agree exactly."""
+        return not self.mismatches
+
+    def describe(self) -> str:
+        """Multi-line summary suitable for CLI output and test failures."""
+        if self.ok:
+            return f"parity OK ({self.n_batch} dots)"
+        lines = [
+            f"parity FAILED: {self.n_batch} batch vs {self.n_streamed} streamed dots"
+        ]
+        lines.extend(mismatch.describe() for mismatch in self.mismatches)
+        return "\n".join(lines)
+
+
+def compare_red_dots(
+    batch: Sequence[RedDot],
+    streamed: Sequence[RedDot],
+    position_tolerance: float = 0.0,
+) -> ParityReport:
+    """Compare two dot lists index-by-index.
+
+    With the default zero tolerance, positions, scores and source windows
+    must match exactly (the engines share every numeric code path, so exact
+    equality is the honest bar).  A positive ``position_tolerance`` relaxes
+    only the position comparison — useful when checking a deliberately
+    approximate engine (e.g. one running with a window-summary memory cap).
+    """
+    mismatches: list[DotMismatch] = []
+    for index in range(max(len(batch), len(streamed))):
+        batch_dot = batch[index] if index < len(batch) else None
+        streamed_dot = streamed[index] if index < len(streamed) else None
+        if batch_dot is None or streamed_dot is None:
+            mismatches.append(DotMismatch(index, batch_dot, streamed_dot))
+            continue
+        if position_tolerance > 0.0:
+            agree = (
+                abs(batch_dot.position - streamed_dot.position) <= position_tolerance
+            )
+        else:
+            agree = (
+                batch_dot.position == streamed_dot.position
+                and batch_dot.score == streamed_dot.score
+                and batch_dot.window == streamed_dot.window
+            )
+        if not agree:
+            mismatches.append(DotMismatch(index, batch_dot, streamed_dot))
+    return ParityReport(
+        n_batch=len(batch), n_streamed=len(streamed), mismatches=tuple(mismatches)
+    )

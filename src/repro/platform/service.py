@@ -10,6 +10,12 @@ The service ties the platform substrate to the LIGHTOR core:
 4. when enough interactions have accumulated around a dot, the service runs
    one Highlight Extractor refinement round and updates the stored dots and
    highlight results.
+
+For channels that are *still live* the service exposes a second ingest
+surface backed by :mod:`repro.streaming`: chat messages and viewer
+interactions are pushed as they happen, provisional red dots are served
+mid-stream, and ending the live session persists the final (batch-parity)
+dots in the store.
 """
 
 from __future__ import annotations
@@ -21,9 +27,11 @@ from repro.core.config import LightorConfig
 from repro.core.extractor.extractor import HighlightExtractor
 from repro.core.extractor.plays import interactions_to_plays, plays_near_dot
 from repro.core.initializer.initializer import HighlightInitializer
-from repro.core.types import Interaction, RedDot, VideoChatLog
+from repro.core.types import ChatMessage, Interaction, RedDot, Video, VideoChatLog
 from repro.platform.crawler import ChatCrawler
 from repro.platform.storage import InMemoryStore
+from repro.streaming.events import StreamEvent
+from repro.streaming.session import StreamOrchestrator
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError, require_positive
 
@@ -56,7 +64,9 @@ class LightorWebService:
     extractor: HighlightExtractor = field(default_factory=HighlightExtractor)
     config: LightorConfig = field(default_factory=LightorConfig)
     min_interactions_for_refinement: int = 20
+    max_live_sessions: int = 64
     refinement_rounds_: dict[str, int] = field(default_factory=dict, repr=False)
+    _orchestrator: StreamOrchestrator | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         require_positive(self.min_interactions_for_refinement, "min_interactions_for_refinement")
@@ -132,3 +142,101 @@ class LightorWebService:
         self.store.put_red_dots(video_id, new_dots)
         self.refinement_rounds_[video_id] = self.refinement_rounds_.get(video_id, 0) + 1
         return updated
+
+    # ------------------------------------------------------------ live ingest
+    @property
+    def streaming(self) -> StreamOrchestrator:
+        """The live-channel orchestrator (created on first live request)."""
+        if self._orchestrator is None:
+            self._orchestrator = StreamOrchestrator(
+                initializer=self.initializer,
+                config=self.config,
+                max_sessions=self.max_live_sessions,
+                on_evict=self._persist_live_result,
+            )
+        return self._orchestrator
+
+    def start_live(self, video: Video) -> None:
+        """Register a channel that is currently live and open its session.
+
+        The video metadata (its id, and the duration so far if known) is
+        stored so interactions and final results have somewhere to land.
+        """
+        self.store.put_video(video)
+        self.streaming.open_session(video.video_id)
+
+    def ingest_live_chat(
+        self, video_id: str, messages: Sequence[ChatMessage]
+    ) -> list[StreamEvent]:
+        """Push chat messages from a live channel; returns emit/retract events.
+
+        The channel must have been opened with :meth:`start_live` and still
+        be live.  Rejecting unknown channels here (instead of silently
+        opening a fresh session, as the low-level orchestrator would) keeps
+        an LRU-evicted or already-ended channel from being reborn with only
+        the tail of its chat — whose finalize would then overwrite the
+        correct stored dots.
+        """
+        session = self._require_live(video_id)
+        events: list[StreamEvent] = []
+        for message in messages:
+            events.extend(session.ingest_message(message))
+        return events
+
+    def ingest_live_interactions(
+        self, video_id: str, interactions: Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Push viewer interactions from a live channel; returns refinements.
+
+        Interactions are also persisted in the store so a post-stream batch
+        refinement pass (:meth:`refine_video`) can reuse them.
+        """
+        session = self._require_live(video_id)
+        if self.store.has_video(video_id):
+            self.store.log_interactions(video_id, interactions)
+        events: list[StreamEvent] = []
+        for interaction in interactions:
+            events.extend(session.ingest_interaction(interaction))
+        return events
+
+    def live_red_dots(self, video_id: str) -> list[RedDot]:
+        """The red dots to render right now for a channel.
+
+        Falls back to the stored dots when the channel is no longer live
+        (ended or LRU-evicted) — the front end keeps rendering seamlessly.
+        """
+        if self.streaming.has_session(video_id):
+            return self.streaming.current_dots(video_id)
+        return self.store.get_red_dots(video_id)
+
+    def end_live(self, video_id: str, duration: float | None = None) -> list[RedDot]:
+        """Close a live channel: final batch-parity dots, persisted.
+
+        Persistence happens through the orchestrator's eviction callback, so
+        an LRU-evicted channel and an explicitly ended one land in the store
+        the same way — which also makes ``end_live`` idempotent: ending a
+        channel that was already closed or evicted returns the dots
+        persisted at that time.
+        """
+        if not self.streaming.has_session(video_id):
+            if self.store.has_video(video_id):
+                return self.store.get_red_dots(video_id)
+            raise ValidationError(f"no live session for video {video_id!r}")
+        return self.streaming.close_session(video_id, duration)
+
+    def _require_live(self, video_id: str):
+        if not self.streaming.has_session(video_id):
+            raise ValidationError(
+                f"video {video_id!r} has no live session; call start_live first"
+            )
+        return self.streaming.session(video_id)
+
+    def _persist_live_result(self, video_id: str, dots: list[RedDot]) -> None:
+        if self.store.has_video(video_id):
+            self.store.put_red_dots(video_id, dots)
+        else:
+            _LOGGER.info(
+                "live session %s ended with %d dots but no stored video metadata",
+                video_id,
+                len(dots),
+            )

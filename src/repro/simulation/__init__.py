@@ -24,7 +24,7 @@ reproduce the *statistical signatures* the paper reports and analyses:
 from repro.simulation.profiles import GameProfile, DOTA2_PROFILE, LOL_PROFILE, profile_for_game
 from repro.simulation.vocab import GameVocabulary, vocabulary_for_game
 from repro.simulation.video import VideoGenerator
-from repro.simulation.chat import ChatSimulator
+from repro.simulation.chat import ChatSimulator, interleave_live, live_replay
 from repro.simulation.viewers import ViewerBehaviorModel, ViewerPopulation
 from repro.simulation.crowd import CrowdSimulator
 
@@ -37,6 +37,8 @@ __all__ = [
     "vocabulary_for_game",
     "VideoGenerator",
     "ChatSimulator",
+    "interleave_live",
+    "live_replay",
     "ViewerBehaviorModel",
     "ViewerPopulation",
     "CrowdSimulator",

@@ -22,6 +22,7 @@ the paper's Dota2 and LoL datasets do.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterator
 
 import numpy as np
 
@@ -30,7 +31,52 @@ from repro.simulation.profiles import GameProfile, profile_for_game
 from repro.simulation.vocab import GameVocabulary, vocabulary_for_game
 from repro.utils.rng import SeedSequenceFactory
 
-__all__ = ["ChatSimulator"]
+__all__ = ["ChatSimulator", "live_replay", "interleave_live"]
+
+
+def live_replay(chat_log: VideoChatLog) -> Iterator[ChatMessage]:
+    """Yield a recorded chat log's messages in arrival (timestamp) order.
+
+    This is the bridge between the recorded-video simulators and the
+    streaming engine: a live channel is, from the engine's point of view,
+    just a chat log whose future has not happened yet.
+    """
+    yield from chat_log.messages
+
+
+def interleave_live(
+    chat_logs: list[VideoChatLog],
+) -> Iterator[tuple[str, ChatMessage]]:
+    """Merge several channels' chat into one globally time-ordered feed.
+
+    Yields ``(video_id, message)`` pairs ordered by timestamp across all
+    channels — the arrival pattern a multiplexing orchestrator sees when it
+    serves many concurrent live streams.
+    """
+    import heapq
+    import itertools
+
+    # The sequence counter breaks timestamp ties so the heap never falls
+    # through to comparing messages or iterators (which would raise).
+    sequence = itertools.count()
+    feeds = []
+    for log in chat_logs:
+        iterator = live_replay(log)
+        first = next(iterator, None)
+        if first is not None:
+            feeds.append(
+                (first.timestamp, next(sequence), log.video.video_id, first, iterator)
+            )
+    heapq.heapify(feeds)
+    while feeds:
+        _, _, video_id, message, iterator = heapq.heappop(feeds)
+        yield video_id, message
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(
+                feeds,
+                (following.timestamp, next(sequence), video_id, following, iterator),
+            )
 
 # Bot bursts post this many messages within a few seconds.
 _BOT_BURST_SIZE = (12, 30)

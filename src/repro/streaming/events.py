@@ -1,0 +1,61 @@
+"""Events emitted by the streaming highlight engine.
+
+The live engine cannot wait for the video to end before showing red dots, so
+it emits *provisional* dots while the stream runs and retracts them when
+later chat shifts the ranking.  Consumers (the web service, the CLI, tests)
+observe the engine through these value objects:
+
+* :class:`DotEmitted` — a provisional red dot became part of the current
+  top-k and should be rendered on the progress bar.
+* :class:`DotRetracted` — a previously emitted dot fell out of the top-k
+  (newer chat produced stronger windows) and should be removed.
+* :class:`HighlightRefined` — the streaming extractor accumulated enough
+  viewer plays around a dot to run a refinement round and produced an exact
+  highlight boundary (or moved the dot).
+
+``stream_time`` is the chat/interaction timestamp at which the engine made
+the decision — video seconds, the same clock every other timestamp in the
+system uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import Highlight, RedDot
+
+__all__ = ["StreamEvent", "DotEmitted", "DotRetracted", "HighlightRefined"]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """Base class for everything the streaming engine announces."""
+
+    stream_time: float
+
+
+@dataclass(frozen=True)
+class DotEmitted(StreamEvent):
+    """A provisional red dot entered the current top-k."""
+
+    dot: RedDot
+
+
+@dataclass(frozen=True)
+class DotRetracted(StreamEvent):
+    """A previously emitted provisional dot left the current top-k."""
+
+    dot: RedDot
+
+
+@dataclass(frozen=True)
+class HighlightRefined(StreamEvent):
+    """A refinement round around ``dot`` produced a boundary or moved it.
+
+    ``highlight`` is set when the round converged on an exact boundary;
+    ``moved_to`` is set when the round only repositioned the dot (Type I).
+    """
+
+    dot: RedDot
+    highlight: Highlight | None = None
+    moved_to: float | None = None

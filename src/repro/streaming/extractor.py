@@ -1,0 +1,252 @@
+"""Online Highlight Extractor: Algorithm 2 over a live interaction stream.
+
+The batch Extractor pulls rounds of crowd interactions on demand.  In a live
+deployment interactions *arrive* — viewers click red dots while the stream is
+still running — so :class:`StreamingExtractor` inverts the control flow:
+
+* raw :class:`Interaction` events are folded into per-user open-play state
+  (the same play-reconstruction semantics as
+  :func:`repro.core.extractor.plays.interactions_to_plays`);
+* completed plays are attributed to the tracked red dots whose ±Δ band they
+  touch and accumulate in bounded ring buffers;
+* once a dot has gathered ``min_plays_for_refinement`` new plays, one
+  refinement round runs — the batch Extractor's filtering → classification →
+  aggregation dataflow over the accumulated plays — and the dot moves (or
+  gains an exact boundary), emitting a :class:`HighlightRefined` event.
+
+Memory is bounded: each dot keeps at most ``max_plays_per_dot`` plays (a
+ring buffer — old evidence ages out) and per-user state is one open-play
+record.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.config import LightorConfig
+from repro.core.extractor.extractor import HighlightExtractor
+from repro.core.extractor.plays import plays_near_dot
+from repro.core.types import Highlight, Interaction, InteractionKind, PlayRecord, RedDot
+from repro.streaming.events import HighlightRefined, StreamEvent
+from repro.utils.validation import require_positive
+
+__all__ = ["DotAccumulator", "StreamingExtractor"]
+
+
+@dataclass
+class DotAccumulator:
+    """Play evidence and refinement state for one tracked red dot."""
+
+    dot: RedDot
+    plays: deque = field(default_factory=deque)
+    plays_since_refinement: int = 0
+    refinement_rounds: int = 0
+    highlight: Highlight | None = None
+
+    @property
+    def play_count(self) -> int:
+        """Plays currently buffered for this dot."""
+        return len(self.plays)
+
+
+@dataclass
+class StreamingExtractor:
+    """Folds live viewer interactions into per-dot refinement rounds.
+
+    Parameters
+    ----------
+    config:
+        Workflow configuration (Δ radius, filters, iteration caps).
+    extractor:
+        The batch Extractor whose filtering/classification/aggregation a
+        refinement round reuses.
+    min_plays_for_refinement:
+        New plays a dot must gather before the next refinement round.
+    max_plays_per_dot:
+        Ring-buffer bound on buffered plays per dot.
+    video_duration:
+        Used to close dangling plays at end of stream, when known.
+    """
+
+    config: LightorConfig = field(default_factory=LightorConfig)
+    extractor: HighlightExtractor | None = None
+    min_plays_for_refinement: int = 10
+    max_plays_per_dot: int = 256
+    video_duration: float | None = None
+    _dots: dict[tuple, DotAccumulator] = field(default_factory=dict, repr=False)
+    _open_play: dict[str, float] = field(default_factory=dict, repr=False)
+    _last_position: dict[str, float] = field(default_factory=dict, repr=False)
+    interactions_seen: int = 0
+    plays_completed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.min_plays_for_refinement, "min_plays_for_refinement")
+        require_positive(self.max_plays_per_dot, "max_plays_per_dot")
+        if self.extractor is None:
+            self.extractor = HighlightExtractor(config=self.config)
+
+    # ------------------------------------------------------------------ dots
+    def track(self, dot: RedDot) -> None:
+        """Start accumulating plays for ``dot`` (idempotent per window key)."""
+        key = self._key(dot)
+        if key not in self._dots:
+            self._dots[key] = DotAccumulator(
+                dot=dot, plays=deque(maxlen=self.max_plays_per_dot)
+            )
+
+    def untrack(self, dot: RedDot) -> None:
+        """Stop tracking ``dot`` (a retraction); its evidence is dropped."""
+        self._dots.pop(self._key(dot), None)
+
+    def sync_dots(self, dots: list[RedDot]) -> None:
+        """Reconcile the tracked set with the engine's current dots."""
+        wanted = {self._key(dot): dot for dot in dots}
+        for key in list(self._dots):
+            if key not in wanted:
+                del self._dots[key]
+        for key, dot in wanted.items():
+            if key not in self._dots:
+                self._dots[key] = DotAccumulator(
+                    dot=dot, plays=deque(maxlen=self.max_plays_per_dot)
+                )
+
+    def tracked_dots(self) -> list[RedDot]:
+        """Current positions of the tracked dots, sorted by position."""
+        return sorted(
+            (accumulator.dot for accumulator in self._dots.values()),
+            key=lambda dot: dot.position,
+        )
+
+    def refined_highlights(self) -> list[Highlight]:
+        """The exact boundaries extracted so far, sorted by start."""
+        return sorted(
+            (
+                accumulator.highlight
+                for accumulator in self._dots.values()
+                if accumulator.highlight is not None
+            ),
+            key=lambda highlight: highlight.start,
+        )
+
+    # ------------------------------------------------------------------ feed
+    def ingest(self, interaction: Interaction) -> list[StreamEvent]:
+        """Fold one raw interaction in; returns refinement events, if any."""
+        self.interactions_seen += 1
+        completed = self._advance_user(interaction)
+        events: list[StreamEvent] = []
+        for play in completed:
+            events.extend(self._attribute(play))
+        return events
+
+    def ingest_play(self, play: PlayRecord) -> list[StreamEvent]:
+        """Fold an already-reconstructed play in (platform pre-aggregation)."""
+        self.plays_completed += 1
+        return self._attribute(play)
+
+    def flush(self) -> list[StreamEvent]:
+        """Close every open play (end of stream) and attribute the remains."""
+        events: list[StreamEvent] = []
+        for user, start in list(self._open_play.items()):
+            end = self._last_position.get(user, start)
+            if self.video_duration is not None:
+                end = min(max(end, start), self.video_duration)
+            if end > start:
+                self.plays_completed += 1
+                events.extend(self._attribute(PlayRecord(user=user, start=start, end=end)))
+        self._open_play.clear()
+        self._last_position.clear()
+        return events
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _key(dot: RedDot) -> tuple:
+        """Stable identity of a dot across refinement moves.
+
+        The source chat window identifies a dot even as refinement shifts
+        its position; dots without a window (hand-placed) key on position.
+        """
+        if dot.window is not None:
+            return ("window", dot.window)
+        return ("position", dot.position)
+
+    def _advance_user(self, interaction: Interaction) -> list[PlayRecord]:
+        """Per-user open-play bookkeeping, mirroring ``interactions_to_plays``."""
+        user = interaction.user
+        completed: list[PlayRecord] = []
+        self._last_position[user] = interaction.timestamp
+        open_start = self._open_play.get(user)
+        if interaction.kind is InteractionKind.PLAY:
+            if open_start is None:
+                self._open_play[user] = interaction.timestamp
+        elif interaction.kind in (InteractionKind.PAUSE, InteractionKind.STOP):
+            if open_start is not None and interaction.timestamp > open_start:
+                completed.append(
+                    PlayRecord(user=user, start=open_start, end=interaction.timestamp)
+                )
+            self._open_play.pop(user, None)
+        elif interaction.kind in (
+            InteractionKind.SEEK_FORWARD,
+            InteractionKind.SEEK_BACKWARD,
+        ):
+            if open_start is not None and interaction.timestamp > open_start:
+                completed.append(
+                    PlayRecord(user=user, start=open_start, end=interaction.timestamp)
+                )
+            # Seeking restarts playback at the target position.
+            if interaction.target is not None:
+                self._open_play[user] = interaction.target
+                self._last_position[user] = interaction.target
+            else:
+                self._open_play.pop(user, None)
+        self.plays_completed += len(completed)
+        return completed
+
+    def _attribute(self, play: PlayRecord) -> list[StreamEvent]:
+        """Credit a completed play to every dot whose ±Δ band it touches."""
+        events: list[StreamEvent] = []
+        radius = self.config.play_radius
+        for accumulator in self._dots.values():
+            position = accumulator.dot.position
+            if play.start <= position + radius and play.end >= position - radius:
+                accumulator.plays.append(play)
+                accumulator.plays_since_refinement += 1
+                if (
+                    accumulator.plays_since_refinement >= self.min_plays_for_refinement
+                    and accumulator.refinement_rounds
+                    < self.config.max_extractor_iterations
+                ):
+                    event = self._refine(accumulator, play.end)
+                    if event is not None:
+                        events.append(event)
+        return events
+
+    def _refine(self, accumulator: DotAccumulator, stream_time: float) -> StreamEvent | None:
+        """One refinement round over the accumulated plays."""
+        accumulator.plays_since_refinement = 0
+        accumulator.refinement_rounds += 1
+        buffered = list(accumulator.plays)
+
+        def replay_source(current_dot: RedDot, round_index: int) -> list[PlayRecord]:
+            # A live refinement round reuses the buffered plays; fresh
+            # evidence arrives via future rounds, not within one.
+            return plays_near_dot(buffered, current_dot, radius=self.config.play_radius)
+
+        result = self.extractor.extract(
+            accumulator.dot, replay_source, video_duration=self.video_duration
+        )
+        if result.highlight is not None:
+            accumulator.highlight = result.highlight
+            accumulator.dot = accumulator.dot.moved_to(result.highlight.start)
+            return HighlightRefined(
+                stream_time=stream_time,
+                dot=accumulator.dot,
+                highlight=result.highlight,
+            )
+        if result.dot.position != accumulator.dot.position:
+            moved = result.dot.position
+            accumulator.dot = accumulator.dot.moved_to(moved)
+            return HighlightRefined(
+                stream_time=stream_time, dot=accumulator.dot, moved_to=moved
+            )
+        return None

@@ -1,0 +1,254 @@
+"""Per-channel stream sessions and the multi-channel orchestrator.
+
+A :class:`StreamSession` owns one live channel's engines — the incremental
+Initializer and the play-accumulating Extractor — and keeps them in sync:
+when the Initializer emits or retracts provisional dots, the Extractor's
+tracked set is reconciled so viewer plays accumulate against the dots that
+are actually on screen.
+
+:class:`StreamOrchestrator` multiplexes many concurrent channels under a
+bounded memory budget: at most ``max_sessions`` live sessions are kept, in
+LRU order; opening one more finalizes and evicts the least recently active
+channel (its final dots are handed to ``on_evict`` so a back end can persist
+them).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.initializer import HighlightInitializer, InitializerModel
+from repro.core.types import ChatMessage, Highlight, Interaction, RedDot
+from repro.streaming.events import StreamEvent
+from repro.streaming.extractor import StreamingExtractor
+from repro.streaming.initializer import EmitPolicy, StreamingInitializer
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["StreamSession", "StreamOrchestrator"]
+
+_LOGGER = get_logger("streaming.session")
+
+
+@dataclass
+class StreamSession:
+    """One live channel: chat in, provisional dots and refinements out."""
+
+    video_id: str
+    initializer: StreamingInitializer
+    extractor: StreamingExtractor
+    messages_ingested: int = 0
+    interactions_ingested: int = 0
+    events_produced: int = 0
+    closed: bool = False
+
+    def ingest_message(self, message: ChatMessage) -> list[StreamEvent]:
+        """Feed one chat message; returns emit/retract events."""
+        self._require_open()
+        events = self.initializer.ingest(message)
+        self.messages_ingested += 1
+        if events:
+            # The provisional top-k changed — point the extractor's play
+            # accumulators at the dots now on screen.
+            self.extractor.sync_dots(self.initializer.current_dots())
+        self.events_produced += len(events)
+        return events
+
+    def ingest_interaction(self, interaction: Interaction) -> list[StreamEvent]:
+        """Feed one viewer interaction; returns refinement events."""
+        self._require_open()
+        events = self.extractor.ingest(interaction)
+        self.interactions_ingested += 1
+        self.events_produced += len(events)
+        return events
+
+    def finalize(self, duration: float | None = None) -> list[RedDot]:
+        """Close the stream: final batch-parity dots + last refinements."""
+        if self.closed:
+            return self.initializer.current_dots()
+        dots = self.initializer.finalize(duration)
+        self.events_produced += len(self.initializer.final_events)
+        # The video length is only known for sure once the stream ends; hand
+        # it to the extractor so dangling plays are clamped to it, exactly
+        # like the batch path's interactions_to_plays(..., video_duration).
+        self.extractor.video_duration = (
+            duration if duration is not None else self.initializer.last_stream_time
+        )
+        self.extractor.sync_dots(dots)
+        self.events_produced += len(self.extractor.flush())
+        self.closed = True
+        return dots
+
+    def current_dots(self) -> list[RedDot]:
+        """The dots currently on screen (refined positions when available)."""
+        refined = self.extractor.tracked_dots()
+        return refined if refined else self.initializer.current_dots()
+
+    def refined_highlights(self) -> list[Highlight]:
+        """Exact boundaries the extractor has produced so far."""
+        return self.extractor.refined_highlights()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise ValidationError(
+                f"stream session for {self.video_id!r} is already finalized"
+            )
+
+
+@dataclass
+class StreamOrchestrator:
+    """Routes live traffic for many channels into bounded per-channel state.
+
+    Parameters
+    ----------
+    initializer:
+        A *fitted* batch Initializer whose model every session shares (the
+        model is read-only at serve time, so sharing is safe and keeps the
+        per-channel footprint to window state only).
+    config:
+        Workflow configuration; defaults to the initializer's.
+    policy:
+        Emit/retract policy for every session.
+    k:
+        Provisional top-k per channel (defaults to ``config.top_k``).
+    max_sessions:
+        LRU bound on concurrently tracked channels.
+    max_window_summaries:
+        Optional per-channel window summary cap (see
+        :class:`~repro.streaming.state.IncrementalWindowState`).
+    on_evict:
+        Callback ``(video_id, final_dots)`` invoked when a session is
+        LRU-evicted or closed, so results can be persisted.
+    """
+
+    initializer: HighlightInitializer
+    config: LightorConfig | None = None
+    policy: EmitPolicy = field(default_factory=EmitPolicy)
+    k: int | None = None
+    max_sessions: int = 64
+    max_window_summaries: int | None = None
+    min_plays_for_refinement: int = 10
+    on_evict: Callable[[str, list[RedDot]], None] | None = None
+    _sessions: "OrderedDict[str, StreamSession]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    sessions_opened: int = 0
+    sessions_evicted: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_sessions, "max_sessions")
+        if self.initializer.model is None:
+            raise ValidationError(
+                "orchestrator needs a fitted initializer; call fit() first"
+            )
+        if self.config is None:
+            self.config = self.initializer.config
+
+    @property
+    def model(self) -> InitializerModel:
+        """The shared trained model."""
+        return self.initializer.model
+
+    # -------------------------------------------------------------- sessions
+    def open_session(self, video_id: str) -> StreamSession:
+        """Open (or touch) the live session for ``video_id``."""
+        session = self._sessions.get(video_id)
+        if session is not None:
+            self._sessions.move_to_end(video_id)
+            return session
+        session = StreamSession(
+            video_id=video_id,
+            initializer=StreamingInitializer(
+                model=self.initializer.model,
+                config=self.config,
+                feature_set=self.initializer.feature_set,
+                k=self.k,
+                policy=self.policy,
+                video_id=video_id,
+                max_window_summaries=self.max_window_summaries,
+            ),
+            extractor=StreamingExtractor(
+                config=self.config,
+                min_plays_for_refinement=self.min_plays_for_refinement,
+            ),
+        )
+        self._sessions[video_id] = session
+        self.sessions_opened += 1
+        self._evict_over_budget()
+        return session
+
+    def session(self, video_id: str) -> StreamSession:
+        """The session for ``video_id``, opened on first use."""
+        return self.open_session(video_id)
+
+    def has_session(self, video_id: str) -> bool:
+        """Whether a live session is currently tracked for ``video_id``."""
+        return video_id in self._sessions
+
+    # ------------------------------------------------------------------ feed
+    def ingest_message(self, video_id: str, message: ChatMessage) -> list[StreamEvent]:
+        """Route one chat message to its channel's session."""
+        return self.session(video_id).ingest_message(message)
+
+    def ingest_interactions(
+        self, video_id: str, interactions: Iterable[Interaction] | Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Route a batch of viewer interactions to their channel's session."""
+        session = self.session(video_id)
+        events: list[StreamEvent] = []
+        for interaction in interactions:
+            events.extend(session.ingest_interaction(interaction))
+        return events
+
+    def close_session(
+        self, video_id: str, duration: float | None = None
+    ) -> list[RedDot]:
+        """Finalize and drop a channel; returns its final red dots."""
+        session = self._sessions.pop(video_id, None)
+        if session is None:
+            raise ValidationError(f"no live session for video {video_id!r}")
+        dots = session.finalize(duration)
+        if self.on_evict is not None:
+            self.on_evict(video_id, dots)
+        return dots
+
+    def current_dots(self, video_id: str) -> list[RedDot]:
+        """The dots currently live for ``video_id`` (empty when untracked)."""
+        session = self._sessions.get(video_id)
+        return session.current_dots() if session is not None else []
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> dict[str, int]:
+        """Coarse gauges for monitoring and tests."""
+        return {
+            "sessions_live": len(self._sessions),
+            "sessions_opened": self.sessions_opened,
+            "sessions_evicted": self.sessions_evicted,
+            "messages_ingested": sum(
+                s.messages_ingested for s in self._sessions.values()
+            ),
+            "interactions_ingested": sum(
+                s.interactions_ingested for s in self._sessions.values()
+            ),
+            "window_summaries": sum(
+                s.initializer.window_summary_count for s in self._sessions.values()
+            ),
+        }
+
+    # -------------------------------------------------------------- internals
+    def _evict_over_budget(self) -> None:
+        while len(self._sessions) > self.max_sessions:
+            video_id, session = self._sessions.popitem(last=False)
+            dots = session.finalize()
+            self.sessions_evicted += 1
+            _LOGGER.info(
+                "evicted LRU stream session %s (%d messages, %d dots)",
+                video_id,
+                session.messages_ingested,
+                len(dots),
+            )
+            if self.on_evict is not None:
+                self.on_evict(video_id, dots)

@@ -1,0 +1,210 @@
+"""Incremental per-channel window state for the streaming engine.
+
+The batch Initializer re-windows, re-tokenizes and re-featurises the whole
+chat log on every call — O(video) work per request.  The streaming engine
+instead folds each arriving message into the open windows (a constant number
+of them) and *seals* a window once the stream has moved past its end: at
+seal time the window's raw feature triple and chat peak are computed once,
+its messages are dropped, and only a small :class:`WindowSummary` is kept.
+
+Scoring (normalise → logistic → top-k) is deferred to evaluation points and
+runs over the summaries — O(#windows), never O(#messages) — which is what
+makes per-message updates cheap enough for live traffic.
+
+Parity: sealing uses :class:`~repro.core.initializer.features.RunningWindowFeatures`
+and :meth:`~repro.core.initializer.windows.SlidingWindow.peak_timestamp`,
+the same code the batch path replays, so a finalized stream reproduces the
+batch windows, features and peaks exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.initializer.features import RunningWindowFeatures, WindowFeatures
+from repro.core.initializer.windows import (
+    SlidingWindow,
+    StreamingWindowBuilder,
+    resolve_overlapping_windows,
+)
+from repro.core.types import ChatMessage
+from repro.ml.text import tokenize
+from repro.utils.validation import ValidationError
+
+__all__ = ["WindowSummary", "IncrementalWindowState"]
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Everything the scorer needs from a sealed window, messages dropped."""
+
+    start: float
+    end: float
+    message_count: int
+    peak: float
+    raw: WindowFeatures
+
+    @property
+    def raw_array(self) -> np.ndarray:
+        """The raw feature triple as a ``(3,)`` vector."""
+        return self.raw.as_array()
+
+
+@dataclass
+class IncrementalWindowState:
+    """Maintains sealed window summaries for one live chat stream.
+
+    Parameters
+    ----------
+    window_size / stride / min_messages:
+        The sliding-window geometry (must match the trained Initializer's
+        configuration for parity with the batch path).
+    max_summaries:
+        Optional hard cap on retained summaries.  ``None`` (default) keeps
+        every sealed window, which exact batch parity requires — the final
+        normalisation spans the whole video.  A bounded engine drops the
+        oldest summaries once the cap is hit, trading exact parity at
+        ``finalize`` for O(1) memory on endless streams.
+    """
+
+    window_size: float
+    stride: float
+    min_messages: int = 1
+    max_summaries: int | None = None
+    _builder: StreamingWindowBuilder = field(init=False, repr=False)
+    _summaries: list[WindowSummary] = field(default_factory=list, repr=False)
+    # With overlapping windows (stride < window_size) a message is sealed
+    # into several windows; its tokens are computed once at the first seal
+    # and shared until the seal frontier moves past it.  Keyed by object id
+    # with the message held alongside, so an id can never be recycled while
+    # its entry is alive.
+    _token_cache: dict[int, tuple[ChatMessage, list[str]]] = field(
+        default_factory=dict, repr=False
+    )
+    dropped_summaries: int = 0
+    last_timestamp: float = 0.0
+    finalized: bool = False
+
+    def __post_init__(self) -> None:
+        self._builder = StreamingWindowBuilder(
+            window_size=self.window_size,
+            stride=self.stride,
+            min_messages=self.min_messages,
+        )
+
+    # ------------------------------------------------------------------ feed
+    def add(self, message: ChatMessage) -> list[WindowSummary]:
+        """Fold one message in; return summaries of any windows it sealed."""
+        self.last_timestamp = max(self.last_timestamp, message.timestamp)
+        sealed = [self._summarise(window) for window in self._builder.add(message)]
+        if sealed:
+            self._summaries.extend(sealed)
+            self._enforce_cap()
+            self._prune_token_cache()
+        return sealed
+
+    def finalize(self, duration: float | None = None) -> list[WindowSummary]:
+        """Close the stream and return the *scorable* window set.
+
+        The remaining open windows are flushed (truncated at ``duration``,
+        exactly like the batch builder), then the min-message filter and the
+        greedy overlap resolution run over all summaries — the same global
+        steps :func:`~repro.core.initializer.windows.build_sliding_windows`
+        applies — so the returned list corresponds one-to-one with the batch
+        windows.
+
+        ``duration`` defaults to the last seen message timestamp.  A
+        duration *before* chat already observed is rejected: the batch
+        engine's ``VideoChatLog`` refuses such data outright, and silently
+        scoring windows past the declared end would hand out red dots beyond
+        the video.
+        """
+        if duration is not None and duration < self.last_timestamp:
+            raise ValidationError(
+                f"cannot finalize at {duration}s: chat was already observed at "
+                f"{self.last_timestamp}s"
+            )
+        if not self.finalized:
+            closing = duration if duration is not None else self.last_timestamp
+            if closing > 0:
+                self._summaries.extend(
+                    self._summarise(window) for window in self._builder.flush(closing)
+                )
+                self._enforce_cap()
+            self._token_cache.clear()
+            self.finalized = True
+        return self._resolved(self._summaries)
+
+    # ------------------------------------------------------------------ views
+    def scorable_summaries(self) -> list[WindowSummary]:
+        """The current sealed windows after overlap resolution.
+
+        This is the *provisional* view used mid-stream: it only covers
+        windows whose chat has fully played out (a window seals
+        ``window_size`` seconds after it opens), so the live engine's dots
+        trail the live edge by at most one window.
+        """
+        return self._resolved(self._summaries)
+
+    @property
+    def summary_count(self) -> int:
+        """Number of sealed windows currently retained."""
+        return len(self._summaries)
+
+    @property
+    def active_window_count(self) -> int:
+        """Number of windows still open at the live edge."""
+        return self._builder.active_window_count
+
+    @property
+    def messages_seen(self) -> int:
+        """Total messages folded into this state."""
+        return self._builder.messages_seen
+
+    # -------------------------------------------------------------- internals
+    def _summarise(self, window: SlidingWindow) -> WindowSummary:
+        running = RunningWindowFeatures()
+        for message in window.messages:
+            running.add(message.text, tokens=self._tokens_for(message))
+        return WindowSummary(
+            start=window.start,
+            end=window.end,
+            message_count=window.message_count,
+            peak=window.peak_timestamp(),
+            raw=running.raw(),
+        )
+
+    def _tokens_for(self, message: ChatMessage) -> list[str]:
+        if self.stride >= self.window_size:
+            # Disjoint windows: each message is summarised exactly once, so
+            # a cache would be pure overhead.
+            return tokenize(message.text)
+        entry = self._token_cache.get(id(message))
+        if entry is not None and entry[0] is message:
+            return entry[1]
+        tokens = tokenize(message.text)
+        self._token_cache[id(message)] = (message, tokens)
+        return tokens
+
+    def _prune_token_cache(self) -> None:
+        if not self._token_cache:
+            return
+        frontier = self._builder.frontier_start
+        self._token_cache = {
+            key: entry
+            for key, entry in self._token_cache.items()
+            if entry[0].timestamp >= frontier
+        }
+
+    def _resolved(self, summaries: list[WindowSummary]) -> list[WindowSummary]:
+        if self.stride >= self.window_size:
+            return sorted(summaries, key=lambda s: s.start)
+        return resolve_overlapping_windows(summaries)
+
+    def _enforce_cap(self) -> None:
+        if self.max_summaries is not None and len(self._summaries) > self.max_summaries:
+            overflow = len(self._summaries) - self.max_summaries
+            del self._summaries[:overflow]
+            self.dropped_summaries += overflow

@@ -1,0 +1,168 @@
+"""Edge cases the seed suite skipped: empty logs, single messages, boundary
+dots, empty batches.
+
+Every case here was picked because a production ingest path can produce it:
+channels with dead chat, one-message videos, dots pinned at position 0 or at
+the video duration, and empty work batches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LightorConfig
+from repro.core.extractor.extractor import HighlightExtractor
+from repro.core.initializer.features import WindowFeatureExtractor
+from repro.core.initializer.windows import build_sliding_windows
+from repro.core.pipeline import LightorPipeline
+from repro.core.types import ChatMessage, RedDot, Video, VideoChatLog
+from repro.datasets.loaders import training_pairs
+from repro.eval.matching import is_correct_end, is_correct_start
+from repro.eval.metrics import video_precision_start_at_k
+from repro.streaming import StreamingInitializer, StreamOrchestrator
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def pipeline(dota2_dataset):
+    fitted = LightorPipeline(LightorConfig())
+    fitted.fit(training_pairs(dota2_dataset[:1]))
+    return fitted
+
+
+def _log(duration: float, timestamps: list[float], text: str = "gg") -> VideoChatLog:
+    video = Video(video_id="edge", duration=duration)
+    messages = [ChatMessage(timestamp=t, text=text) for t in timestamps]
+    return VideoChatLog(video=video, messages=messages)
+
+
+class TestEmptyChat:
+    def test_propose_on_empty_chat_returns_no_dots(self, pipeline):
+        assert pipeline.propose(_log(600.0, []), k=5) == []
+
+    def test_run_on_empty_chat_produces_empty_result(self, pipeline):
+        result = pipeline.run(_log(600.0, []), lambda dot, round_index: [], k=5)
+        assert result.red_dots == []
+        assert result.extractions == []
+        assert result.start_positions == []
+        assert result.end_positions == []
+        assert result.highlights == []
+
+    def test_windows_on_empty_chat(self):
+        assert build_sliding_windows(_log(600.0, []), window_size=25.0) == []
+
+    def test_streaming_empty_stream_finalizes_clean(self, fitted_initializer):
+        streaming = StreamingInitializer.from_initializer(fitted_initializer, k=5)
+        assert streaming.finalize(600.0) == []
+        assert streaming.current_dots() == []
+
+    def test_precision_of_empty_return_is_zero(self):
+        assert video_precision_start_at_k([], [], k=5) == 0.0
+
+
+class TestSingleMessage:
+    def test_single_message_video_proposes_at_most_one_dot(self, pipeline):
+        chat_log = _log(600.0, [42.0])
+        dots = pipeline.propose(chat_log, k=5)
+        assert len(dots) <= 1
+        for dot in dots:
+            assert 0.0 <= dot.position <= 600.0
+
+    def test_single_message_feature_matrix_is_finite(self):
+        import numpy as np
+
+        windows = build_sliding_windows(_log(600.0, [42.0]), window_size=25.0)
+        matrix = WindowFeatureExtractor().feature_matrix(windows)
+        assert np.isfinite(matrix).all()
+
+    def test_single_message_streaming_parity(self, fitted_initializer):
+        chat_log = _log(600.0, [42.0])
+        batch = fitted_initializer.propose(chat_log, k=5)
+        streaming = StreamingInitializer.from_initializer(
+            fitted_initializer, k=5, video_id="edge"
+        )
+        for message in chat_log.messages:
+            streaming.ingest(message)
+        assert streaming.finalize(600.0) == batch
+
+    def test_message_at_duration_is_ignored_like_batch(self, fitted_initializer):
+        # A message stamped exactly at the video duration belongs to no
+        # half-open window in either engine.
+        chat_log = _log(600.0, [100.0, 600.0])
+        batch = build_sliding_windows(chat_log, window_size=25.0)
+        assert sum(w.message_count for w in batch) == 1
+
+
+class TestBoundaryDots:
+    def test_dot_at_position_zero_survives_extraction(self, pipeline):
+        dot = RedDot(position=0.0)
+        result = pipeline.extractor.extract(dot, lambda d, r: [], video_duration=600.0)
+        assert result.highlight is None
+        assert result.dot.position == 0.0
+
+    def test_dot_at_duration_with_plays_clamped(self, pipeline):
+        from repro.core.types import PlayRecord
+
+        duration = 600.0
+        dot = RedDot(position=duration)
+        plays = [
+            PlayRecord(user=f"u{i}", start=duration - 40.0, end=duration)
+            for i in range(12)
+        ]
+        result = pipeline.extractor.extract(
+            dot, lambda d, r: plays, video_duration=duration
+        )
+        if result.highlight is not None:
+            assert 0.0 <= result.highlight.start <= result.highlight.end <= duration
+
+    def test_matching_predicates_at_boundaries(self):
+        from repro.core.types import Highlight
+
+        highlight = Highlight(start=0.0, end=30.0)
+        assert is_correct_start(0.0, [highlight])
+        assert is_correct_end(30.0, [highlight])
+        highlight_at_end = Highlight(start=570.0, end=600.0)
+        assert is_correct_start(600.0, [highlight_at_end])
+        assert is_correct_end(600.0, [highlight_at_end])
+
+
+class TestEmptyBatches:
+    def test_run_many_with_empty_sequence(self, pipeline):
+        assert pipeline.run_many([], lambda video: (lambda d, r: [])) == []
+
+    def test_extract_all_with_no_dots(self, pipeline):
+        assert pipeline.extractor.extract_all([], lambda d, r: []) == []
+
+    def test_unconfigured_extractor_is_reported(self, pipeline, dota2_dataset):
+        broken = LightorPipeline(
+            LightorConfig(), initializer=pipeline.initializer, extractor=pipeline.extractor
+        )
+        broken.extractor = None
+        with pytest.raises(ValidationError, match="extractor"):
+            broken.propose(dota2_dataset[1].chat_log, k=3)
+
+    def test_orchestrator_interactions_before_any_chat(self, fitted_initializer):
+        from repro.core.types import Interaction, InteractionKind
+
+        orchestrator = StreamOrchestrator(initializer=fitted_initializer)
+        events = orchestrator.ingest_interactions(
+            "cold-channel",
+            [Interaction(timestamp=10.0, kind=InteractionKind.PLAY, user="u")],
+        )
+        assert events == []
+        assert orchestrator.close_session("cold-channel") == []
+
+
+class TestDegenerateGeometry:
+    def test_window_larger_than_video(self, pipeline):
+        chat_log = _log(10.0, [1.0, 2.0, 3.0])
+        windows = build_sliding_windows(chat_log, window_size=25.0)
+        assert len(windows) == 1
+        assert windows[0].end == 10.0
+        dots = pipeline.propose(chat_log, k=5)
+        for dot in dots:
+            assert 0.0 <= dot.position <= 10.0
+
+    def test_messages_per_hour_of_short_video(self):
+        chat_log = _log(1.0, [0.5])
+        assert chat_log.messages_per_hour == pytest.approx(3600.0)

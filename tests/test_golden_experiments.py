@@ -1,0 +1,109 @@
+"""Golden regression fixtures for the figure/table experiments.
+
+The reproduction's headline numbers (Fig. 6, Fig. 7, Table I at the small
+scale with fixed seeds) are snapshotted into ``tests/golden/*.json``.  Every
+run must reproduce them within a small relative tolerance, so a refactor
+that silently shifts the reproduction numbers — a changed window boundary, a
+reordered normalisation, an off-by-one in a split — fails loudly here
+instead of drifting unnoticed.
+
+Regenerating after an *intentional* metrics change::
+
+    LIGHTOR_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_experiments.py
+
+then commit the updated JSON together with the change that justifies it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("LIGHTOR_REGEN_GOLDEN") == "1"
+
+# Experiment id → fixture name.  All run at the "small" scale, whose seeds
+# are fixed by the dataset specs and the experiments' own crowd seeds.
+GOLDEN_EXPERIMENTS = {
+    "fig6": "fig6_small.json",
+    "fig7": "fig7_small.json",
+    "table1": "table1_small.json",
+}
+
+# Wall-clock measurements can never be golden.
+VOLATILE_KEY_PARTS = ("seconds", "time")
+
+RELATIVE_TOLERANCE = 1e-6
+ABSOLUTE_TOLERANCE = 1e-9
+
+
+def _is_volatile(key: str) -> bool:
+    lowered = str(key).lower()
+    return any(part in lowered for part in VOLATILE_KEY_PARTS)
+
+
+def _assert_close(expected, actual, path: str) -> None:
+    """Recursive tolerance-based comparison with useful failure paths."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected a mapping, got {type(actual)}"
+        expected_keys = {str(k) for k in expected}
+        actual_keys = {str(k) for k in actual}
+        assert expected_keys == actual_keys, (
+            f"{path}: keys differ (missing {expected_keys - actual_keys}, "
+            f"unexpected {actual_keys - expected_keys})"
+        )
+        expected_by_key = {str(k): v for k, v in expected.items()}
+        actual_by_key = {str(k): v for k, v in actual.items()}
+        for key in expected_by_key:
+            if _is_volatile(key):
+                continue
+            _assert_close(expected_by_key[key], actual_by_key[key], f"{path}.{key}")
+    elif isinstance(expected, (list, tuple)):
+        assert isinstance(actual, (list, tuple)), f"{path}: expected a sequence"
+        assert len(expected) == len(actual), (
+            f"{path}: length {len(actual)} != golden {len(expected)}"
+        )
+        for index, (expected_item, actual_item) in enumerate(zip(expected, actual)):
+            _assert_close(expected_item, actual_item, f"{path}[{index}]")
+    elif isinstance(expected, bool) or expected is None or isinstance(expected, str):
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+    elif isinstance(expected, (int, float)):
+        assert isinstance(actual, (int, float)), f"{path}: expected a number"
+        assert math.isclose(
+            float(expected),
+            float(actual),
+            rel_tol=RELATIVE_TOLERANCE,
+            abs_tol=ABSOLUTE_TOLERANCE,
+        ), f"{path}: {actual!r} != golden {expected!r}"
+    else:  # pragma: no cover - golden files only hold JSON types
+        raise AssertionError(f"{path}: unsupported golden type {type(expected)}")
+
+
+def _jsonable(value):
+    """Round-trip through JSON so goldens and fresh results compare evenly."""
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN_EXPERIMENTS))
+def test_experiment_matches_golden(experiment_id):
+    from repro.experiments import run_experiment
+
+    results, _ = run_experiment(experiment_id, scale="small")
+    fresh = _jsonable(results)
+    golden_path = GOLDEN_DIR / GOLDEN_EXPERIMENTS[experiment_id]
+
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {golden_path.name}")
+
+    assert golden_path.exists(), (
+        f"golden fixture {golden_path} missing; run with LIGHTOR_REGEN_GOLDEN=1 "
+        "to create it"
+    )
+    golden = json.loads(golden_path.read_text())
+    _assert_close(golden, fresh, path=experiment_id)

@@ -1,0 +1,180 @@
+"""Batch/stream parity: the streaming engine's core contract.
+
+Feeding a recorded ``VideoChatLog`` through the streaming engine
+message-by-message and finalizing at the video duration must reproduce the
+batch ``HighlightInitializer.propose`` / ``LightorPipeline.propose`` red
+dots *exactly* — same positions, same scores, same top-k order.  The suite
+parametrizes over dataset seeds, window geometries and feature sets, and
+also pins the window/feature layers the contract rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.features import RunningWindowFeatures, WindowFeatureExtractor
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.core.initializer.predictor import FeatureSet
+from repro.core.initializer.windows import (
+    SlidingWindow,
+    StreamingWindowBuilder,
+    build_sliding_windows,
+    resolve_overlapping_windows,
+)
+from repro.core.pipeline import LightorPipeline
+from repro.core.types import ChatMessage, Video, VideoChatLog
+from repro.datasets.generate import DatasetSpec, build_dataset
+from repro.datasets.loaders import training_pairs
+from repro.eval.parity import compare_red_dots
+from repro.streaming import EmitPolicy, StreamingInitializer
+from repro.utils.validation import ValidationError
+
+# Five seeded end-to-end scenarios (the ISSUE's acceptance bar) plus
+# geometry/feature variants.  Each tuple: dataset seed, window size, stride,
+# feature set, k.
+SCENARIOS = [
+    pytest.param(2020, 25.0, 12.5, FeatureSet.ALL, 5, id="paper-defaults-2020"),
+    pytest.param(7, 25.0, 12.5, FeatureSet.ALL, 10, id="paper-defaults-7-k10"),
+    pytest.param(99, 20.0, 10.0, FeatureSet.ALL, 5, id="window20-stride10-99"),
+    pytest.param(123, 40.0, 8.0, FeatureSet.MSG_NUM_LEN, 5, id="window40-stride8-123"),
+    pytest.param(31337, 25.0, 25.0, FeatureSet.MSG_NUM, 5, id="non-overlapping-31337"),
+    pytest.param(4242, 30.0, 15.0, FeatureSet.ALL, 3, id="window30-k3-4242"),
+]
+
+
+def _replay(initializer: HighlightInitializer, chat_log, k, policy=None):
+    """Stream the recorded log message-by-message and finalize."""
+    streaming = StreamingInitializer.from_initializer(
+        initializer,
+        k=k,
+        video_id=chat_log.video.video_id,
+        policy=policy or EmitPolicy(),
+    )
+    for message in chat_log.messages:
+        streaming.ingest(message)
+    return streaming, streaming.finalize(chat_log.video.duration)
+
+
+class TestRedDotParity:
+    @pytest.mark.parametrize("seed, window, stride, feature_set, k", SCENARIOS)
+    def test_streaming_replay_matches_batch_propose(
+        self, seed, window, stride, feature_set, k
+    ):
+        config = LightorConfig().with_overrides(window_size=window, window_stride=stride)
+        dataset = build_dataset(DatasetSpec.dota2(size=3, seed=seed))
+        initializer = HighlightInitializer(config=config, feature_set=feature_set)
+        initializer.fit(training_pairs(dataset[:1]))
+
+        for labelled in dataset[1:]:
+            batch = initializer.propose(labelled.chat_log, k=k)
+            _, streamed = _replay(initializer, labelled.chat_log, k)
+            report = compare_red_dots(batch, streamed)
+            assert report.ok, report.describe()
+            # Dataclass equality doubles as the strictest possible check.
+            assert batch == streamed
+
+    def test_parity_matches_pipeline_propose(self, dota2_dataset, config):
+        pipeline = LightorPipeline(config)
+        pipeline.fit(training_pairs(dota2_dataset[:1]))
+        labelled = dota2_dataset[2]
+        batch = pipeline.propose(labelled.chat_log, k=5)
+        _, streamed = _replay(pipeline.initializer, labelled.chat_log, 5)
+        assert batch == streamed
+
+    def test_parity_independent_of_emit_cadence(self, fitted_initializer, dota2_dataset):
+        """The provisional evaluation cadence must not leak into the final set."""
+        labelled = dota2_dataset[3]
+        batch = fitted_initializer.propose(labelled.chat_log, k=5)
+        for policy in (
+            EmitPolicy(eval_every_messages=5, eval_every_seconds=5.0),
+            EmitPolicy(eval_every_messages=10_000, eval_every_seconds=100_000.0),
+        ):
+            _, streamed = _replay(fitted_initializer, labelled.chat_log, 5, policy)
+            assert batch == streamed
+
+    def test_lol_dataset_parity(self, lol_dataset, config):
+        initializer = HighlightInitializer(config=config)
+        initializer.fit(training_pairs(lol_dataset[:1]))
+        for labelled in lol_dataset[1:3]:
+            batch = initializer.propose(labelled.chat_log, k=5)
+            _, streamed = _replay(initializer, labelled.chat_log, 5)
+            assert batch == streamed
+
+
+class TestWindowParity:
+    """build_sliding_windows is a replay of StreamingWindowBuilder."""
+
+    @pytest.mark.parametrize("stride", [5.0, 12.5, 25.0])
+    def test_manual_replay_equals_batch(self, dota2_dataset, stride):
+        chat_log = dota2_dataset[1].chat_log
+        batch = build_sliding_windows(chat_log, window_size=25.0, stride=stride)
+
+        builder = StreamingWindowBuilder(window_size=25.0, stride=stride)
+        streamed: list[SlidingWindow] = []
+        for message in chat_log.messages:
+            streamed.extend(builder.add(message))
+        streamed.extend(builder.flush(chat_log.video.duration))
+        if stride < 25.0:
+            streamed = resolve_overlapping_windows(streamed)
+
+        assert [(w.start, w.end) for w in batch] == [(w.start, w.end) for w in streamed]
+        assert [w.message_count for w in batch] == [w.message_count for w in streamed]
+        assert [w.peak_timestamp() for w in batch] == [
+            w.peak_timestamp() for w in streamed
+        ]
+
+    def test_out_of_order_messages_rejected(self):
+        builder = StreamingWindowBuilder(window_size=25.0, stride=12.5)
+        builder.add(ChatMessage(timestamp=100.0, text="gg"))
+        with pytest.raises(ValidationError):
+            builder.add(ChatMessage(timestamp=50.0, text="gg"))
+
+    def test_sealing_frees_active_windows(self):
+        builder = StreamingWindowBuilder(window_size=25.0, stride=12.5)
+        for second in range(0, 300, 5):
+            builder.add(ChatMessage(timestamp=float(second), text="gg"))
+        # Only the live edge stays open: ceil(window/stride) = 2 windows,
+        # plus at most one freshly opened by the last message.
+        assert builder.active_window_count <= 3
+        assert builder.windows_sealed > 15
+
+    def test_truncated_tail_window_matches_batch(self):
+        """A video ending mid-window truncates the last window identically."""
+        video = Video(video_id="tail", duration=40.0)
+        messages = [ChatMessage(timestamp=float(t), text="gg") for t in (1, 26, 30, 39)]
+        chat_log = VideoChatLog(video=video, messages=messages)
+        batch = build_sliding_windows(chat_log, window_size=25.0)
+
+        builder = StreamingWindowBuilder(window_size=25.0, stride=25.0)
+        streamed = []
+        for message in chat_log.messages:
+            streamed.extend(builder.add(message))
+        streamed.extend(builder.flush(video.duration))
+        assert [(w.start, w.end) for w in batch] == [(w.start, w.end) for w in streamed]
+        assert batch[-1].end == 40.0
+
+
+class TestFeatureParity:
+    """WindowFeatureExtractor.raw_features is a replay of RunningWindowFeatures."""
+
+    def test_incremental_equals_batch_features(self, dota2_dataset):
+        chat_log = dota2_dataset[1].chat_log
+        windows = build_sliding_windows(chat_log, window_size=25.0, stride=12.5)
+        extractor = WindowFeatureExtractor()
+        for window in windows[:40]:
+            running = RunningWindowFeatures()
+            for message in window.messages:
+                running.add(message.text)
+            assert running.raw() == extractor.raw_features(window)
+
+    def test_pretokenized_add_matches(self):
+        from repro.ml.text import tokenize
+
+        texts = ["KILL!! PogChamp", "gg wp", "", "   ", "rampage rampage"]
+        plain = RunningWindowFeatures()
+        shared = RunningWindowFeatures()
+        for text in texts:
+            plain.add(text)
+            shared.add(text, tokens=tokenize(text))
+        assert plain.raw() == shared.raw()
