@@ -69,6 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-event output"
     )
+    stream_parser.add_argument(
+        "--backend", default="memory", choices=("memory", "sqlite"),
+        help="storage backend behind the service tier (default: memory)",
+    )
+    stream_parser.add_argument(
+        "--db-path", default=None,
+        help="SQLite database path (sqlite backend; one file per shard). "
+        "Omit for an in-memory database.",
+    )
+    stream_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="service workers to consistent-hash the channels across (default: 1)",
+    )
     return parser
 
 
@@ -141,6 +154,9 @@ def _command_stream(
     emit_every_messages: int,
     emit_every_seconds: float,
     quiet: bool,
+    backend: str,
+    db_path: str | None,
+    shards: int,
 ) -> int:
     import time
 
@@ -148,8 +164,9 @@ def _command_stream(
     from repro.core.initializer.initializer import HighlightInitializer
     from repro.datasets import DatasetSpec, build_dataset
     from repro.eval.parity import compare_red_dots
+    from repro.platform.sharding import ShardedLightorService
     from repro.simulation.chat import interleave_live
-    from repro.streaming import DotEmitted, DotRetracted, EmitPolicy, StreamOrchestrator
+    from repro.streaming import DotEmitted, DotRetracted, EmitPolicy
     from repro.utils.validation import ValidationError
 
     if channels < 1:
@@ -157,6 +174,12 @@ def _command_stream(
         return 1
     if k < 1:
         print("--k must be at least 1", flush=True)
+        return 1
+    if shards < 1:
+        print("--shards must be at least 1", flush=True)
+        return 1
+    if db_path is not None and backend != "sqlite":
+        print("--db-path requires --backend sqlite", flush=True)
         return 1
     try:
         policy = EmitPolicy(
@@ -172,48 +195,80 @@ def _command_stream(
 
     initializer = HighlightInitializer(config=LightorConfig())
     initializer.fit([train.training_pair])
-    print(f"trained on {train.video.video_id}; serving {len(targets)} live channel(s)")
 
-    orchestrator = StreamOrchestrator(
-        initializer=initializer,
-        policy=policy,
-        k=k,
-        # Every channel must stay live until its parity check at the end, so
-        # the LRU bound is sized to the run instead of the serving default.
-        max_sessions=channels,
+    import sqlite3
+
+    try:
+        service = ShardedLightorService.create(
+            shards,
+            initializer,
+            backend=backend,
+            db_path=db_path,
+            live_k=k,
+            live_policy=policy,
+            # Every channel must stay live until its parity check at the end,
+            # so the LRU bound is sized to the run instead of the default.
+            max_live_sessions=channels,
+        )
+    except (ValidationError, sqlite3.Error) as error:
+        print(f"cannot build the service tier: {error}", flush=True)
+        return 1
+    where = backend if db_path is None else f"{backend} at {db_path}"
+    print(
+        f"trained on {train.video.video_id}; serving {len(targets)} live "
+        f"channel(s) across {shards} shard(s) on the {where} backend"
     )
 
     logs = {t.video.video_id: t.chat_log for t in targets}
-    n_messages = 0
-    started = time.perf_counter()
-    for video_id, message in interleave_live(list(logs.values())):
-        n_messages += 1
-        for event in orchestrator.ingest_message(video_id, message):
-            if quiet:
-                continue
-            if isinstance(event, DotEmitted):
-                verb, dot = "emit   ", event.dot
-            elif isinstance(event, DotRetracted):
-                verb, dot = "retract", event.dot
-            else:
-                continue
-            print(
-                f"  t={event.stream_time:8.1f}s {video_id} {verb} "
-                f"dot @ {dot.position:8.1f}s (score {dot.score:.3f})"
-            )
-    elapsed = time.perf_counter() - started
-    rate = n_messages / elapsed if elapsed > 0 else float("inf")
-    print(f"ingested {n_messages} messages across {len(targets)} channel(s) "
-          f"in {elapsed:.2f}s ({rate:,.0f} msg/s)")
+    # close() finalizes any still-open session, so even an abnormal exit
+    # persists the results streamed so far to a durable backend.
+    try:
+        for target in targets:
+            service.start_live(target.video)
+        n_messages = 0
+        started = time.perf_counter()
+        for video_id, message in interleave_live(list(logs.values())):
+            n_messages += 1
+            for event in service.ingest_live_chat(video_id, [message]):
+                if quiet:
+                    continue
+                if isinstance(event, DotEmitted):
+                    verb, dot = "emit   ", event.dot
+                elif isinstance(event, DotRetracted):
+                    verb, dot = "retract", event.dot
+                else:
+                    continue
+                print(
+                    f"  t={event.stream_time:8.1f}s {video_id} {verb} "
+                    f"dot @ {dot.position:8.1f}s (score {dot.score:.3f})"
+                )
+        elapsed = time.perf_counter() - started
+        rate = n_messages / elapsed if elapsed > 0 else float("inf")
+        print(f"ingested {n_messages} messages across {len(targets)} channel(s) "
+              f"in {elapsed:.2f}s ({rate:,.0f} msg/s)")
 
-    exit_code = 0
-    for video_id, chat_log in logs.items():
-        streamed = orchestrator.close_session(video_id, chat_log.video.duration)
-        batch = initializer.propose(chat_log, k=k)
-        report = compare_red_dots(batch, streamed)
-        print(f"{video_id}: {len(streamed)} final dots; batch {report.describe()}")
-        if not report.ok:
-            exit_code = 1
+        exit_code = 0
+        for video_id, chat_log in logs.items():
+            streamed = service.end_live(video_id, chat_log.video.duration)
+            batch = initializer.propose(chat_log, k=k)
+            report = compare_red_dots(batch, streamed)
+            shard = service.shard_index(video_id)
+            persisted = len(service.get_red_dots(video_id))
+            print(
+                f"{video_id} [shard {shard}]: {len(streamed)} final dots "
+                f"({persisted} persisted); batch {report.describe()}"
+            )
+            if not report.ok or persisted != len(streamed):
+                exit_code = 1
+        stats = service.stats()
+        print(
+            f"store totals: {stats['videos']} videos, {stats['red_dots']} red dots, "
+            f"{stats['highlight_records']} highlight records"
+        )
+        if db_path is not None:
+            print(f"results persisted durably in: {', '.join(service.db_paths())}")
+    finally:
+        service.close()
     return exit_code
 
 
@@ -239,6 +294,9 @@ def main(argv: list[str] | None = None) -> int:
             emit_every_messages=args.emit_every_messages,
             emit_every_seconds=args.emit_every_seconds,
             quiet=args.quiet,
+            backend=args.backend,
+            db_path=args.db_path,
+            shards=args.shards,
         )
     parser.print_help()
     return 1

@@ -2,34 +2,53 @@
 
 Section VI of the paper describes two deployment paths: a browser extension
 backed by a web service + crawler, or direct integration into a streaming
-platform.  This package provides runnable, in-memory equivalents of every
-box in the paper's Figure 5:
+platform.  This package provides runnable equivalents of every box in the
+paper's Figure 5, layered for scale (see ``docs/architecture.md``):
 
-* :mod:`storage <repro.platform.storage>` — the back-end database (videos,
-  chat messages, play/interaction logs, highlight results).
+* :mod:`backends <repro.platform.backends>` — pluggable storage behind the
+  :class:`StorageBackend` contract: the in-memory reference store and a
+  durable SQLite backend (stdlib ``sqlite3``, WAL mode).
+* :mod:`codecs <repro.platform.codecs>` — round-trip-exact to/from-dict
+  serialization for the core value objects (what durable backends store).
 * :mod:`api <repro.platform.api>` — a simulated live-streaming platform API
   (channel listings, video metadata, chat download).
 * :mod:`crawler <repro.platform.crawler>` — offline/online chat crawler
-  writing into the store.
+  writing into a backend.
 * :mod:`service <repro.platform.service>` — the LIGHTOR back-end web service:
   receives a video id, crawls chat if needed, computes red dots, serves them,
-  logs interactions and refines highlights.
+  logs interactions and refines highlights.  Stateless over its backend.
+* :mod:`sharding <repro.platform.sharding>` — the sharded front door:
+  consistent-hashes video ids across N workers, each with its own backend,
+  crawler and streaming orchestrator, under per-shard locks.
 * :mod:`extension <repro.platform.extension>` — the browser-extension front
   end: renders red dots on the progress bar and forwards viewer interactions
   to the service.
 """
 
-from repro.platform.storage import InMemoryStore
+from repro.platform.backends import (
+    HighlightRecord,
+    InMemoryStore,
+    SQLiteStore,
+    StorageBackend,
+    create_backend,
+)
 from repro.platform.api import SimulatedStreamingAPI
 from repro.platform.crawler import ChatCrawler
 from repro.platform.service import LightorWebService
+from repro.platform.sharding import ConsistentHashRing, ShardedLightorService
 from repro.platform.extension import BrowserExtension, ProgressBarView
 
 __all__ = [
-    "InMemoryStore",
-    "SimulatedStreamingAPI",
-    "ChatCrawler",
-    "LightorWebService",
     "BrowserExtension",
+    "ChatCrawler",
+    "ConsistentHashRing",
+    "HighlightRecord",
+    "InMemoryStore",
+    "LightorWebService",
     "ProgressBarView",
+    "SQLiteStore",
+    "ShardedLightorService",
+    "SimulatedStreamingAPI",
+    "StorageBackend",
+    "create_backend",
 ]

@@ -9,6 +9,7 @@ the behaviour an external service exhibits from the crawler's point of view.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.types import ChatMessage, Video
@@ -45,6 +46,9 @@ class SimulatedStreamingAPI:
         require_positive(self.videos_per_channel, "videos_per_channel")
         self._video_generator = VideoGenerator(seeds=self.seeds)
         self._chat_simulator = ChatSimulator(seeds=self.seeds)
+        # One API instance may be shared by every shard of a sharded service,
+        # whose per-shard locks do not cover it — guard the caches here.
+        self._lock = threading.RLock()
 
     # -------------------------------------------------------------- channels
     def top_channels(self, game: str, count: int = 10) -> list[str]:
@@ -64,31 +68,46 @@ class SimulatedStreamingAPI:
         game = self._game_of_channel(channel)
         channel_index = self._channel_index(channel)
         videos = []
-        for slot in range(count):
-            video_index = channel_index * self.videos_per_channel + slot
-            video_id = f"{game}-{video_index:04d}"
-            if video_id not in self._catalog:
-                self._catalog[video_id] = self._video_generator.generate(video_index, game=game)
-            videos.append(self._catalog[video_id])
+        with self._lock:
+            for slot in range(count):
+                video_index = channel_index * self.videos_per_channel + slot
+                video_id = f"{game}-{video_index:04d}"
+                if video_id not in self._catalog:
+                    self._catalog[video_id] = self._video_generator.generate(
+                        video_index, game=game
+                    )
+                videos.append(self._catalog[video_id])
         return videos
 
     # ---------------------------------------------------------------- videos
     def get_video(self, video_id: str) -> Video:
         """Fetch metadata for ``video_id`` (generates it when unseen)."""
-        if video_id not in self._catalog:
-            game, _, index_text = video_id.partition("-")
-            if game not in self.games or not index_text.isdigit():
-                raise ValidationError(f"unknown video id {video_id!r}")
-            self._catalog[video_id] = self._video_generator.generate(int(index_text), game=game)
-        return self._catalog[video_id]
+        with self._lock:
+            if video_id not in self._catalog:
+                game, _, index_text = video_id.partition("-")
+                if game not in self.games or not index_text.isdigit():
+                    raise ValidationError(f"unknown video id {video_id!r}")
+                self._catalog[video_id] = self._video_generator.generate(
+                    int(index_text), game=game
+                )
+            return self._catalog[video_id]
 
     def get_chat_replay(self, video_id: str) -> list[ChatMessage]:
         """Download the chat replay of a recorded video (cached)."""
-        if video_id not in self._chat_cache:
-            video = self.get_video(video_id)
-            self._chat_cache[video_id] = self._chat_simulator.simulate(video).messages
-        self.chat_requests_served_ += 1
-        return list(self._chat_cache[video_id])
+        with self._lock:
+            cached = self._chat_cache.get(video_id)
+            if cached is not None:
+                self.chat_requests_served_ += 1
+                return list(cached)
+        # Simulate outside the lock: generation is deterministic per video id,
+        # so concurrent cold-cache crawls of different videos can overlap (two
+        # racing crawls of the same video produce the identical log).
+        video = self.get_video(video_id)
+        messages = self._chat_simulator.simulate(video).messages
+        with self._lock:
+            stored = self._chat_cache.setdefault(video_id, messages)
+            self.chat_requests_served_ += 1
+            return list(stored)
 
     # -------------------------------------------------------------- helpers
     def _game_of_channel(self, channel: str) -> str:

@@ -1,0 +1,55 @@
+"""Pluggable storage backends behind the LIGHTOR platform tier.
+
+* :mod:`base <repro.platform.backends.base>` — the :class:`StorageBackend`
+  contract and the :class:`HighlightRecord` value object.
+* :mod:`memory <repro.platform.backends.memory>` — the in-memory reference
+  implementation (the default backend).
+* :mod:`sqlite <repro.platform.backends.sqlite>` — a durable, dependency-free
+  SQLite backend (stdlib ``sqlite3``, WAL mode).
+
+:func:`create_backend` is the one factory every entry point (CLI, sharded
+service) goes through, so adding a backend means one new module and one new
+branch here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.platform.backends.base import HighlightRecord, StorageBackend
+from repro.platform.backends.memory import InMemoryStore
+from repro.platform.backends.sqlite import SQLiteStore
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "BACKEND_KINDS",
+    "HighlightRecord",
+    "InMemoryStore",
+    "SQLiteStore",
+    "StorageBackend",
+    "create_backend",
+]
+
+BACKEND_KINDS = ("memory", "sqlite")
+
+
+def create_backend(kind: str, path: str | Path | None = None) -> StorageBackend:
+    """Build a storage backend by name.
+
+    Parameters
+    ----------
+    kind:
+        ``"memory"`` or ``"sqlite"``.
+    path:
+        Database path for the SQLite backend (defaults to ``":memory:"``);
+        must be omitted for the memory backend.
+    """
+    if kind == "memory":
+        if path is not None:
+            raise ValidationError("the memory backend takes no database path")
+        return InMemoryStore()
+    if kind == "sqlite":
+        return SQLiteStore(path if path is not None else ":memory:")
+    raise ValidationError(
+        f"unknown storage backend {kind!r} (expected one of {BACKEND_KINDS})"
+    )

@@ -1,0 +1,147 @@
+"""The storage-backend contract of the LIGHTOR platform tier.
+
+The paper's deployment (Figure 5) puts a database behind the web service.
+:class:`StorageBackend` is that database's contract: videos, crawled chat,
+viewer-interaction logs, red dots and versioned highlight results.  Every
+backend — the in-memory reference implementation, the SQLite store, or a
+future DBMS adapter — implements the same primitives and therefore passes
+the same contract test suite (``tests/test_backends.py``).
+
+Semantics every backend must honour:
+
+* **chat ingest is idempotent** — ``put_chat`` replaces any previous crawl
+  and stores messages sorted by timestamp;
+* **interaction logs are append-only** and preserve arrival order (per-user
+  causality survives backward seeks);
+* **red dots replace** and are stored sorted by position; an empty computed
+  set is remembered (``has_red_dots``) so it is not confused with
+  "never computed";
+* **highlight results are versioned** — ``put_highlight`` appends with a
+  monotonically increasing version per video;
+* **unknown video ids are errors** for every write and for ``get_video``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video, VideoChatLog
+from repro.utils.validation import ValidationError
+
+__all__ = ["HighlightRecord", "StorageBackend"]
+
+
+@dataclass(frozen=True)
+class HighlightRecord:
+    """A stored highlight result for a video, versioned by refinement round."""
+
+    video_id: str
+    highlight: Highlight
+    version: int
+    source: str = "extractor"
+
+
+class StorageBackend(abc.ABC):
+    """Abstract back-end store behind the LIGHTOR web service."""
+
+    # ---------------------------------------------------------------- videos
+    @abc.abstractmethod
+    def put_video(self, video: Video) -> None:
+        """Insert or replace video metadata."""
+
+    @abc.abstractmethod
+    def get_video(self, video_id: str) -> Video:
+        """Return the stored video or raise :class:`ValidationError`."""
+
+    @abc.abstractmethod
+    def has_video(self, video_id: str) -> bool:
+        """Whether the video is known to the store."""
+
+    @abc.abstractmethod
+    def list_videos(self) -> list[Video]:
+        """All stored videos, ordered by id."""
+
+    # ------------------------------------------------------------------ chat
+    @abc.abstractmethod
+    def put_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
+        """Store chat for a video (idempotent: replaces any previous crawl).
+
+        Returns the number of messages stored.
+        """
+
+    @abc.abstractmethod
+    def has_chat(self, video_id: str) -> bool:
+        """Whether chat has been crawled for the video."""
+
+    @abc.abstractmethod
+    def get_chat(self, video_id: str) -> list[ChatMessage]:
+        """Return the crawled chat messages (empty list when not crawled)."""
+
+    # ---------------------------------------------------------- interactions
+    @abc.abstractmethod
+    def log_interactions(self, video_id: str, interactions: Iterable[Interaction]) -> int:
+        """Append viewer interactions for a video; returns the new log size."""
+
+    @abc.abstractmethod
+    def get_interactions(self, video_id: str) -> list[Interaction]:
+        """All logged interactions for the video, in arrival (log) order."""
+
+    # -------------------------------------------------------------- red dots
+    @abc.abstractmethod
+    def put_red_dots(self, video_id: str, dots: Iterable[RedDot]) -> None:
+        """Store the current red dots for a video (replaces previous dots)."""
+
+    @abc.abstractmethod
+    def get_red_dots(self, video_id: str) -> list[RedDot]:
+        """The current red dots for the video (empty when none computed)."""
+
+    @abc.abstractmethod
+    def has_red_dots(self, video_id: str) -> bool:
+        """Whether red dots were ever computed for the video.
+
+        True even when the computed set is empty (a below-threshold video),
+        so serving layers can distinguish "computed: nothing to show" from
+        "never looked at" and skip recomputation.
+        """
+
+    # ------------------------------------------------------------ highlights
+    @abc.abstractmethod
+    def put_highlight(
+        self, video_id: str, highlight: Highlight, source: str = "extractor"
+    ) -> HighlightRecord:
+        """Append a refined highlight result; versions increase monotonically."""
+
+    @abc.abstractmethod
+    def highlight_history(self, video_id: str) -> list[HighlightRecord]:
+        """Every stored highlight record for the video, in version order."""
+
+    # --------------------------------------------------------------- summary
+    @abc.abstractmethod
+    def stats(self) -> dict[str, int]:
+        """Coarse row counts, useful for monitoring and tests."""
+
+    # ------------------------------------------------------ shared behaviour
+    def get_chat_log(self, video_id: str) -> VideoChatLog:
+        """Return the video and its chat as a :class:`VideoChatLog`."""
+        return VideoChatLog(video=self.get_video(video_id), messages=self.get_chat(video_id))
+
+    def latest_highlights(self, video_id: str) -> list[Highlight]:
+        """The most recent highlight per distinct (rounded) start position."""
+        latest: dict[int, HighlightRecord] = {}
+        for record in self.highlight_history(video_id):
+            key = int(round(record.highlight.start / 30.0))
+            existing = latest.get(key)
+            if existing is None or record.version > existing.version:
+                latest[key] = record
+        return [latest[key].highlight for key in sorted(latest)]
+
+    def close(self) -> None:
+        """Release backend resources (connections, file handles); idempotent."""
+
+    # -------------------------------------------------------------- internals
+    def _require_known_video(self, video_id: str, action: str) -> None:
+        """Raise the contract's unknown-video error for a write ``action``."""
+        if not self.has_video(video_id):
+            raise ValidationError(f"cannot {action} for unknown video {video_id!r}")

@@ -1,0 +1,326 @@
+"""SQLite storage backend (stdlib ``sqlite3``, WAL mode, dependency-free).
+
+The first durable backend behind the
+:class:`~repro.platform.backends.base.StorageBackend` contract: rows are the
+JSON codec forms of the core types (:mod:`repro.platform.codecs`), so
+everything that goes in comes back out round-trip exact.  File-backed stores
+survive process restarts; the default ``:memory:`` path gives a throwaway
+store with identical semantics for tests.
+
+Concurrency: one connection guarded by an ``RLock`` (created with
+``check_same_thread=False`` so the sharded service tier can call in from
+worker threads).  File-backed databases run in WAL mode so an eventual
+multi-process reader does not block the writer.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
+from repro.platform import codecs
+from repro.platform.backends.base import HighlightRecord, StorageBackend
+from repro.utils.validation import ValidationError
+
+__all__ = ["SQLiteStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS videos (
+    video_id TEXT PRIMARY KEY,
+    payload  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS chat_messages (
+    video_id TEXT NOT NULL,
+    seq      INTEGER NOT NULL,
+    payload  TEXT NOT NULL,
+    PRIMARY KEY (video_id, seq)
+);
+CREATE TABLE IF NOT EXISTS interactions (
+    rowid    INTEGER PRIMARY KEY AUTOINCREMENT,
+    video_id TEXT NOT NULL,
+    payload  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_interactions_video ON interactions (video_id);
+CREATE TABLE IF NOT EXISTS interaction_counts (
+    video_id TEXT PRIMARY KEY,
+    n        INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS red_dots (
+    video_id TEXT NOT NULL,
+    seq      INTEGER NOT NULL,
+    payload  TEXT NOT NULL,
+    PRIMARY KEY (video_id, seq)
+);
+CREATE TABLE IF NOT EXISTS red_dot_sets (
+    video_id TEXT PRIMARY KEY,
+    n        INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS highlight_records (
+    video_id TEXT NOT NULL,
+    version  INTEGER NOT NULL,
+    payload  TEXT NOT NULL,
+    PRIMARY KEY (video_id, version)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class SQLiteStore(StorageBackend):
+    """A :class:`StorageBackend` persisted in a SQLite database.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` (the default) for an
+        in-process throwaway store with the same semantics.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock, self._connection:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.execute("PRAGMA busy_timeout=5000")
+            self._connection.executescript(_SCHEMA)
+
+    # ---------------------------------------------------------------- videos
+    def put_video(self, video: Video) -> None:
+        """Insert or replace video metadata."""
+        payload = json.dumps(codecs.video_to_dict(video))
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO videos (video_id, payload) VALUES (?, ?)",
+                (video.video_id, payload),
+            )
+
+    def get_video(self, video_id: str) -> Video:
+        """Return the stored video or raise if unknown."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT payload FROM videos WHERE video_id = ?", (video_id,)
+            ).fetchone()
+        if row is None:
+            raise ValidationError(f"unknown video id {video_id!r}")
+        return codecs.video_from_dict(json.loads(row[0]))
+
+    def has_video(self, video_id: str) -> bool:
+        """Whether the video is known to the store."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM videos WHERE video_id = ?", (video_id,)
+            ).fetchone()
+        return row is not None
+
+    def list_videos(self) -> list[Video]:
+        """All stored videos, ordered by id."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT payload FROM videos ORDER BY video_id"
+            ).fetchall()
+        return [codecs.video_from_dict(json.loads(row[0])) for row in rows]
+
+    # ------------------------------------------------------------------ chat
+    def put_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
+        """Store chat for a video (idempotent: replaces any previous crawl)."""
+        self._require_known_video(video_id, "store chat")
+        stored = sorted(messages, key=lambda m: m.timestamp)
+        rows = [
+            (video_id, seq, json.dumps(codecs.chat_message_to_dict(message)))
+            for seq, message in enumerate(stored)
+        ]
+        with self._lock, self._connection:
+            self._connection.execute(
+                "DELETE FROM chat_messages WHERE video_id = ?", (video_id,)
+            )
+            self._connection.executemany(
+                "INSERT INTO chat_messages (video_id, seq, payload) VALUES (?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    def has_chat(self, video_id: str) -> bool:
+        """Whether chat has been crawled for the video."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM chat_messages WHERE video_id = ? LIMIT 1", (video_id,)
+            ).fetchone()
+        return row is not None
+
+    def get_chat(self, video_id: str) -> list[ChatMessage]:
+        """Return the crawled chat messages (empty list when not crawled)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT payload FROM chat_messages WHERE video_id = ? ORDER BY seq",
+                (video_id,),
+            ).fetchall()
+        return [codecs.chat_message_from_dict(json.loads(row[0])) for row in rows]
+
+    # ---------------------------------------------------------- interactions
+    def log_interactions(self, video_id: str, interactions: Iterable[Interaction]) -> int:
+        """Append viewer interactions for a video; returns the new log size."""
+        self._require_known_video(video_id, "log interactions")
+        rows = [
+            (video_id, json.dumps(codecs.interaction_to_dict(interaction)))
+            for interaction in interactions
+        ]
+        with self._lock, self._connection:
+            self._connection.executemany(
+                "INSERT INTO interactions (video_id, payload) VALUES (?, ?)", rows
+            )
+            # A transactional running total keeps the append O(batch) without
+            # going stale when several handles share one database file.
+            self._connection.execute(
+                "INSERT INTO interaction_counts (video_id, n) VALUES (?, ?) "
+                "ON CONFLICT(video_id) DO UPDATE SET n = n + excluded.n",
+                (video_id, len(rows)),
+            )
+            count = self._connection.execute(
+                "SELECT n FROM interaction_counts WHERE video_id = ?", (video_id,)
+            ).fetchone()[0]
+        return int(count)
+
+    def get_interactions(self, video_id: str) -> list[Interaction]:
+        """All logged interactions for the video, in arrival (log) order."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT payload FROM interactions WHERE video_id = ? ORDER BY rowid",
+                (video_id,),
+            ).fetchall()
+        return [codecs.interaction_from_dict(json.loads(row[0])) for row in rows]
+
+    # -------------------------------------------------------------- red dots
+    def put_red_dots(self, video_id: str, dots: Iterable[RedDot]) -> None:
+        """Store the current red dots for a video (replaces previous dots)."""
+        self._require_known_video(video_id, "store red dots")
+        stored = sorted(dots, key=lambda d: d.position)
+        rows = [
+            (video_id, seq, json.dumps(codecs.red_dot_to_dict(dot)))
+            for seq, dot in enumerate(stored)
+        ]
+        with self._lock, self._connection:
+            self._connection.execute("DELETE FROM red_dots WHERE video_id = ?", (video_id,))
+            self._connection.executemany(
+                "INSERT INTO red_dots (video_id, seq, payload) VALUES (?, ?, ?)", rows
+            )
+            # Mark the set as computed even when empty, so a below-threshold
+            # video is distinguishable from one never looked at.
+            self._connection.execute(
+                "INSERT OR REPLACE INTO red_dot_sets (video_id, n) VALUES (?, ?)",
+                (video_id, len(rows)),
+            )
+
+    def has_red_dots(self, video_id: str) -> bool:
+        """Whether red dots were ever computed for the video (even zero)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM red_dot_sets WHERE video_id = ?", (video_id,)
+            ).fetchone()
+        return row is not None
+
+    def get_red_dots(self, video_id: str) -> list[RedDot]:
+        """The current red dots for the video (empty when none computed)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT payload FROM red_dots WHERE video_id = ? ORDER BY seq",
+                (video_id,),
+            ).fetchall()
+        return [codecs.red_dot_from_dict(json.loads(row[0])) for row in rows]
+
+    # ------------------------------------------------------------ highlights
+    def put_highlight(
+        self, video_id: str, highlight: Highlight, source: str = "extractor"
+    ) -> HighlightRecord:
+        """Append a refined highlight result; versions increase monotonically."""
+        self._require_known_video(video_id, "store highlights")
+        with self._lock:
+            # Take the write lock *before* reading MAX(version): a deferred
+            # transaction would let another handle on the same file read the
+            # same version and collide on the primary key.
+            self._connection.execute("BEGIN IMMEDIATE")
+            try:
+                version = (
+                    self._connection.execute(
+                        "SELECT COALESCE(MAX(version), 0) FROM highlight_records "
+                        "WHERE video_id = ?",
+                        (video_id,),
+                    ).fetchone()[0]
+                    + 1
+                )
+                record = HighlightRecord(
+                    video_id=video_id, highlight=highlight, version=version, source=source
+                )
+                self._connection.execute(
+                    "INSERT INTO highlight_records (video_id, version, payload) "
+                    "VALUES (?, ?, ?)",
+                    (video_id, version, json.dumps(codecs.highlight_record_to_dict(record))),
+                )
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            self._connection.execute("COMMIT")
+        return record
+
+    def highlight_history(self, video_id: str) -> list[HighlightRecord]:
+        """Every stored highlight record for the video, in version order."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT payload FROM highlight_records WHERE video_id = ? "
+                "ORDER BY version",
+                (video_id,),
+            ).fetchall()
+        return [codecs.highlight_record_from_dict(json.loads(row[0])) for row in rows]
+
+    # --------------------------------------------------------------- summary
+    def stats(self) -> dict[str, int]:
+        """Coarse row counts, useful for monitoring and tests."""
+        with self._lock:
+            counts = {
+                "videos": "SELECT COUNT(*) FROM videos",
+                "videos_with_chat": "SELECT COUNT(DISTINCT video_id) FROM chat_messages",
+                "chat_messages": "SELECT COUNT(*) FROM chat_messages",
+                "interactions": "SELECT COUNT(*) FROM interactions",
+                "red_dots": "SELECT COUNT(*) FROM red_dots",
+                "highlight_records": "SELECT COUNT(*) FROM highlight_records",
+            }
+            return {
+                key: int(self._connection.execute(query).fetchone()[0])
+                for key, query in counts.items()
+            }
+
+    # ------------------------------------------------------------------ meta
+    def get_meta(self, key: str) -> str | None:
+        """Read a database-level metadata value (``None`` when unset)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Write a database-level metadata value (insert-or-replace)."""
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+            )
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the underlying connection (further calls will fail)."""
+        with self._lock:
+            self._connection.close()
+
+    def journal_mode(self) -> str:
+        """The active journal mode (``wal`` for file-backed stores)."""
+        with self._lock:
+            return str(
+                self._connection.execute("PRAGMA journal_mode").fetchone()[0]
+            ).lower()

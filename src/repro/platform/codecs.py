@@ -1,0 +1,243 @@
+"""Serialization codecs for the platform's core value objects.
+
+Storage backends that outlive the process (SQLite today, a DBMS tomorrow)
+need the core types as plain JSON-able dicts.  Each codec pair is
+**round-trip exact**: ``from_dict(to_dict(obj)) == obj`` and the equality
+survives a JSON encode/decode in between (Python's ``json`` emits the
+shortest ``repr`` of a float, which parses back to the identical binary64
+value).
+
+Two surfaces are provided:
+
+* typed pairs — ``video_to_dict`` / ``video_from_dict`` and friends — for
+  callers that know what they are storing (the SQLite backend);
+* a tagged generic surface — :func:`encode` / :func:`decode` — that wraps
+  the payload in ``{"type": ..., ...}`` so heterogeneous streams (event
+  logs, wire protocols, parity fingerprints) can round-trip mixed objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.core.types import (
+    ChatMessage,
+    Highlight,
+    Interaction,
+    InteractionKind,
+    PlayRecord,
+    RedDot,
+    Video,
+    VideoChatLog,
+)
+from repro.platform.backends.base import HighlightRecord
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "chat_message_to_dict",
+    "chat_message_from_dict",
+    "highlight_to_dict",
+    "highlight_from_dict",
+    "red_dot_to_dict",
+    "red_dot_from_dict",
+    "interaction_to_dict",
+    "interaction_from_dict",
+    "play_record_to_dict",
+    "play_record_from_dict",
+    "video_to_dict",
+    "video_from_dict",
+    "chat_log_to_dict",
+    "chat_log_from_dict",
+    "highlight_record_to_dict",
+    "highlight_record_from_dict",
+    "encode",
+    "decode",
+    "dumps",
+    "loads",
+]
+
+
+# ---------------------------------------------------------------- chat message
+def chat_message_to_dict(message: ChatMessage) -> dict[str, Any]:
+    """Plain-dict form of a :class:`ChatMessage`."""
+    return {"timestamp": message.timestamp, "user": message.user, "text": message.text}
+
+
+def chat_message_from_dict(payload: dict[str, Any]) -> ChatMessage:
+    """Rebuild a :class:`ChatMessage` from its plain-dict form."""
+    return ChatMessage(
+        timestamp=payload["timestamp"],
+        user=payload.get("user", "anonymous"),
+        text=payload.get("text", ""),
+    )
+
+
+# ------------------------------------------------------------------- highlight
+def highlight_to_dict(highlight: Highlight) -> dict[str, Any]:
+    """Plain-dict form of a :class:`Highlight`."""
+    return {"start": highlight.start, "end": highlight.end, "label": highlight.label}
+
+
+def highlight_from_dict(payload: dict[str, Any]) -> Highlight:
+    """Rebuild a :class:`Highlight` from its plain-dict form."""
+    return Highlight(
+        start=payload["start"], end=payload["end"], label=payload.get("label", "")
+    )
+
+
+# --------------------------------------------------------------------- red dot
+def red_dot_to_dict(dot: RedDot) -> dict[str, Any]:
+    """Plain-dict form of a :class:`RedDot` (the window tuple becomes a list)."""
+    return {
+        "position": dot.position,
+        "score": dot.score,
+        "window": list(dot.window) if dot.window is not None else None,
+        "video_id": dot.video_id,
+    }
+
+
+def red_dot_from_dict(payload: dict[str, Any]) -> RedDot:
+    """Rebuild a :class:`RedDot` from its plain-dict form."""
+    window = payload.get("window")
+    return RedDot(
+        position=payload["position"],
+        score=payload.get("score", 0.0),
+        window=(window[0], window[1]) if window is not None else None,
+        video_id=payload.get("video_id", ""),
+    )
+
+
+# ----------------------------------------------------------------- interaction
+def interaction_to_dict(interaction: Interaction) -> dict[str, Any]:
+    """Plain-dict form of an :class:`Interaction` (the kind by enum value)."""
+    return {
+        "timestamp": interaction.timestamp,
+        "kind": interaction.kind.value,
+        "user": interaction.user,
+        "target": interaction.target,
+    }
+
+
+def interaction_from_dict(payload: dict[str, Any]) -> Interaction:
+    """Rebuild an :class:`Interaction` from its plain-dict form."""
+    return Interaction(
+        timestamp=payload["timestamp"],
+        kind=InteractionKind(payload["kind"]),
+        user=payload.get("user", "anonymous"),
+        target=payload.get("target"),
+    )
+
+
+# ----------------------------------------------------------------- play record
+def play_record_to_dict(play: PlayRecord) -> dict[str, Any]:
+    """Plain-dict form of a :class:`PlayRecord`."""
+    return {"user": play.user, "start": play.start, "end": play.end}
+
+
+def play_record_from_dict(payload: dict[str, Any]) -> PlayRecord:
+    """Rebuild a :class:`PlayRecord` from its plain-dict form."""
+    return PlayRecord(user=payload["user"], start=payload["start"], end=payload["end"])
+
+
+# ----------------------------------------------------------------------- video
+def video_to_dict(video: Video) -> dict[str, Any]:
+    """Plain-dict form of a :class:`Video` (highlights nested as dicts)."""
+    return {
+        "video_id": video.video_id,
+        "duration": video.duration,
+        "game": video.game,
+        "channel": video.channel,
+        "viewer_count": video.viewer_count,
+        "highlights": [highlight_to_dict(h) for h in video.highlights],
+    }
+
+
+def video_from_dict(payload: dict[str, Any]) -> Video:
+    """Rebuild a :class:`Video` from its plain-dict form."""
+    return Video(
+        video_id=payload["video_id"],
+        duration=payload["duration"],
+        game=payload.get("game", "dota2"),
+        channel=payload.get("channel", ""),
+        viewer_count=payload.get("viewer_count", 0),
+        highlights=tuple(highlight_from_dict(h) for h in payload.get("highlights", [])),
+    )
+
+
+# -------------------------------------------------------------------- chat log
+def chat_log_to_dict(chat_log: VideoChatLog) -> dict[str, Any]:
+    """Plain-dict form of a :class:`VideoChatLog`."""
+    return {
+        "video": video_to_dict(chat_log.video),
+        "messages": [chat_message_to_dict(m) for m in chat_log.messages],
+    }
+
+
+def chat_log_from_dict(payload: dict[str, Any]) -> VideoChatLog:
+    """Rebuild a :class:`VideoChatLog` from its plain-dict form."""
+    return VideoChatLog(
+        video=video_from_dict(payload["video"]),
+        messages=[chat_message_from_dict(m) for m in payload.get("messages", [])],
+    )
+
+
+# ------------------------------------------------------------ highlight record
+def highlight_record_to_dict(record: HighlightRecord) -> dict[str, Any]:
+    """Plain-dict form of a :class:`HighlightRecord`."""
+    return {
+        "video_id": record.video_id,
+        "highlight": highlight_to_dict(record.highlight),
+        "version": record.version,
+        "source": record.source,
+    }
+
+
+def highlight_record_from_dict(payload: dict[str, Any]) -> HighlightRecord:
+    """Rebuild a :class:`HighlightRecord` from its plain-dict form."""
+    return HighlightRecord(
+        video_id=payload["video_id"],
+        highlight=highlight_from_dict(payload["highlight"]),
+        version=payload["version"],
+        source=payload.get("source", "extractor"),
+    )
+
+
+# -------------------------------------------------------------- tagged surface
+_CODECS: dict[str, tuple[type, Callable[[Any], dict], Callable[[dict], Any]]] = {
+    "chat_message": (ChatMessage, chat_message_to_dict, chat_message_from_dict),
+    "highlight": (Highlight, highlight_to_dict, highlight_from_dict),
+    "red_dot": (RedDot, red_dot_to_dict, red_dot_from_dict),
+    "interaction": (Interaction, interaction_to_dict, interaction_from_dict),
+    "play_record": (PlayRecord, play_record_to_dict, play_record_from_dict),
+    "video": (Video, video_to_dict, video_from_dict),
+    "chat_log": (VideoChatLog, chat_log_to_dict, chat_log_from_dict),
+    "highlight_record": (HighlightRecord, highlight_record_to_dict, highlight_record_from_dict),
+}
+
+
+def encode(obj: Any) -> dict[str, Any]:
+    """Wrap any codec-covered object as a type-tagged plain dict."""
+    for tag, (cls, to_dict, _) in _CODECS.items():
+        if type(obj) is cls:
+            return {"type": tag, **to_dict(obj)}
+    raise ValidationError(f"no codec for objects of type {type(obj).__name__}")
+
+
+def decode(payload: dict[str, Any]) -> Any:
+    """Rebuild an object from its type-tagged plain dict."""
+    tag = payload.get("type")
+    entry = _CODECS.get(tag)
+    if entry is None:
+        raise ValidationError(f"no codec for type tag {tag!r}")
+    return entry[2](payload)
+
+
+def dumps(obj: Any) -> str:
+    """JSON string of the type-tagged encoding (stable key order)."""
+    return json.dumps(encode(obj), sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps`."""
+    return decode(json.loads(text))

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.platform.api import SimulatedStreamingAPI
-from repro.platform.storage import InMemoryStore
+from repro.platform.backends import StorageBackend
 from repro.utils.logging import get_logger
 from repro.utils.validation import require_positive
 
@@ -39,7 +39,7 @@ class ChatCrawler:
     """Crawls chat replays from the platform API into the store."""
 
     api: SimulatedStreamingAPI
-    store: InMemoryStore
+    store: StorageBackend
     watched_channels: list[str] = field(default_factory=list)
 
     # --------------------------------------------------------------- online

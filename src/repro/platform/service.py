@@ -27,10 +27,11 @@ from repro.core.config import LightorConfig
 from repro.core.extractor.extractor import HighlightExtractor
 from repro.core.extractor.plays import interactions_to_plays, plays_near_dot
 from repro.core.initializer.initializer import HighlightInitializer
-from repro.core.types import ChatMessage, Interaction, RedDot, Video, VideoChatLog
+from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video, VideoChatLog
+from repro.platform.backends import StorageBackend
 from repro.platform.crawler import ChatCrawler
-from repro.platform.storage import InMemoryStore
 from repro.streaming.events import StreamEvent
+from repro.streaming.initializer import EmitPolicy
 from repro.streaming.session import StreamOrchestrator
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError, require_positive
@@ -47,7 +48,10 @@ class LightorWebService:
     Parameters
     ----------
     store / crawler:
-        The back-end store and chat crawler.
+        The back-end store (any :class:`StorageBackend`) and chat crawler.
+        The service keeps no video state of its own, so many workers can be
+        stamped out over different backends — see
+        :class:`~repro.platform.sharding.ShardedLightorService`.
     initializer:
         A *fitted* Highlight Initializer (train it on a labelled video before
         wiring it into the service).
@@ -56,15 +60,20 @@ class LightorWebService:
     min_interactions_for_refinement:
         A refinement round runs only when at least this many interaction
         events have been logged near a dot since the last refinement.
+    live_k / live_policy:
+        Provisional top-k and emit/retract policy for live sessions (``None``
+        uses the orchestrator defaults).
     """
 
-    store: InMemoryStore
+    store: StorageBackend
     crawler: ChatCrawler
     initializer: HighlightInitializer
     extractor: HighlightExtractor = field(default_factory=HighlightExtractor)
     config: LightorConfig = field(default_factory=LightorConfig)
     min_interactions_for_refinement: int = 20
     max_live_sessions: int = 64
+    live_k: int | None = None
+    live_policy: EmitPolicy | None = None
     refinement_rounds_: dict[str, int] = field(default_factory=dict, repr=False)
     _orchestrator: StreamOrchestrator | None = field(default=None, repr=False)
 
@@ -78,9 +87,8 @@ class LightorWebService:
         Chat is crawled on demand; computed dots are cached in the store and
         reused on subsequent requests (until refinement updates them).
         """
-        cached = self.store.get_red_dots(video_id)
-        if cached:
-            return cached
+        if self.store.has_red_dots(video_id):
+            return self.store.get_red_dots(video_id)
         self.crawler.crawl_video(video_id)
         chat_log = self.store.get_chat_log(video_id)
         if not self.initializer.is_applicable(chat_log):
@@ -148,11 +156,17 @@ class LightorWebService:
     def streaming(self) -> StreamOrchestrator:
         """The live-channel orchestrator (created on first live request)."""
         if self._orchestrator is None:
+            kwargs = {}
+            if self.live_policy is not None:
+                kwargs["policy"] = self.live_policy
             self._orchestrator = StreamOrchestrator(
                 initializer=self.initializer,
                 config=self.config,
+                k=self.live_k,
                 max_sessions=self.max_live_sessions,
                 on_evict=self._persist_live_result,
+                on_evict_highlights=self._persist_live_highlights,
+                **kwargs,
             )
         return self._orchestrator
 
@@ -224,6 +238,12 @@ class LightorWebService:
             raise ValidationError(f"no live session for video {video_id!r}")
         return self.streaming.close_session(video_id, duration)
 
+    def shutdown(self) -> None:
+        """Finalize any open live sessions (persisting results), close the store."""
+        if self._orchestrator is not None:
+            self._orchestrator.close_all_sessions()
+        self.store.close()
+
     def _require_live(self, video_id: str):
         if not self.streaming.has_session(video_id):
             raise ValidationError(
@@ -240,3 +260,14 @@ class LightorWebService:
                 video_id,
                 len(dots),
             )
+
+    def _persist_live_highlights(self, video_id: str, highlights: list[Highlight]) -> None:
+        if not self.store.has_video(video_id):
+            _LOGGER.info(
+                "live session %s refined %d highlights but no stored video metadata",
+                video_id,
+                len(highlights),
+            )
+            return
+        for highlight in highlights:
+            self.store.put_highlight(video_id, highlight, source="streaming")

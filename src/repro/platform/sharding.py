@@ -1,0 +1,337 @@
+"""Sharded front door for the LIGHTOR service tier.
+
+One :class:`~repro.platform.service.LightorWebService` worker serves one
+store with one streaming orchestrator.  Production traffic — many concurrent
+Twitch channels, batch red-dot requests and live ingest interleaved — needs
+more than one worker, so :class:`ShardedLightorService` consistent-hashes
+video/channel ids across ``N`` workers, each owning its own storage backend,
+chat crawler and :class:`~repro.streaming.session.StreamOrchestrator`.
+
+Every call for a video id is routed to its home shard and executed under
+that shard's re-entrant lock, which makes interleaved batch requests and
+live ingest thread-safe per shard while leaving the other shards fully
+concurrent.  The hash ring uses virtual nodes (``replicas`` points per
+shard) over a stable digest, so the placement is deterministic across
+processes and only ``~1/N`` of the keys move when a shard is added.
+
+Because every worker runs the same deterministic engines, a sharded service
+fed a given workload produces byte-identical red dots and highlight records
+to a single worker fed the same workload — ``tests/test_sharding.py`` holds
+it to that.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
+from repro.platform.api import SimulatedStreamingAPI
+from repro.platform.backends import (
+    HighlightRecord,
+    SQLiteStore,
+    StorageBackend,
+    create_backend,
+)
+from repro.platform.crawler import ChatCrawler
+from repro.platform.service import LightorWebService
+from repro.streaming.events import StreamEvent
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["ConsistentHashRing", "ShardedLightorService", "shard_db_path"]
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring coordinate for ``key`` (process-independent)."""
+    digest = hashlib.md5(key.encode("utf-8"), usedforsecurity=False).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps string keys onto ``n_shards`` buckets via consistent hashing.
+
+    Each shard contributes ``replicas`` virtual nodes; a key belongs to the
+    first virtual node clockwise from its own ring coordinate.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        require_positive(n_shards, "n_shards")
+        require_positive(replicas, "replicas")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points = [
+            (_point(f"shard-{shard}#{replica}"), shard)
+            for shard in range(n_shards)
+            for replica in range(replicas)
+        ]
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._shards[index]
+
+
+def shard_db_path(path: str | Path, shard_index: int) -> str:
+    """The per-shard database path derived from a base path.
+
+    ``highlights.db`` becomes ``highlights.shard0.db``, ``highlights.shard1.db``
+    … so each shard's SQLite backend owns its own file (one writer per file).
+    """
+    base = Path(path)
+    return str(base.with_name(f"{base.stem}.shard{shard_index}{base.suffix}"))
+
+
+class ShardedLightorService:
+    """Consistent-hash front door over ``N`` independent service workers.
+
+    Parameters
+    ----------
+    shards:
+        The worker services.  Each must own its *own* store and orchestrator;
+        sharing a backend between workers would break the one-writer-per-
+        shard locking discipline.
+    replicas:
+        Virtual nodes per shard on the hash ring.
+    """
+
+    def __init__(self, shards: Sequence[LightorWebService], replicas: int = 64) -> None:
+        if not shards:
+            raise ValidationError("a sharded service needs at least one shard")
+        self.shards: list[LightorWebService] = list(shards)
+        self._locks = [threading.RLock() for _ in self.shards]
+        self._ring = ConsistentHashRing(len(self.shards), replicas=replicas)
+        # The ring is immutable, so per-id lookups are memoized: live ingest
+        # routes every single chat message and must not re-hash each time.
+        # (dict get/set are atomic under the GIL; a lost race just recomputes.)
+        self._placements: dict[str, int] = {}
+        self._placements_max = 4096
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def create(
+        cls,
+        n_shards: int,
+        initializer: HighlightInitializer,
+        *,
+        api: SimulatedStreamingAPI | None = None,
+        backend: str = "memory",
+        db_path: str | Path | None = None,
+        config: LightorConfig | None = None,
+        replicas: int = 64,
+        backend_factory: Callable[[int], StorageBackend] | None = None,
+        **service_kwargs,
+    ) -> "ShardedLightorService":
+        """Stamp out ``n_shards`` workers over fresh per-shard backends.
+
+        ``backend``/``db_path`` route through
+        :func:`~repro.platform.backends.create_backend`; for a file-backed
+        SQLite deployment each shard gets its own database file (see
+        :func:`shard_db_path`).  ``backend_factory`` overrides both for
+        custom wiring.  Extra keyword arguments (``max_live_sessions``,
+        ``live_k``, ``live_policy``, …) are forwarded to every
+        :class:`LightorWebService`.
+        """
+        require_positive(n_shards, "n_shards")
+        if api is None:
+            api = SimulatedStreamingAPI(seeds=SeedSequenceFactory(2020))
+        if config is None:
+            config = initializer.config
+
+        def default_factory(shard_index: int) -> StorageBackend:
+            # Always shard-suffix file paths (even for one shard) so the ring
+            # marker is checked on every reuse — switching between 1 and N
+            # shards must not silently leave history behind in another file.
+            if backend == "sqlite" and db_path is not None:
+                return create_backend(backend, shard_db_path(db_path, shard_index))
+            return create_backend(backend, db_path)
+
+        factory = backend_factory if backend_factory is not None else default_factory
+        shards: list[LightorWebService] = []
+        try:
+            for shard_index in range(n_shards):
+                store = factory(shard_index)
+                try:
+                    if backend_factory is None and backend == "sqlite" and db_path is not None:
+                        cls._check_shard_marker(store, shard_index, n_shards)
+                    shards.append(
+                        LightorWebService(
+                            store=store,
+                            crawler=ChatCrawler(api=api, store=store),
+                            initializer=initializer,
+                            config=config,
+                            **service_kwargs,
+                        )
+                    )
+                except BaseException:
+                    store.close()
+                    raise
+        except BaseException:
+            for built in shards:
+                built.store.close()
+            raise
+        return cls(shards, replicas=replicas)
+
+    @staticmethod
+    def _check_shard_marker(store: StorageBackend, shard_index: int, n_shards: int) -> None:
+        """Refuse to reuse database files created for a different ring.
+
+        Re-homing video ids without migrating the rows would silently split
+        each video's history across files, so a shard-count mismatch is an
+        error rather than a corruption.
+        """
+        if not isinstance(store, SQLiteStore):
+            return
+        recorded = store.get_meta("n_shards")
+        if recorded is not None and int(recorded) != n_shards:
+            raise ValidationError(
+                f"database {store.path!r} belongs to a {recorded}-shard deployment; "
+                f"rerun with that shard count or use a fresh path"
+            )
+        store.set_meta("n_shards", str(n_shards))
+        store.set_meta("shard_index", str(shard_index))
+
+    # ----------------------------------------------------------------- routing
+    @property
+    def n_shards(self) -> int:
+        """Number of workers behind the front door."""
+        return len(self.shards)
+
+    def shard_index(self, video_id: str) -> int:
+        """The shard that owns ``video_id``."""
+        index = self._placements.get(video_id)
+        if index is None:
+            index = self._ring.shard_for(video_id)
+            if len(self._placements) >= self._placements_max:
+                # Placements are pure recomputation; a full cache is dropped
+                # rather than LRU-tracked to keep the hot path allocation-free.
+                self._placements.clear()
+            self._placements[video_id] = index
+        return index
+
+    def shard_for(self, video_id: str) -> LightorWebService:
+        """The worker service that owns ``video_id``."""
+        return self.shards[self.shard_index(video_id)]
+
+    def store_for(self, video_id: str) -> StorageBackend:
+        """The storage backend that owns ``video_id``."""
+        return self.shard_for(video_id).store
+
+    def _route(self, video_id: str) -> tuple[threading.RLock, LightorWebService]:
+        """One ring lookup for both the lock and the worker (hot path)."""
+        index = self.shard_index(video_id)
+        return self._locks[index], self.shards[index]
+
+    # ------------------------------------------------------------ batch surface
+    def register_video(self, video: Video) -> None:
+        """Store video metadata on its home shard (no live session opened)."""
+        lock, shard = self._route(video.video_id)
+        with lock:
+            shard.store.put_video(video)
+
+    def request_red_dots(self, video_id: str, k: int | None = None) -> list[RedDot]:
+        """Red dots for a recorded video, served by its home shard."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.request_red_dots(video_id, k=k)
+
+    def log_interactions(self, video_id: str, interactions: Sequence[Interaction]) -> int:
+        """Persist viewer interactions on the video's home shard."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.log_interactions(video_id, interactions)
+
+    def refine_video(self, video_id: str) -> int:
+        """Run one Extractor refinement pass on the video's home shard."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.refine_video(video_id)
+
+    def get_red_dots(self, video_id: str) -> list[RedDot]:
+        """The stored red dots for a video (its home shard's backend)."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.store.get_red_dots(video_id)
+
+    def latest_highlights(self, video_id: str) -> list[Highlight]:
+        """The most recent stored highlight per area for a video."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.store.latest_highlights(video_id)
+
+    def highlight_history(self, video_id: str) -> list[HighlightRecord]:
+        """Every stored highlight record for a video, in version order."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.store.highlight_history(video_id)
+
+    # ------------------------------------------------------------- live surface
+    def start_live(self, video: Video) -> None:
+        """Register a live channel and open its session on its home shard."""
+        lock, shard = self._route(video.video_id)
+        with lock:
+            shard.start_live(video)
+
+    def ingest_live_chat(
+        self, video_id: str, messages: Sequence[ChatMessage]
+    ) -> list[StreamEvent]:
+        """Push live chat to the channel's home shard."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.ingest_live_chat(video_id, messages)
+
+    def ingest_live_interactions(
+        self, video_id: str, interactions: Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Push live viewer interactions to the channel's home shard."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.ingest_live_interactions(video_id, interactions)
+
+    def live_red_dots(self, video_id: str) -> list[RedDot]:
+        """The dots to render right now for a channel (live or persisted)."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.live_red_dots(video_id)
+
+    def end_live(self, video_id: str, duration: float | None = None) -> list[RedDot]:
+        """Close a live channel on its home shard; final dots are persisted."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.end_live(video_id, duration)
+
+    # ----------------------------------------------------------------- summary
+    def db_paths(self) -> list[str]:
+        """Database files behind the shards (empty for non-durable backends)."""
+        return [
+            shard.store.path
+            for shard in self.shards
+            if isinstance(shard.store, SQLiteStore) and shard.store.path != ":memory:"
+        ]
+
+    def stats(self) -> dict[str, int]:
+        """Store row counts summed across shards (plus the shard count)."""
+        totals: dict[str, int] = {"shards": self.n_shards}
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                for key, value in shard.store.stats().items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def close(self) -> None:
+        """Shut down every shard: open live sessions are finalized (their
+        results persist through the eviction callbacks) before the backends
+        are released."""
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                shard.shutdown()

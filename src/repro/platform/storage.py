@@ -1,151 +1,28 @@
-"""In-memory back-end store for the LIGHTOR web service.
+"""Backwards-compatible aliases for the storage layer.
 
-The paper's back end keeps crawled chat messages, computed red dots, logged
-user interactions and refined highlight boundaries in a database.  This
-module provides a small, well-tested in-memory equivalent with the same
-responsibilities: idempotent chat ingestion, per-video interaction logs and
-versioned highlight results.  The store is deliberately dependency-free; a
-real deployment would swap it for a DBMS behind the same interface.
+The store grew into a pluggable backend package
+(:mod:`repro.platform.backends`): the contract lives in
+:class:`~repro.platform.backends.base.StorageBackend`, the in-memory
+reference implementation in
+:class:`~repro.platform.backends.memory.InMemoryStore` and the durable
+SQLite backend in :class:`~repro.platform.backends.sqlite.SQLiteStore`.
+This module keeps the original import path working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from repro.platform.backends import (
+    HighlightRecord,
+    InMemoryStore,
+    SQLiteStore,
+    StorageBackend,
+    create_backend,
+)
 
-from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video, VideoChatLog
-from repro.utils.validation import ValidationError
-
-__all__ = ["InMemoryStore", "HighlightRecord"]
-
-
-@dataclass(frozen=True)
-class HighlightRecord:
-    """A stored highlight result for a video, versioned by refinement round."""
-
-    video_id: str
-    highlight: Highlight
-    version: int
-    source: str = "extractor"
-
-
-@dataclass
-class InMemoryStore:
-    """Stores videos, chat, interactions, red dots and highlight results."""
-
-    _videos: dict[str, Video] = field(default_factory=dict, repr=False)
-    _chat: dict[str, list[ChatMessage]] = field(default_factory=dict, repr=False)
-    _interactions: dict[str, list[Interaction]] = field(default_factory=dict, repr=False)
-    _red_dots: dict[str, list[RedDot]] = field(default_factory=dict, repr=False)
-    _highlights: dict[str, list[HighlightRecord]] = field(default_factory=dict, repr=False)
-
-    # ---------------------------------------------------------------- videos
-    def put_video(self, video: Video) -> None:
-        """Insert or replace video metadata."""
-        self._videos[video.video_id] = video
-
-    def get_video(self, video_id: str) -> Video:
-        """Return the stored video or raise if unknown."""
-        try:
-            return self._videos[video_id]
-        except KeyError as error:
-            raise ValidationError(f"unknown video id {video_id!r}") from error
-
-    def has_video(self, video_id: str) -> bool:
-        """Whether the video is known to the store."""
-        return video_id in self._videos
-
-    def list_videos(self) -> list[Video]:
-        """All stored videos, ordered by id."""
-        return [self._videos[key] for key in sorted(self._videos)]
-
-    # ------------------------------------------------------------------ chat
-    def put_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
-        """Store chat for a video (idempotent: replaces any previous crawl).
-
-        Returns the number of messages stored.
-        """
-        if video_id not in self._videos:
-            raise ValidationError(f"cannot store chat for unknown video {video_id!r}")
-        stored = sorted(messages, key=lambda m: m.timestamp)
-        self._chat[video_id] = stored
-        return len(stored)
-
-    def has_chat(self, video_id: str) -> bool:
-        """Whether chat has been crawled for the video."""
-        return video_id in self._chat and len(self._chat[video_id]) > 0
-
-    def get_chat(self, video_id: str) -> list[ChatMessage]:
-        """Return the crawled chat messages (empty list when not crawled)."""
-        return list(self._chat.get(video_id, []))
-
-    def get_chat_log(self, video_id: str) -> VideoChatLog:
-        """Return the video and its chat as a :class:`VideoChatLog`."""
-        return VideoChatLog(video=self.get_video(video_id), messages=self.get_chat(video_id))
-
-    # ---------------------------------------------------------- interactions
-    def log_interactions(self, video_id: str, interactions: Iterable[Interaction]) -> int:
-        """Append viewer interactions for a video; returns the new log size."""
-        if video_id not in self._videos:
-            raise ValidationError(f"cannot log interactions for unknown video {video_id!r}")
-        log = self._interactions.setdefault(video_id, [])
-        log.extend(interactions)
-        return len(log)
-
-    def get_interactions(self, video_id: str) -> list[Interaction]:
-        """All logged interactions for the video, in arrival (log) order.
-
-        Arrival order is preserved rather than sorting by video position so
-        that per-user causality survives backward seeks (re-watches).
-        """
-        return list(self._interactions.get(video_id, []))
-
-    # -------------------------------------------------------------- red dots
-    def put_red_dots(self, video_id: str, dots: Iterable[RedDot]) -> None:
-        """Store the current red dots for a video (replaces previous dots)."""
-        if video_id not in self._videos:
-            raise ValidationError(f"cannot store red dots for unknown video {video_id!r}")
-        self._red_dots[video_id] = sorted(dots, key=lambda d: d.position)
-
-    def get_red_dots(self, video_id: str) -> list[RedDot]:
-        """The current red dots for the video (empty when none computed)."""
-        return list(self._red_dots.get(video_id, []))
-
-    # ------------------------------------------------------------ highlights
-    def put_highlight(self, video_id: str, highlight: Highlight, source: str = "extractor") -> HighlightRecord:
-        """Append a refined highlight result; versions increase monotonically."""
-        if video_id not in self._videos:
-            raise ValidationError(f"cannot store highlights for unknown video {video_id!r}")
-        records = self._highlights.setdefault(video_id, [])
-        record = HighlightRecord(
-            video_id=video_id, highlight=highlight, version=len(records) + 1, source=source
-        )
-        records.append(record)
-        return record
-
-    def latest_highlights(self, video_id: str) -> list[Highlight]:
-        """The most recent highlight per distinct (rounded) start position."""
-        records = self._highlights.get(video_id, [])
-        latest: dict[int, HighlightRecord] = {}
-        for record in records:
-            key = int(round(record.highlight.start / 30.0))
-            existing = latest.get(key)
-            if existing is None or record.version > existing.version:
-                latest[key] = record
-        return [latest[key].highlight for key in sorted(latest)]
-
-    def highlight_history(self, video_id: str) -> list[HighlightRecord]:
-        """Every stored highlight record for the video, in version order."""
-        return list(self._highlights.get(video_id, []))
-
-    # --------------------------------------------------------------- summary
-    def stats(self) -> dict[str, int]:
-        """Coarse row counts, useful for monitoring and tests."""
-        return {
-            "videos": len(self._videos),
-            "videos_with_chat": sum(1 for v in self._videos if self.has_chat(v)),
-            "chat_messages": sum(len(m) for m in self._chat.values()),
-            "interactions": sum(len(i) for i in self._interactions.values()),
-            "red_dots": sum(len(d) for d in self._red_dots.values()),
-            "highlight_records": sum(len(h) for h in self._highlights.values()),
-        }
+__all__ = [
+    "HighlightRecord",
+    "InMemoryStore",
+    "SQLiteStore",
+    "StorageBackend",
+    "create_backend",
+]

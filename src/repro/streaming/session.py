@@ -122,6 +122,11 @@ class StreamOrchestrator:
     on_evict:
         Callback ``(video_id, final_dots)`` invoked when a session is
         LRU-evicted or closed, so results can be persisted.
+    on_evict_highlights:
+        Callback ``(video_id, refined_highlights)`` invoked alongside
+        ``on_evict`` when the finalized session produced exact boundaries —
+        without it an LRU eviction would silently drop the extractor's
+        refinement work.
     """
 
     initializer: HighlightInitializer
@@ -132,6 +137,7 @@ class StreamOrchestrator:
     max_window_summaries: int | None = None
     min_plays_for_refinement: int = 10
     on_evict: Callable[[str, list[RedDot]], None] | None = None
+    on_evict_highlights: Callable[[str, list[Highlight]], None] | None = None
     _sessions: "OrderedDict[str, StreamSession]" = field(
         default_factory=OrderedDict, repr=False
     )
@@ -211,9 +217,20 @@ class StreamOrchestrator:
         if session is None:
             raise ValidationError(f"no live session for video {video_id!r}")
         dots = session.finalize(duration)
-        if self.on_evict is not None:
-            self.on_evict(video_id, dots)
+        self._notify_evicted(video_id, session, dots)
         return dots
+
+    def close_all_sessions(self) -> dict[str, list[RedDot]]:
+        """Finalize every live session (graceful shutdown); returns final dots.
+
+        Results flow through the same eviction callbacks as a normal close,
+        so nothing is dropped when a service shuts down mid-stream.
+        """
+        results: dict[str, list[RedDot]] = {}
+        while self._sessions:
+            video_id = next(iter(self._sessions))
+            results[video_id] = self.close_session(video_id)
+        return results
 
     def current_dots(self, video_id: str) -> list[RedDot]:
         """The dots currently live for ``video_id`` (empty when untracked)."""
@@ -250,5 +267,15 @@ class StreamOrchestrator:
                 session.messages_ingested,
                 len(dots),
             )
-            if self.on_evict is not None:
-                self.on_evict(video_id, dots)
+            self._notify_evicted(video_id, session, dots)
+
+    def _notify_evicted(
+        self, video_id: str, session: StreamSession, dots: list[RedDot]
+    ) -> None:
+        """Hand a finalized session's results to the persistence callbacks."""
+        if self.on_evict is not None:
+            self.on_evict(video_id, dots)
+        if self.on_evict_highlights is not None:
+            highlights = session.refined_highlights()
+            if highlights:
+                self.on_evict_highlights(video_id, highlights)

@@ -1,0 +1,286 @@
+"""Contract test suite every storage backend must pass.
+
+The suite is parametrized over the in-memory reference store and the SQLite
+backend (both ``:memory:`` and file-backed), so all implementations are held
+to the exact same semantics: idempotent chat ingest, append-only interaction
+logs, replace-style red dots, monotonically versioned highlight results and
+unknown-id errors.  Backend-specific behaviour (durability across reopen,
+WAL mode) is tested separately below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ChatMessage, Highlight, Interaction, InteractionKind, RedDot, Video
+from repro.platform.backends import (
+    InMemoryStore,
+    SQLiteStore,
+    StorageBackend,
+    create_backend,
+)
+from repro.utils.validation import ValidationError
+
+
+def _video(video_id="v1", duration=600.0):
+    return Video(video_id=video_id, duration=duration)
+
+
+@pytest.fixture(params=["memory", "sqlite", "sqlite-file"])
+def store(request, tmp_path):
+    """One instance of every backend implementation."""
+    if request.param == "memory":
+        backend = InMemoryStore()
+    elif request.param == "sqlite":
+        backend = SQLiteStore()
+    else:
+        backend = SQLiteStore(tmp_path / "contract.db")
+    yield backend
+    backend.close()
+
+
+class TestBackendContract:
+    def test_implements_contract(self, store):
+        assert isinstance(store, StorageBackend)
+
+    # ---------------------------------------------------------------- videos
+    def test_video_roundtrip(self, store):
+        store.put_video(_video())
+        assert store.has_video("v1")
+        assert store.get_video("v1").duration == 600.0
+        assert not store.has_video("nope")
+        with pytest.raises(ValidationError):
+            store.get_video("nope")
+
+    def test_put_video_replaces(self, store):
+        store.put_video(_video(duration=600.0))
+        store.put_video(_video(duration=900.0))
+        assert store.get_video("v1").duration == 900.0
+        assert store.stats()["videos"] == 1
+
+    def test_video_metadata_preserved(self, store):
+        video = Video(
+            video_id="rich",
+            duration=500.0,
+            game="lol",
+            channel="chan_3",
+            viewer_count=1234,
+            highlights=(Highlight(10.0, 40.0, label="teamfight"),),
+        )
+        store.put_video(video)
+        assert store.get_video("rich") == video
+
+    def test_list_videos_sorted_by_id(self, store):
+        store.put_video(_video("b"))
+        store.put_video(_video("a"))
+        store.put_video(_video("c"))
+        assert [v.video_id for v in store.list_videos()] == ["a", "b", "c"]
+
+    # ------------------------------------------------------------------ chat
+    def test_chat_requires_known_video(self, store):
+        with pytest.raises(ValidationError):
+            store.put_chat("ghost", [ChatMessage(1.0)])
+
+    def test_chat_roundtrip_sorted(self, store):
+        store.put_video(_video())
+        count = store.put_chat("v1", [ChatMessage(30.0), ChatMessage(5.0)])
+        assert count == 2
+        assert store.has_chat("v1")
+        assert [m.timestamp for m in store.get_chat("v1")] == [5.0, 30.0]
+        assert len(store.get_chat_log("v1")) == 2
+
+    def test_chat_ingest_idempotent(self, store):
+        store.put_video(_video())
+        store.put_chat("v1", [ChatMessage(1.0, "a", "first crawl")])
+        store.put_chat("v1", [ChatMessage(2.0, "b", "second crawl")])
+        messages = store.get_chat("v1")
+        assert [m.text for m in messages] == ["second crawl"]
+        assert store.stats()["chat_messages"] == 1
+
+    def test_chat_preserves_user_and_text(self, store):
+        store.put_video(_video())
+        message = ChatMessage(12.5, user="gl", text="what a play 🎉")
+        store.put_chat("v1", [message])
+        (stored,) = store.get_chat("v1")
+        assert (stored.timestamp, stored.user, stored.text) == (12.5, "gl", "what a play 🎉")
+
+    def test_empty_chat_is_not_crawled(self, store):
+        store.put_video(_video())
+        assert store.put_chat("v1", []) == 0
+        assert not store.has_chat("v1")
+        assert store.get_chat("v1") == []
+
+    # ---------------------------------------------------------- interactions
+    def test_interactions_require_known_video(self, store):
+        with pytest.raises(ValidationError):
+            store.log_interactions("ghost", [Interaction(1.0, InteractionKind.PLAY)])
+
+    def test_interaction_log_appends_in_arrival_order(self, store):
+        store.put_video(_video())
+        store.log_interactions("v1", [Interaction(9.0, InteractionKind.PLAY, "a")])
+        total = store.log_interactions(
+            "v1",
+            [
+                Interaction(2.0, InteractionKind.SEEK_BACKWARD, "a", target=1.0),
+                Interaction(5.0, InteractionKind.STOP, "a"),
+            ],
+        )
+        assert total == 3
+        logged = store.get_interactions("v1")
+        # Arrival order, not timestamp order: backward seeks must survive.
+        assert [i.timestamp for i in logged] == [9.0, 2.0, 5.0]
+        assert logged[1].target == 1.0
+
+    # -------------------------------------------------------------- red dots
+    def test_red_dots_require_known_video(self, store):
+        with pytest.raises(ValidationError):
+            store.put_red_dots("ghost", [RedDot(position=1.0)])
+
+    def test_red_dots_replace_and_sort(self, store):
+        store.put_video(_video())
+        store.put_red_dots("v1", [RedDot(position=50.0)])
+        store.put_red_dots("v1", [RedDot(position=70.0), RedDot(position=20.0)])
+        assert [d.position for d in store.get_red_dots("v1")] == [20.0, 70.0]
+
+    def test_red_dot_fields_preserved(self, store):
+        store.put_video(_video())
+        dot = RedDot(position=33.0, score=0.875, window=(30.0, 60.0), video_id="v1")
+        store.put_red_dots("v1", [dot])
+        assert store.get_red_dots("v1") == [dot]
+
+    def test_red_dots_empty_when_not_computed(self, store):
+        store.put_video(_video())
+        assert store.get_red_dots("v1") == []
+        assert not store.has_red_dots("v1")
+
+    def test_computed_empty_dots_remembered(self, store):
+        # "computed: nothing to show" must not look like "never computed".
+        store.put_video(_video())
+        store.put_red_dots("v1", [])
+        assert store.has_red_dots("v1")
+        assert store.get_red_dots("v1") == []
+        store.put_red_dots("v1", [RedDot(position=5.0)])
+        assert store.has_red_dots("v1")
+
+    # ------------------------------------------------------------ highlights
+    def test_highlights_require_known_video(self, store):
+        with pytest.raises(ValidationError):
+            store.put_highlight("ghost", Highlight(1.0, 2.0))
+
+    def test_highlight_versions_increase(self, store):
+        store.put_video(_video())
+        first = store.put_highlight("v1", Highlight(10.0, 20.0))
+        second = store.put_highlight("v1", Highlight(11.0, 21.0))
+        assert (first.version, second.version) == (1, 2)
+        assert len(store.highlight_history("v1")) == 2
+        # Both refer to the same area, so only the latest is reported.
+        assert store.latest_highlights("v1") == [Highlight(11.0, 21.0)]
+
+    def test_highlight_versions_independent_per_video(self, store):
+        store.put_video(_video("a"))
+        store.put_video(_video("b"))
+        store.put_highlight("a", Highlight(10.0, 20.0))
+        record = store.put_highlight("b", Highlight(10.0, 20.0))
+        assert record.version == 1
+
+    def test_highlight_source_preserved(self, store):
+        store.put_video(_video())
+        record = store.put_highlight("v1", Highlight(1.0, 2.0), source="streaming")
+        assert store.highlight_history("v1")[0] == record
+        assert record.source == "streaming"
+
+    # --------------------------------------------------------------- summary
+    def test_stats(self, store):
+        store.put_video(_video())
+        store.put_chat("v1", [ChatMessage(1.0)])
+        stats = store.stats()
+        assert stats["videos"] == 1 and stats["chat_messages"] == 1
+        assert stats["videos_with_chat"] == 1
+        assert stats["interactions"] == stats["red_dots"] == 0
+        assert stats["highlight_records"] == 0
+
+
+class TestSQLiteSpecifics:
+    def test_two_handles_on_one_file_version_monotonically(self, tmp_path):
+        path = tmp_path / "versions-shared.db"
+        a, b = SQLiteStore(path), SQLiteStore(path)
+        a.put_video(_video())
+        versions = [
+            a.put_highlight("v1", Highlight(1.0, 2.0)).version,
+            b.put_highlight("v1", Highlight(3.0, 4.0)).version,
+            a.put_highlight("v1", Highlight(5.0, 6.0)).version,
+        ]
+        assert versions == [1, 2, 3]
+        assert len(b.highlight_history("v1")) == 3
+        a.close(), b.close()
+
+    def test_two_handles_on_one_file_agree_on_log_size(self, tmp_path):
+        path = tmp_path / "shared.db"
+        a, b = SQLiteStore(path), SQLiteStore(path)
+        a.put_video(_video())
+        assert a.log_interactions("v1", [Interaction(1.0, InteractionKind.PLAY)] * 10) == 10
+        assert b.log_interactions("v1", [Interaction(2.0, InteractionKind.PLAY)] * 5) == 15
+        assert a.log_interactions("v1", [Interaction(3.0, InteractionKind.PLAY)]) == 16
+        assert len(b.get_interactions("v1")) == 16
+        a.close(), b.close()
+
+    def test_durable_across_reopen(self, tmp_path):
+        path = tmp_path / "durable.db"
+        first = SQLiteStore(path)
+        first.put_video(_video())
+        first.put_chat("v1", [ChatMessage(5.0, "a", "hello")])
+        first.put_red_dots("v1", [RedDot(position=10.0, window=(0.0, 30.0))])
+        first.put_highlight("v1", Highlight(8.0, 25.0), source="streaming")
+        first.close()
+
+        reopened = SQLiteStore(path)
+        assert reopened.get_video("v1").duration == 600.0
+        assert reopened.get_chat("v1") == [ChatMessage(5.0, "a", "hello")]
+        assert reopened.get_red_dots("v1") == [RedDot(position=10.0, window=(0.0, 30.0))]
+        record = reopened.highlight_history("v1")[0]
+        assert (record.highlight, record.version, record.source) == (
+            Highlight(8.0, 25.0),
+            1,
+            "streaming",
+        )
+        reopened.close()
+
+    def test_file_backed_runs_in_wal_mode(self, tmp_path):
+        store = SQLiteStore(tmp_path / "wal.db")
+        assert store.journal_mode() == "wal"
+        store.close()
+
+    def test_highlight_versions_survive_reopen(self, tmp_path):
+        path = tmp_path / "versions.db"
+        first = SQLiteStore(path)
+        first.put_video(_video())
+        first.put_highlight("v1", Highlight(1.0, 2.0))
+        first.close()
+        reopened = SQLiteStore(path)
+        assert reopened.put_highlight("v1", Highlight(3.0, 4.0)).version == 2
+        reopened.close()
+
+
+class TestBackendFactory:
+    def test_create_memory(self):
+        assert isinstance(create_backend("memory"), InMemoryStore)
+
+    def test_create_sqlite(self, tmp_path):
+        backend = create_backend("sqlite", tmp_path / "factory.db")
+        assert isinstance(backend, SQLiteStore)
+        backend.close()
+
+    def test_memory_rejects_path(self, tmp_path):
+        with pytest.raises(ValidationError):
+            create_backend("memory", tmp_path / "nope.db")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            create_backend("cassandra")
+
+    def test_legacy_import_path_still_works(self):
+        from repro.platform.storage import InMemoryStore as LegacyStore
+        from repro.platform.storage import StorageBackend as LegacyBackend
+
+        assert LegacyStore is InMemoryStore
+        assert issubclass(LegacyStore, LegacyBackend)

@@ -43,3 +43,45 @@ class TestMain:
         output = capsys.readouterr().out
         assert "red dots" in output
         assert "extracted highlights" in output
+
+
+class TestStreamCommand:
+    def test_stream_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["stream", "--backend", "sqlite", "--db-path", "x.db", "--shards", "4"]
+        )
+        assert (args.backend, args.db_path, args.shards) == ("sqlite", "x.db", 4)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--backend", "cassandra"])
+
+    def test_db_path_requires_sqlite(self, capsys):
+        assert main(["stream", "--db-path", "x.db"]) == 1
+        assert "--backend sqlite" in capsys.readouterr().out
+
+    def test_invalid_counts_rejected(self, capsys):
+        assert main(["stream", "--shards", "0"]) == 1
+        assert main(["stream", "--channels", "0"]) == 1
+        assert main(["stream", "--k", "0"]) == 1
+
+    def test_unopenable_db_path_fails_cleanly(self, capsys, tmp_path):
+        missing = tmp_path / "no_such_dir" / "x.db"
+        assert main(["stream", "--backend", "sqlite", "--db-path", str(missing)]) == 1
+        assert "cannot build the service tier" in capsys.readouterr().out
+
+    def test_sharded_sqlite_stream_end_to_end(self, capsys, tmp_path):
+        db = tmp_path / "stream.db"
+        argv = [
+            "stream", "--channels", "1", "--shards", "2", "--quiet",
+            "--backend", "sqlite", "--db-path", str(db),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "batch parity OK" in output
+        assert "persisted durably" in output
+        assert (tmp_path / "stream.shard0.db").exists()
+        assert (tmp_path / "stream.shard1.db").exists()
+        # Reusing the files with a different shard count is refused.
+        assert main(argv[:4] + ["4"] + argv[5:]) == 1
+        assert "2-shard deployment" in capsys.readouterr().out

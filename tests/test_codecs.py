@@ -1,0 +1,226 @@
+"""Round-trip property tests for the platform serialization codecs.
+
+Every core type must survive ``to_dict`` → JSON → ``from_dict`` unchanged —
+the durable backends store exactly these payloads, so any lossy codec would
+silently corrupt the platform state.  Hypothesis drives the value space
+(arbitrary finite floats round-trip exactly through Python's JSON encoder);
+explicit cases cover the structural edges: empty chat logs, zero-interaction
+dots, windowless dots, unlabeled videos.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    ChatMessage,
+    Highlight,
+    Interaction,
+    InteractionKind,
+    PlayRecord,
+    RedDot,
+    Video,
+    VideoChatLog,
+)
+from repro.platform import codecs
+from repro.platform.backends import HighlightRecord
+from repro.utils.validation import ValidationError
+
+# Finite non-negative timestamps/scores; any binary64 value round-trips
+# exactly through json (shortest-repr encoding).
+timestamps = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+scores = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+names = st.text(max_size=24)
+
+
+@st.composite
+def chat_messages(draw):
+    return ChatMessage(timestamp=draw(timestamps), user=draw(names), text=draw(names))
+
+
+@st.composite
+def highlights(draw):
+    start = draw(timestamps)
+    length = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    return Highlight(start=start, end=start + length, label=draw(names))
+
+
+@st.composite
+def red_dots(draw):
+    window = None
+    if draw(st.booleans()):
+        left = draw(timestamps)
+        window = (left, left + draw(st.floats(min_value=0.0, max_value=1e4, allow_nan=False)))
+    return RedDot(
+        position=draw(timestamps),
+        score=draw(scores),
+        window=window,
+        video_id=draw(names),
+    )
+
+
+@st.composite
+def interactions(draw):
+    kind = draw(st.sampled_from(list(InteractionKind)))
+    seeks = (InteractionKind.SEEK_FORWARD, InteractionKind.SEEK_BACKWARD)
+    target = draw(timestamps) if kind in seeks or draw(st.booleans()) else None
+    return Interaction(
+        timestamp=draw(timestamps), kind=kind, user=draw(names), target=target
+    )
+
+
+@st.composite
+def videos(draw):
+    duration = draw(st.floats(min_value=1.0, max_value=1e6, allow_nan=False))
+    marks = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        start = draw(st.floats(min_value=0.0, max_value=duration / 2, allow_nan=False))
+        end = draw(st.floats(min_value=start, max_value=duration, allow_nan=False))
+        marks.append(Highlight(start=start, end=end, label=draw(names)))
+    return Video(
+        video_id=draw(names),
+        duration=duration,
+        game=draw(names),
+        channel=draw(names),
+        viewer_count=draw(st.integers(min_value=0, max_value=10**6)),
+        highlights=tuple(marks),
+    )
+
+
+@st.composite
+def chat_logs(draw):
+    video = draw(videos())
+    messages = [
+        ChatMessage(
+            timestamp=draw(st.floats(min_value=0.0, max_value=video.duration, allow_nan=False)),
+            user=draw(names),
+            text=draw(names),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=5)))
+    ]
+    return VideoChatLog(video=video, messages=messages)
+
+
+@st.composite
+def highlight_records(draw):
+    return HighlightRecord(
+        video_id=draw(names),
+        highlight=draw(highlights()),
+        version=draw(st.integers(min_value=1, max_value=10**6)),
+        source=draw(names),
+    )
+
+
+def roundtrip(obj):
+    """encode → JSON string → decode, through the tagged generic surface."""
+    return codecs.decode(json.loads(json.dumps(codecs.encode(obj))))
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(chat_messages())
+    def test_chat_message(self, message):
+        restored = roundtrip(message)
+        assert restored == message
+        # ChatMessage equality compares the timestamp only; check the rest.
+        assert (restored.user, restored.text) == (message.user, message.text)
+
+    @settings(max_examples=100, deadline=None)
+    @given(highlights())
+    def test_highlight(self, highlight):
+        assert roundtrip(highlight) == highlight
+
+    @settings(max_examples=100, deadline=None)
+    @given(red_dots())
+    def test_red_dot(self, dot):
+        assert roundtrip(dot) == dot
+
+    @settings(max_examples=100, deadline=None)
+    @given(interactions())
+    def test_interaction(self, interaction):
+        restored = roundtrip(interaction)
+        assert restored == interaction
+        assert (restored.kind, restored.user, restored.target) == (
+            interaction.kind,
+            interaction.user,
+            interaction.target,
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.builds(PlayRecord, user=names, start=timestamps, end=st.just(1e9 + 1)))
+    def test_play_record(self, play):
+        assert roundtrip(play) == play
+
+    @settings(max_examples=50, deadline=None)
+    @given(videos())
+    def test_video(self, video):
+        assert roundtrip(video) == video
+
+    @settings(max_examples=25, deadline=None)
+    @given(chat_logs())
+    def test_chat_log(self, chat_log):
+        restored = roundtrip(chat_log)
+        assert restored.video == chat_log.video
+        assert restored.messages == chat_log.messages
+        assert [(m.user, m.text) for m in restored.messages] == [
+            (m.user, m.text) for m in chat_log.messages
+        ]
+
+    @settings(max_examples=50, deadline=None)
+    @given(highlight_records())
+    def test_highlight_record(self, record):
+        assert roundtrip(record) == record
+
+
+class TestEdgeValues:
+    def test_empty_chat_log(self):
+        log = VideoChatLog(video=Video(video_id="v", duration=60.0), messages=[])
+        restored = roundtrip(log)
+        assert restored.messages == [] and restored.video == log.video
+
+    def test_zero_interaction_dot(self):
+        dot = RedDot(position=0.0)
+        restored = roundtrip(dot)
+        assert restored == dot
+        assert restored.score == 0.0 and restored.window is None
+        assert restored.video_id == ""
+
+    def test_unlabeled_video(self):
+        video = Video(video_id="v", duration=1.0)
+        restored = roundtrip(video)
+        assert restored.highlights == ()
+        assert isinstance(restored.highlights, tuple)
+
+    def test_window_restored_as_tuple(self):
+        dot = RedDot(position=5.0, window=(0.0, 30.0))
+        restored = roundtrip(dot)
+        assert isinstance(restored.window, tuple)
+        assert restored.window == (0.0, 30.0)
+
+    def test_interaction_kind_restored_as_enum(self):
+        interaction = Interaction(1.0, InteractionKind.SEEK_FORWARD, target=9.0)
+        restored = roundtrip(interaction)
+        assert restored.kind is InteractionKind.SEEK_FORWARD
+
+    def test_awkward_float_survives_json(self):
+        # 0.1 + 0.2 != 0.3: the codec must keep the exact binary64 bits.
+        dot = RedDot(position=0.1 + 0.2, score=1 / 3)
+        restored = roundtrip(dot)
+        assert restored.position.hex() == dot.position.hex()
+        assert restored.score.hex() == dot.score.hex()
+
+    def test_dumps_loads_stable(self):
+        dot = RedDot(position=7.0, score=0.5, window=(0.0, 30.0), video_id="v")
+        text = codecs.dumps(dot)
+        assert codecs.loads(text) == dot
+        assert codecs.dumps(codecs.loads(text)) == text
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            codecs.encode(object())
+        with pytest.raises(ValidationError):
+            codecs.decode({"type": "martian"})

@@ -144,6 +144,20 @@ class TestWebServiceAndExtension:
         assert service.store.get_red_dots(video_id) == dots
         assert service.request_red_dots(video_id, k=5) == dots
 
+    def test_empty_red_dot_result_is_cached(self, service, monkeypatch):
+        # A below-threshold video stores an empty dot set; later requests
+        # must serve it from the store instead of recomputing.
+        video_id = service.crawler.api.recent_videos("dota2_channel_1", 1)[0].video_id
+        monkeypatch.setattr(service.initializer, "is_applicable", lambda log: False)
+        assert service.request_red_dots(video_id, k=3) == []
+        assert service.store.has_red_dots(video_id)
+
+        def explode(log):
+            raise AssertionError("empty cached result was recomputed")
+
+        monkeypatch.setattr(service.initializer, "is_applicable", explode)
+        assert service.request_red_dots(video_id, k=3) == []
+
     def test_log_interactions_requires_known_video(self, service):
         with pytest.raises(ValidationError):
             service.log_interactions("ghost", [])
