@@ -1,0 +1,162 @@
+"""BENCH-LOAD — batched-ingest scaling study over the sharded service tier.
+
+Drives one deterministic soak workload (a Zipf fleet of marathon channels:
+chat firehoses, viewer-play firehoses, staggered lifecycles) through the
+sharded service at every point of a batch-size × shard-count grid and
+records wall-clock events/sec plus the per-stage breakdown in
+``BENCH_load.json`` at the repo root, so successive PRs can track the
+trajectory.
+
+Two gates encode the PR's claims:
+
+* **batched ingest pays**: at full size, batch 512 must be at least 5x the
+  per-event (batch 1) throughput on the memory backend — per-event serving
+  re-scores the provisional dots against an ever-growing window history,
+  which the batch boundary amortises;
+* **sharded + concurrent is still correct**: the oracle spot-check (a
+  sequential single-shard replay of the byte-identical batches) must report
+  zero divergences.
+
+Sizes shrink via the ``LIGHTOR_BENCH_LOAD_*`` environment variables; the CI
+smoke job runs tiny sizes (where the 5x gate relaxes to a sanity bound —
+the quadratic per-event re-score bill only dominates on long streams).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import LightorConfig
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.datasets import DatasetSpec, build_dataset
+from repro.loadgen import LoadWorkload, WorkloadSpec, run_load
+
+CHANNELS = int(os.environ.get("LIGHTOR_BENCH_LOAD_CHANNELS", "12"))
+VIEWERS = int(os.environ.get("LIGHTOR_BENCH_LOAD_VIEWERS", "1200"))
+DURATION = float(os.environ.get("LIGHTOR_BENCH_LOAD_DURATION", "28800"))
+WORKERS = int(os.environ.get("LIGHTOR_BENCH_LOAD_WORKERS", "8"))
+SEED = int(os.environ.get("LIGHTOR_BENCH_LOAD_SEED", "7"))
+
+BATCH_SIZES = (1, 64, 512)
+SHARD_COUNTS = (1, 4)
+# The 5x gate only holds at full size (the per-event re-score bill needs
+# long streams to dominate); any size override relaxes it to a sanity bound.
+FULL_SIZE = not any(
+    f"LIGHTOR_BENCH_LOAD_{knob}" in os.environ
+    for knob in ("CHANNELS", "VIEWERS", "DURATION", "WORKERS", "SEED")
+)
+SPEEDUP_GATE = 5.0 if FULL_SIZE else 1.2
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_load.json"
+
+
+@pytest.fixture(scope="module")
+def fitted_initializer():
+    dataset = build_dataset(DatasetSpec.dota2(size=1, seed=2020))
+    initializer = HighlightInitializer(config=LightorConfig())
+    initializer.fit([dataset[0].training_pair])
+    return initializer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """One synthesised soak fleet, re-chunked per grid point."""
+    spec = WorkloadSpec(
+        channels=CHANNELS,
+        viewers=VIEWERS,
+        duration=DURATION,
+        batch_size=1,
+        seed=SEED,
+        stretch=True,
+    )
+    return LoadWorkload.from_spec(spec)
+
+
+def _save(payload: dict) -> None:
+    signature = (
+        f"channels{CHANNELS}-viewers{VIEWERS}-duration{int(DURATION)}-workers{WORKERS}"
+    )
+    results = {}
+    if RESULTS_PATH.exists():
+        results = json.loads(RESULTS_PATH.read_text())
+    section = results.setdefault("load_scaling", {})
+    entry = section.get(signature)
+    if not isinstance(entry, dict):
+        entry = {}
+    entry.update(payload)
+    entry["config"] = {
+        "channels": CHANNELS,
+        "viewers": VIEWERS,
+        "duration": DURATION,
+        "workers": WORKERS,
+        "batch_sizes": list(BATCH_SIZES),
+        "shard_counts": list(SHARD_COUNTS),
+        "seed": SEED,
+    }
+    section[signature] = entry
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_load_scaling(fitted_initializer, workload):
+    print()
+    print(
+        f"soak fleet: {workload.spec.channels} channels, "
+        f"{workload.total_chat:,} chat + {workload.total_plays:,} play events"
+    )
+    grid: dict[str, dict[str, dict]] = {}
+    throughput: dict[tuple[int, int], float] = {}
+    for n_shards in SHARD_COUNTS:
+        row: dict[str, dict] = {}
+        for batch_size in BATCH_SIZES:
+            report = run_load(
+                workload.spec,
+                fitted_initializer,
+                shards=n_shards,
+                workers=WORKERS,
+                backend="memory",
+                oracle=False,
+                workload=workload.rebatched(batch_size),
+            )
+            throughput[(n_shards, batch_size)] = report.events_per_sec
+            row[str(batch_size)] = report.to_dict()
+            print(
+                f"  shards={n_shards} batch={batch_size:<4d} "
+                f"{report.events_per_sec:>12,.0f} events/s"
+            )
+        grid[str(n_shards)] = row
+
+    ratios = {
+        n_shards: throughput[(n_shards, 512)] / throughput[(n_shards, 1)]
+        for n_shards in SHARD_COUNTS
+    }
+    for n_shards, ratio in ratios.items():
+        print(f"  shards={n_shards}: batch 512 vs per-event speedup {ratio:.2f}x")
+    _save({"grid": grid, "speedups_512_vs_1": {str(k): round(v, 2) for k, v in ratios.items()}})
+
+    best = max(ratios.values())
+    assert best >= SPEEDUP_GATE, (
+        f"batched ingest speedup {best:.2f}x at batch 512 fell below the "
+        f"{SPEEDUP_GATE}x gate (throughput: {throughput})"
+    )
+
+
+def test_bench_load_oracle_spot_check(fitted_initializer, workload):
+    """The sharded concurrent run must match the sequential oracle exactly."""
+    report = run_load(
+        workload.spec,
+        fitted_initializer,
+        shards=SHARD_COUNTS[-1],
+        workers=WORKERS,
+        backend="memory",
+        oracle=True,
+        workload=workload.rebatched(64),
+    )
+    print()
+    print(report.describe())
+    _save({"oracle": {"channels": len(report.outcomes), "divergences": report.divergences}})
+    assert report.oracle_checked
+    assert report.divergences == [], f"oracle divergences: {report.divergences}"

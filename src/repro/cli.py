@@ -10,6 +10,10 @@ Sub-commands:
 * ``lightor stream`` — replay synthetic live channels through the streaming
   engine, printing provisional dot emissions/retractions and the final
   batch-parity check.
+* ``lightor load`` — synthesize a multi-channel load-test workload (Zipf
+  channel popularity, chat + viewer-play firehoses) and drive it through the
+  sharded service tier with a worker pool, reporting throughput, latency
+  percentiles and the single-shard oracle spot-check.
 """
 
 from __future__ import annotations
@@ -81,6 +85,59 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--shards", type=int, default=1,
         help="service workers to consistent-hash the channels across (default: 1)",
+    )
+
+    load_parser = subparsers.add_parser(
+        "load",
+        help="generate multi-channel load against the sharded service tier",
+    )
+    load_parser.add_argument(
+        "--channels", type=int, default=8, help="live channels in the fleet (default: 8)"
+    )
+    load_parser.add_argument(
+        "--viewers", type=int, default=400,
+        help="total concurrent viewers, Zipf-split across channels (default: 400)",
+    )
+    load_parser.add_argument(
+        "--duration", type=float, default=3600.0,
+        help="per-channel stream length cap in seconds (default: 3600)",
+    )
+    load_parser.add_argument(
+        "--shards", type=int, default=2,
+        help="service workers to consistent-hash the channels across (default: 2)",
+    )
+    load_parser.add_argument(
+        "--backend", default="memory", choices=("memory", "sqlite"),
+        help="storage backend behind the service tier (default: memory)",
+    )
+    load_parser.add_argument(
+        "--db-path", default=None,
+        help="SQLite database path (sqlite backend; one file per shard). "
+        "Omit for an in-memory database.",
+    )
+    load_parser.add_argument(
+        "--batch-size", type=int, default=64,
+        help="events per ingest batch; 1 reproduces per-event traffic (default: 64)",
+    )
+    load_parser.add_argument(
+        "--workers", type=int, default=4, help="driver worker threads (default: 4)"
+    )
+    load_parser.add_argument(
+        "--zipf", type=float, default=1.0,
+        help="channel-popularity skew exponent; 0 = uniform fleet (default: 1.0)",
+    )
+    load_parser.add_argument("--seed", type=int, default=2020, help="workload seed")
+    load_parser.add_argument(
+        "--stretch", action="store_true",
+        help="soak mode: stretch every channel to the full --duration (marathon reruns)",
+    )
+    load_parser.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the sequential single-shard oracle spot-check (pure timing run)",
+    )
+    load_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fixed workload for CI: overrides the sizing flags",
     )
     return parser
 
@@ -272,6 +329,61 @@ def _command_stream(
     return exit_code
 
 
+def _command_load(args) -> int:
+    import sqlite3
+
+    from repro import LightorConfig
+    from repro.core.initializer.initializer import HighlightInitializer
+    from repro.datasets import DatasetSpec, build_dataset
+    from repro.loadgen import WorkloadSpec, run_load
+    from repro.utils.validation import ValidationError
+
+    if args.smoke:
+        spec_kwargs = dict(
+            channels=3, viewers=60, duration=1200.0, batch_size=64, seed=args.seed
+        )
+        shards, workers = 2, 2
+    else:
+        spec_kwargs = dict(
+            channels=args.channels,
+            viewers=args.viewers,
+            duration=args.duration,
+            batch_size=args.batch_size,
+            zipf_exponent=args.zipf,
+            seed=args.seed,
+            stretch=args.stretch,
+        )
+        shards, workers = args.shards, args.workers
+    if args.db_path is not None and args.backend != "sqlite":
+        print("--db-path requires --backend sqlite", flush=True)
+        return 1
+    try:
+        spec = WorkloadSpec(**spec_kwargs)
+    except ValidationError as error:
+        print(f"invalid workload: {error}", flush=True)
+        return 1
+
+    dataset = build_dataset(DatasetSpec.dota2(size=1, seed=args.seed))
+    initializer = HighlightInitializer(config=LightorConfig())
+    initializer.fit([dataset[0].training_pair])
+
+    try:
+        report = run_load(
+            spec,
+            initializer,
+            shards=shards,
+            workers=workers,
+            backend=args.backend,
+            db_path=args.db_path,
+            oracle=not args.no_oracle,
+        )
+    except (ValidationError, sqlite3.Error) as error:
+        print(f"load run failed: {error}", flush=True)
+        return 1
+    print(report.describe())
+    return 1 if report.divergences else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``lightor`` console script."""
     parser = build_parser()
@@ -286,6 +398,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run_all(args.scale)
     if args.command == "demo":
         return _command_demo(args.k, args.seed)
+    if args.command == "load":
+        return _command_load(args)
     if args.command == "stream":
         return _command_stream(
             channels=args.channels,

@@ -1,0 +1,50 @@
+"""Load generation and soak testing for the LIGHTOR service tier.
+
+The platform's premise is implicit crowdsourcing at scale — thousands of
+concurrent channels, each with a chat firehose and a viewer-play firehose.
+This package generates that traffic deterministically and drives it through
+the sharded service so throughput, latency and correctness can be measured
+instead of assumed:
+
+* :mod:`workload <repro.loadgen.workload>` — seedable multi-channel traffic
+  synthesis from the :mod:`repro.simulation` primitives: Zipf-skewed channel
+  popularity, channel lifecycle churn, per-channel chat and viewer-play
+  streams chunked into ingest batches.
+* :mod:`driver <repro.loadgen.driver>` — the harness: a worker pool replays
+  the batches through a :class:`~repro.platform.sharding.ShardedLightorService`,
+  times every call, then spot-checks the sharded concurrent results against
+  a sequential single-shard oracle (zero divergences or the run fails).
+* :mod:`metrics <repro.loadgen.metrics>` — per-stage throughput and latency
+  percentile accounting.
+
+Entry points: ``repro load`` on the command line,
+:func:`~repro.loadgen.driver.run_load` from code, and
+``benchmarks/test_bench_load.py`` for the batch-size × shard-count scaling
+study (``BENCH_load.json``).  ``docs/load_testing.md`` documents the design
+and how to read the results.
+"""
+
+from repro.loadgen.driver import ChannelOutcome, LoadGenerator, LoadReport, run_load
+from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
+from repro.loadgen.workload import (
+    ChannelPlan,
+    LoadWorkload,
+    WorkBatch,
+    WorkloadSpec,
+    zipf_weights,
+)
+
+__all__ = [
+    "ChannelOutcome",
+    "ChannelPlan",
+    "LatencyRecorder",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadWorkload",
+    "StageStats",
+    "WorkBatch",
+    "WorkloadSpec",
+    "merge_recorders",
+    "run_load",
+    "zipf_weights",
+]

@@ -1,0 +1,350 @@
+"""The load harness: drive a workload through a service tier and report.
+
+:class:`LoadGenerator` takes a :class:`~repro.loadgen.workload.LoadWorkload`
+and a :class:`~repro.platform.sharding.ShardedLightorService` and replays
+the workload's ingest batches through a worker pool:
+
+* channels are partitioned across workers (a channel's batches must stay in
+  order, so one worker owns a channel for the whole run); different
+  channels proceed concurrently, which is exactly the contention profile a
+  sharded front door sees;
+* every service call is timed into per-worker
+  :class:`~repro.loadgen.metrics.LatencyRecorder` instances (merged after
+  the run — the hot path takes no shared locks);
+* after the drive, every channel is closed (``end_live``) and its persisted
+  state — final red dots, refined-highlight history, the full interaction
+  log — is fingerprinted.
+
+The **oracle spot-check** replays the byte-identical batch sequence
+sequentially into a fresh single-shard, in-memory service and compares the
+fingerprints: because every engine in the stack is deterministic, a sharded
+concurrent run must produce *exactly* the oracle's results — any divergence
+means a routing, locking or batching bug, and the report counts it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from threading import Thread
+
+from repro.core.initializer.initializer import HighlightInitializer
+from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
+from repro.loadgen.workload import LoadWorkload, WorkBatch
+from repro.platform import codecs
+from repro.platform.sharding import ShardedLightorService
+from repro.utils.validation import require_positive
+
+__all__ = ["ChannelOutcome", "LoadReport", "LoadGenerator", "run_load"]
+
+
+@dataclass(frozen=True)
+class ChannelOutcome:
+    """Fingerprintable end state of one channel after a run."""
+
+    video_id: str
+    final_dots: int
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Everything a load run measured.
+
+    ``events_per_sec`` is the headline wall-clock throughput (all stages,
+    all workers); ``stages`` holds the per-stage service-side breakdown;
+    ``divergences`` counts channels whose final state differed from the
+    sequential single-shard oracle (must be zero on a healthy build).
+    """
+
+    shards: int
+    workers: int
+    batch_size: int
+    channels: int
+    total_events: int
+    wall_seconds: float
+    stages: dict[str, StageStats]
+    outcomes: dict[str, ChannelOutcome]
+    divergences: list[str] = field(default_factory=list)
+    oracle_checked: bool = False
+
+    @property
+    def events_per_sec(self) -> float:
+        """Wall-clock events per second across the whole run."""
+        return self.total_events / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (what ``BENCH_load.json`` stores)."""
+        return {
+            "shards": self.shards,
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "channels": self.channels,
+            "total_events": self.total_events,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "stages": {name: stats.to_dict() for name, stats in sorted(self.stages.items())},
+            "oracle_checked": self.oracle_checked,
+            "divergences": list(self.divergences),
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary for the CLI."""
+        lines = [
+            f"{self.total_events:,} events over {self.channels} channel(s) "
+            f"in {self.wall_seconds:.2f}s — {self.events_per_sec:,.0f} events/s "
+            f"({self.shards} shard(s), {self.workers} worker(s), batch {self.batch_size})"
+        ]
+        for name, stats in sorted(self.stages.items()):
+            lines.append(
+                f"  {name:6s} {stats.events:>9,} events / {stats.calls:>8,} calls   "
+                f"{stats.events_per_sec:>12,.0f} ev/s   "
+                f"p50 {stats.p50_ms:7.3f} ms   p95 {stats.p95_ms:7.3f} ms   "
+                f"p99 {stats.p99_ms:7.3f} ms"
+            )
+        if self.oracle_checked:
+            if self.divergences:
+                lines.append(
+                    f"  ORACLE DIVERGENCE on {len(self.divergences)} channel(s): "
+                    + ", ".join(self.divergences)
+                )
+            else:
+                lines.append(
+                    f"  oracle spot-check: {len(self.outcomes)} channel(s), 0 divergences"
+                )
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Replays a workload through a service tier with a worker pool.
+
+    Parameters
+    ----------
+    workload:
+        The materialised traffic (see :class:`LoadWorkload`).
+    workers:
+        Worker threads.  Channels are assigned round-robin in channel-id
+        order, so the partition — and therefore every per-channel call
+        sequence — is deterministic regardless of thread scheduling.
+    """
+
+    def __init__(self, workload: LoadWorkload, workers: int = 4) -> None:
+        require_positive(workers, "workers")
+        self.workload = workload
+        self.workers = workers
+
+    # ------------------------------------------------------------------- drive
+    def drive(self, service: ShardedLightorService, oracle_factory=None) -> LoadReport:
+        """Run the workload against ``service`` and (optionally) oracle-check.
+
+        ``oracle_factory`` builds a fresh single-shard service for the
+        sequential replay; pass ``None`` to skip the spot-check (e.g. for
+        pure timing runs).  The driven service is fully closed before the
+        method returns.
+        """
+        batches = self.workload.batches()
+        worker_of = self._assign_channels()
+        queues: list[list[WorkBatch]] = [[] for _ in range(self.workers)]
+        for batch in batches:
+            queues[worker_of[batch.video_id]].append(batch)
+        # A channel whose events were all filtered out produces no batches;
+        # open it up front so the close phase still runs its lifecycle.
+        self._open_idle_channels(service, batches)
+
+        recorders = [LatencyRecorder() for _ in range(self.workers)]
+        failures: list[BaseException] = []
+        threads = [
+            Thread(
+                target=self._worker,
+                args=(service, queue, recorder, failures),
+                name=f"loadgen-{index}",
+                daemon=True,
+            )
+            for index, (queue, recorder) in enumerate(zip(queues, recorders))
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        if failures:
+            # A dead worker means part of the traffic was never driven; a
+            # report computed over the full planned event count would be a
+            # lie, so the run fails loudly with the first worker error.
+            service.close()
+            raise failures[0]
+
+        outcomes = self._close_channels(service, recorders[0])
+        service.close()
+        stages = merge_recorders(recorders)
+
+        divergences: list[str] = []
+        oracle_checked = False
+        if oracle_factory is not None:
+            oracle_checked = True
+            divergences = self._oracle_divergences(batches, outcomes, oracle_factory)
+
+        return LoadReport(
+            shards=service.n_shards,
+            workers=self.workers,
+            batch_size=self.workload.spec.batch_size,
+            channels=len(self.workload.plans),
+            total_events=self.workload.total_events,
+            wall_seconds=wall,
+            stages=stages,
+            outcomes=outcomes,
+            divergences=divergences,
+            oracle_checked=oracle_checked,
+        )
+
+    # ---------------------------------------------------------------- internals
+    def _assign_channels(self) -> dict[str, int]:
+        channel_ids = sorted(plan.video.video_id for plan in self.workload.plans)
+        return {vid: index % self.workers for index, vid in enumerate(channel_ids)}
+
+    def _open_idle_channels(
+        self, service: ShardedLightorService, batches: list[WorkBatch]
+    ) -> None:
+        """Register channels that will receive no traffic this run."""
+        with_traffic = {batch.video_id for batch in batches}
+        for plan in self.workload.plans:
+            if plan.video.video_id not in with_traffic:
+                service.start_live(plan.video)
+
+    def _worker(
+        self,
+        service: ShardedLightorService,
+        queue: list[WorkBatch],
+        recorder: LatencyRecorder,
+        failures: list[BaseException],
+    ) -> None:
+        live: set[str] = set()
+        plans = {plan.video.video_id: plan for plan in self.workload.plans}
+        try:
+            for batch in queue:
+                if batch.video_id not in live:
+                    t0 = time.perf_counter()
+                    service.start_live(plans[batch.video_id].video)
+                    recorder.record("open", time.perf_counter() - t0)
+                    live.add(batch.video_id)
+                t0 = time.perf_counter()
+                if batch.kind == "chat":
+                    service.ingest_chat_batch(batch.video_id, list(batch.events))
+                else:
+                    service.ingest_plays_batch(batch.video_id, list(batch.events))
+                recorder.record(batch.kind, time.perf_counter() - t0, events=len(batch.events))
+        except BaseException as error:  # noqa: BLE001 - surfaced by drive()
+            failures.append(error)
+
+    def _close_channels(
+        self, service: ShardedLightorService, recorder: LatencyRecorder
+    ) -> dict[str, ChannelOutcome]:
+        outcomes: dict[str, ChannelOutcome] = {}
+        for plan in sorted(self.workload.plans, key=lambda p: p.video.video_id):
+            video_id = plan.video.video_id
+            t0 = time.perf_counter()
+            dots = service.end_live(video_id, plan.duration)
+            recorder.record("close", time.perf_counter() - t0)
+            outcomes[video_id] = ChannelOutcome(
+                video_id=video_id,
+                final_dots=len(dots),
+                fingerprint=self._fingerprint(service, video_id, dots),
+            )
+        return outcomes
+
+    @staticmethod
+    def _fingerprint(service, video_id: str, dots) -> str:
+        """Canonical JSON of everything the run persisted for a channel."""
+        store = service.store_for(video_id)
+        return json.dumps(
+            {
+                "dots": [codecs.red_dot_to_dict(dot) for dot in dots],
+                "stored_dots": [
+                    codecs.red_dot_to_dict(dot) for dot in store.get_red_dots(video_id)
+                ],
+                "highlights": [
+                    codecs.highlight_record_to_dict(record)
+                    for record in store.highlight_history(video_id)
+                ],
+                "interactions": [
+                    codecs.interaction_to_dict(interaction)
+                    for interaction in store.get_interactions(video_id)
+                ],
+            },
+            sort_keys=True,
+        )
+
+    def _oracle_divergences(
+        self,
+        batches: list[WorkBatch],
+        outcomes: dict[str, ChannelOutcome],
+        oracle_factory,
+    ) -> list[str]:
+        """Sequentially replay the identical batches; list differing channels."""
+        oracle: ShardedLightorService = oracle_factory()
+        try:
+            plans = {plan.video.video_id: plan for plan in self.workload.plans}
+            self._open_idle_channels(oracle, batches)
+            live: set[str] = set()
+            for batch in batches:
+                if batch.video_id not in live:
+                    oracle.start_live(plans[batch.video_id].video)
+                    live.add(batch.video_id)
+                if batch.kind == "chat":
+                    oracle.ingest_chat_batch(batch.video_id, list(batch.events))
+                else:
+                    oracle.ingest_plays_batch(batch.video_id, list(batch.events))
+            divergences = []
+            for video_id, outcome in sorted(outcomes.items()):
+                dots = oracle.end_live(video_id, plans[video_id].duration)
+                expected = self._fingerprint(oracle, video_id, dots)
+                if expected != outcome.fingerprint:
+                    divergences.append(video_id)
+            return divergences
+        finally:
+            oracle.close()
+
+
+def run_load(
+    spec,
+    initializer: HighlightInitializer,
+    *,
+    shards: int = 1,
+    workers: int = 4,
+    backend: str = "memory",
+    db_path=None,
+    oracle: bool = True,
+    live_k: int | None = None,
+    workload: LoadWorkload | None = None,
+) -> LoadReport:
+    """Build the workload, the service tier and the harness; run once.
+
+    This is the one-call entry point the CLI (``repro load``) and the
+    scaling benchmark share.  Pass a pre-built ``workload`` (see
+    :meth:`LoadWorkload.rebatched`) to reuse one synthesised fleet across a
+    parameter grid.  The service is created with ``max_live_sessions``
+    covering the whole fleet so LRU eviction cannot interleave with the run
+    (evictions under concurrency are exercised by the orchestrator's own
+    test suite; a load run wants deterministic end-state fingerprints).
+    """
+    if workload is None:
+        workload = LoadWorkload.from_spec(spec)
+    service = ShardedLightorService.create(
+        shards,
+        initializer,
+        backend=backend,
+        db_path=db_path,
+        max_live_sessions=max(spec.channels, 1),
+        live_k=live_k,
+    )
+    generator = LoadGenerator(workload, workers=workers)
+
+    def oracle_factory() -> ShardedLightorService:
+        return ShardedLightorService.create(
+            1, initializer, backend="memory",
+            max_live_sessions=max(spec.channels, 1), live_k=live_k,
+        )
+
+    return generator.drive(service, oracle_factory=oracle_factory if oracle else None)

@@ -1,0 +1,105 @@
+"""Throughput and latency accounting for load runs.
+
+Each worker records into its own :class:`LatencyRecorder` (no locks on the
+hot path); the driver merges the recorders after the run and derives
+per-stage throughput and latency percentiles.  Stages are the service-call
+kinds (``chat``/``plays`` ingest, channel ``open``/``close``), so a report
+shows where the service boundary spends its time under a given batch size
+and shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StageStats", "LatencyRecorder", "merge_recorders"]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregated measurements for one stage of the ingest pipeline.
+
+    ``seconds`` is the sum of in-call time, so ``events / seconds`` is the
+    stage's service-side throughput (what one shard's lock observes);
+    wall-clock throughput across concurrent workers is reported separately
+    by the driver.  Percentiles are per *call* latencies in milliseconds.
+    """
+
+    calls: int
+    events: int
+    seconds: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Events pushed through the stage per in-call second."""
+        return self.events / self.seconds if self.seconds > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (used by ``BENCH_load.json``)."""
+        return {
+            "calls": self.calls,
+            "events": self.events,
+            "seconds": round(self.seconds, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+@dataclass
+class LadderEntry:
+    """Raw per-stage samples: (call latency seconds, events in the call)."""
+
+    latencies: list[float] = field(default_factory=list)
+    events: int = 0
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-call latencies by stage; one instance per worker."""
+
+    _stages: dict[str, LadderEntry] = field(default_factory=dict)
+
+    def record(self, stage: str, seconds: float, events: int = 1) -> None:
+        """Record one service call of ``events`` events taking ``seconds``."""
+        entry = self._stages.setdefault(stage, LadderEntry())
+        entry.latencies.append(seconds)
+        entry.events += events
+
+    def stages(self) -> dict[str, LadderEntry]:
+        """The raw samples by stage (used when merging recorders)."""
+        return self._stages
+
+
+def merge_recorders(recorders: list[LatencyRecorder]) -> dict[str, StageStats]:
+    """Merge per-worker recorders into final per-stage statistics."""
+    combined: dict[str, LadderEntry] = {}
+    for recorder in recorders:
+        for stage, entry in recorder.stages().items():
+            target = combined.setdefault(stage, LadderEntry())
+            target.latencies.extend(entry.latencies)
+            target.events += entry.events
+    stats: dict[str, StageStats] = {}
+    for stage, entry in combined.items():
+        latencies = np.asarray(entry.latencies, dtype=float)
+        p50, p95, p99 = (
+            float(np.percentile(latencies, q)) * 1e3 for q in (50.0, 95.0, 99.0)
+        )
+        stats[stage] = StageStats(
+            calls=int(latencies.size),
+            events=entry.events,
+            seconds=float(latencies.sum()),
+            p50_ms=round(p50, 4),
+            p95_ms=round(p95, 4),
+            p99_ms=round(p99, 4),
+            max_ms=round(float(latencies.max()) * 1e3, 4),
+        )
+    return stats

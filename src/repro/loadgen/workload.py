@@ -1,0 +1,348 @@
+"""Deterministic multi-channel workload synthesis for load testing.
+
+A *workload* is the traffic a fleet of concurrent live channels throws at
+the LIGHTOR service tier: chat firehoses, viewer-play firehoses and channel
+lifecycle churn (channels opening and closing at staggered times).  It is
+synthesised entirely from the :mod:`repro.simulation` primitives — the same
+generators the experiments use — so every event stream is a deterministic
+function of the :class:`WorkloadSpec` and nothing else: two builds of the
+same spec produce byte-identical traffic, which is what lets the load
+harness spot-check a sharded concurrent run against a sequential oracle.
+
+Channel popularity follows a Zipf profile (``weight ∝ 1/rank^s``), matching
+the heavily skewed audience distribution of real streaming platforms: the
+head channel receives a large share of the viewer-play traffic while a long
+tail of quiet channels mostly exercises the per-channel bookkeeping (window
+state, time-triggered re-evaluations) — both regimes stress different parts
+of the service, which is the point of generating them together.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.types import ChatMessage, Interaction, RedDot, Video
+from repro.simulation.chat import ChatSimulator
+from repro.simulation.video import VideoGenerator
+from repro.simulation.viewers import ViewerBehaviorModel, ViewerPopulation
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["WorkloadSpec", "WorkBatch", "ChannelPlan", "LoadWorkload", "zipf_weights"]
+
+# Loadgen channels draw video indices from this offset so their ids can never
+# collide with the dataset/training videos (which start at index 0).
+_CHANNEL_INDEX_OFFSET = 1000
+
+
+def zipf_weights(count: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf popularity weights for ``count`` ranked channels.
+
+    ``weight[i] ∝ 1 / (i + 1)^exponent``; an exponent of 0 gives a uniform
+    fleet, ~1.0 the classic heavy skew of platform audiences.
+
+    >>> [float(round(w, 3)) for w in zipf_weights(3, 1.0)]
+    [0.545, 0.273, 0.182]
+    """
+    require_positive(count, "count")
+    if exponent < 0:
+        raise ValidationError(f"zipf exponent must be >= 0, got {exponent}")
+    raw = 1.0 / np.power(np.arange(1, count + 1, dtype=float), exponent)
+    return raw / raw.sum()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic multi-channel load run.
+
+    Attributes
+    ----------
+    channels:
+        Number of live channels in the fleet.
+    viewers:
+        Total concurrent viewers across the fleet; split across channels by
+        the Zipf profile, each viewer contributing one interaction session
+        around a red dot (the viewer-play firehose).
+    duration:
+        Cap on each channel's stream length in seconds; channels whose
+        synthetic video is shorter keep their natural length.
+    batch_size:
+        Events per ingest batch.  ``1`` reproduces today's per-event service
+        traffic; larger sizes exercise the batched ingest path.
+    zipf_exponent:
+        Skew of the channel-popularity profile (0 = uniform).
+    seed:
+        Root seed; every chat log, video and viewer session derives from it.
+    game:
+        Game profile for the synthetic channels (chat rate, highlight shape).
+    stagger:
+        Channel lifecycle churn: channel ``i`` goes live ``i * stagger``
+        seconds into the run (arrival times shift accordingly), so openings,
+        steady-state traffic and closings overlap instead of aligning.
+    stretch:
+        Soak mode: channels whose synthetic video is shorter than
+        ``duration`` are stretched to it (a marathon rerun — same chat rate,
+        same highlights, a much longer quiet tail).  Long-lived quiet
+        channels are where per-event serving hurts most — every
+        time-triggered re-score runs against an ever-growing window history
+        — so soak workloads make that regime explicit instead of being
+        limited by the synthetic videos' natural two-hour lengths.
+    """
+
+    channels: int = 4
+    viewers: int = 200
+    duration: float = 3600.0
+    batch_size: int = 1
+    zipf_exponent: float = 1.0
+    seed: int = 2020
+    game: str = "dota2"
+    stagger: float = 120.0
+    stretch: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.channels, "channels")
+        require_positive(self.viewers, "viewers")
+        require_positive(self.duration, "duration")
+        require_positive(self.batch_size, "batch_size")
+        if self.zipf_exponent < 0:
+            raise ValidationError("zipf_exponent must be >= 0")
+        if self.stagger < 0:
+            raise ValidationError("stagger must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkBatch:
+    """One ingest call: a homogeneous batch of events for one channel.
+
+    ``kind`` is ``"chat"`` or ``"plays"``; ``arrival`` is the wall-clock-like
+    time (channel stagger offset + stream time of the batch's last event)
+    used to order batches globally.  ``sequence`` breaks arrival ties so the
+    global order is total and deterministic.
+    """
+
+    kind: str
+    video_id: str
+    arrival: float
+    sequence: int
+    events: tuple
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """Everything one channel will do during the run."""
+
+    video: Video
+    start_offset: float
+    duration: float
+    chat: tuple[ChatMessage, ...]
+    plays: tuple[Interaction, ...]
+    viewers: int
+
+    @property
+    def total_events(self) -> int:
+        """Chat messages plus viewer interactions this channel produces."""
+        return len(self.chat) + len(self.plays)
+
+
+@dataclass
+class LoadWorkload:
+    """A fully materialised, deterministic load-test workload.
+
+    Build one with :meth:`from_spec`; iterate :meth:`batches` to get the
+    globally ordered ingest calls.  The same spec always yields the same
+    plans and the same batch sequence, so a run can be replayed — against a
+    different shard count, batch size or backend — and compared
+    byte-for-byte (see :mod:`repro.loadgen.driver`).
+    """
+
+    spec: WorkloadSpec
+    plans: list[ChannelPlan] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_spec(cls, spec: WorkloadSpec) -> "LoadWorkload":
+        """Synthesise every channel's traffic from the simulation primitives."""
+        seeds = SeedSequenceFactory(spec.seed)
+        videos = VideoGenerator(seeds=seeds)
+        chat = ChatSimulator(seeds=seeds)
+        behavior = ViewerBehaviorModel(seeds=seeds)
+        population = ViewerPopulation()
+        weights = zipf_weights(spec.channels, spec.zipf_exponent)
+
+        plans: list[ChannelPlan] = []
+        for rank in range(spec.channels):
+            video = videos.generate(_CHANNEL_INDEX_OFFSET + rank, game=spec.game)
+            if spec.stretch and video.duration < spec.duration:
+                video = replace(video, duration=spec.duration)
+            duration = min(video.duration, spec.duration)
+            messages = tuple(
+                message
+                for message in chat.simulate(video).messages
+                if message.timestamp < duration
+            )
+            channel_viewers = max(1, int(round(spec.viewers * float(weights[rank]))))
+            plays = cls._viewer_plays(behavior, population, video, duration, channel_viewers)
+            plans.append(
+                ChannelPlan(
+                    video=video,
+                    start_offset=rank * spec.stagger,
+                    duration=duration,
+                    chat=messages,
+                    plays=plays,
+                    viewers=channel_viewers,
+                )
+            )
+        return cls(spec=spec, plans=plans)
+
+    @staticmethod
+    def _viewer_plays(
+        behavior: ViewerBehaviorModel,
+        population: ViewerPopulation,
+        video: Video,
+        duration: float,
+        viewers: int,
+        viewers_per_round: int = 10,
+    ) -> tuple[Interaction, ...]:
+        """The channel's viewer-play firehose: sessions around anchor dots.
+
+        Viewers behave as they would around served red dots — anchors are
+        placed a typical chat delay after each in-range highlight start, so
+        the Type I/II regimes of the paper's Fig. 3 both occur.  Sessions
+        are generated in deterministic rounds (the behaviour model keys its
+        randomness on video, dot position and round index) and merged into
+        one timestamp-ordered stream, matching how interactions from many
+        concurrent viewers arrive at the service.
+        """
+        anchors = [
+            RedDot(position=min(h.start + 25.0, duration - 1.0), video_id=video.video_id)
+            for h in video.highlights
+            if h.start < duration - 30.0
+        ]
+        if not anchors:
+            anchors = [RedDot(position=duration / 2.0, video_id=video.video_id)]
+        interactions: list[Interaction] = []
+        remaining = viewers
+        round_index = 0
+        while remaining > 0:
+            anchor = anchors[round_index % len(anchors)]
+            batch = min(viewers_per_round, remaining)
+            interactions.extend(
+                event
+                for event in behavior.simulate_round(
+                    video, anchor, n_viewers=batch,
+                    round_index=round_index, population=population,
+                )
+                if event.timestamp < duration
+            )
+            remaining -= batch
+            round_index += 1
+        interactions.sort(key=lambda event: event.timestamp)
+        return tuple(interactions)
+
+    def rebatched(self, batch_size: int) -> "LoadWorkload":
+        """The same traffic chunked at a different batch size.
+
+        Channel plans are independent of the batch size, so scaling studies
+        can synthesise the fleet once and re-chunk it per grid point instead
+        of regenerating chat and viewer sessions for every run.
+        """
+        require_positive(batch_size, "batch_size")
+        return LoadWorkload(spec=replace(self.spec, batch_size=batch_size), plans=self.plans)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def total_chat(self) -> int:
+        """Chat messages across the fleet."""
+        return sum(len(plan.chat) for plan in self.plans)
+
+    @property
+    def total_plays(self) -> int:
+        """Viewer interactions across the fleet."""
+        return sum(len(plan.plays) for plan in self.plans)
+
+    @property
+    def total_events(self) -> int:
+        """Every event the workload will push through the service."""
+        return self.total_chat + self.total_plays
+
+    def batches(self) -> list[WorkBatch]:
+        """The globally ordered ingest calls of the run.
+
+        Per channel, chat and plays are merged by stream time and chunked
+        into homogeneous batches of at most ``spec.batch_size`` events; a
+        batch is cut when it fills up or when the event kind flips, so
+        within a channel the batch sequence preserves the event order per
+        kind and interleaves the kinds at batch granularity.  Batches from
+        all channels are then merged by arrival time (stagger offset + last
+        event's stream time) into one total order — the sequence a
+        front-door load balancer would see.
+        """
+        heap: list[tuple[float, str, int, WorkBatch]] = []
+        for plan in self.plans:
+            for batch in self._channel_batches(plan, self.spec.batch_size):
+                heap.append((batch.arrival, batch.video_id, batch.sequence, batch))
+        heapq.heapify(heap)
+        ordered = []
+        while heap:
+            ordered.append(heapq.heappop(heap)[3])
+        # Re-number in global order so drivers can carve deterministic slices.
+        renumbered = []
+        for sequence, batch in enumerate(ordered):
+            renumbered.append(
+                WorkBatch(
+                    kind=batch.kind,
+                    video_id=batch.video_id,
+                    arrival=batch.arrival,
+                    sequence=sequence,
+                    events=batch.events,
+                )
+            )
+        return renumbered
+
+    def _channel_batches(self, plan: ChannelPlan, batch_size: int) -> list[WorkBatch]:
+        """Chunk one channel's merged event stream into ingest batches.
+
+        Chat and plays accumulate in **separate** collectors (as a real edge
+        collector would run one buffer per telemetry kind); a collector
+        flushes when it reaches ``batch_size``, stamped with its last
+        event's stream time.  Per-kind event order is exactly preserved —
+        which the ingest APIs require — while the two kinds interleave at
+        flush granularity.  ``batch_size=1`` degenerates to one call per
+        event in exact global arrival order, i.e. today's per-event traffic.
+        """
+        merged: list[tuple[float, int, str, object]] = []
+        for index, message in enumerate(plan.chat):
+            merged.append((message.timestamp, index, "chat", message))
+        for index, event in enumerate(plan.plays):
+            merged.append((event.timestamp, len(plan.chat) + index, "plays", event))
+        merged.sort(key=lambda item: (item[0], item[1]))
+
+        batches: list[WorkBatch] = []
+        buffers: dict[str, list] = {"chat": [], "plays": []}
+
+        def flush(kind: str) -> None:
+            buffer = buffers[kind]
+            if buffer:
+                batches.append(
+                    WorkBatch(
+                        kind=kind,
+                        video_id=plan.video.video_id,
+                        arrival=plan.start_offset + buffer[-1].timestamp,
+                        sequence=len(batches),
+                        events=tuple(buffer),
+                    )
+                )
+                buffers[kind] = []
+
+        for _, _, kind, event in merged:
+            buffers[kind].append(event)
+            if len(buffers[kind]) >= batch_size:
+                flush(kind)
+        # End of stream: drain both collectors, oldest last event first, so
+        # the tail keeps arrival order.
+        for kind in sorted(buffers, key=lambda k: buffers[k][-1].timestamp if buffers[k] else 0.0):
+            flush(kind)
+        return batches

@@ -11,6 +11,8 @@ the description in Section IV-B of the paper.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.ml.text import cosine_similarity
@@ -64,6 +66,27 @@ def average_similarity_to_center(vectors: np.ndarray, exclude_self: bool = True)
         return float(np.mean([cosine_similarity(row, center) for row in data]))
     total = data.sum(axis=0)
     similarities = []
+    dot = np.dot
+    # This loop runs once per message at every window seal on the streaming
+    # hot path, so the cosine is inlined rather than calling
+    # cosine_similarity per row.  Bit-exactness with the reference
+    # formulation is preserved: np.linalg.norm on a 1-D vector is
+    # sqrt(dot(x, x)), elementwise ops ((total - data) / (n-1)) are
+    # independent of batching, and for binary vectors dot(row, row) is an
+    # exact small integer under any summation order, so the row norms can
+    # come from the (exact) row sums.
+    if ((data == 0.0) | (data == 1.0)).all():
+        centers = (total - data) / (n_messages - 1)
+        row_norms = np.sqrt(data.sum(axis=1))
+        for index in range(n_messages):
+            norm_row = float(row_norms[index])
+            center = centers[index]
+            norm_center = math.sqrt(float(dot(center, center)))
+            if norm_row == 0.0 or norm_center == 0.0:
+                similarities.append(0.0)
+            else:
+                similarities.append(float(dot(data[index], center) / (norm_row * norm_center)))
+        return float(np.mean(similarities))
     for row in data:
         others_center = (total - row) / (n_messages - 1)
         similarities.append(cosine_similarity(row, others_center))

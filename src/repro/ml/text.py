@@ -114,14 +114,27 @@ class BagOfWordsVectorizer:
         """Vectorise pre-tokenised messages (same semantics as :meth:`transform`)."""
         n_terms = len(self.vocabulary_)
         matrix = np.zeros((len(token_lists), n_terms), dtype=float)
+        if self.binary:
+            # Hot path (window similarity feature): collect the (row, column)
+            # hits and set them in one fancy-indexed assignment — setting a
+            # cell to 1.0 is idempotent, so duplicate tokens need no care,
+            # and per-cell ``ndarray.__setitem__`` dispatch is avoided.
+            rows: list[int] = []
+            columns: list[int] = []
+            lookup = self.vocabulary_.get
+            for row, tokens in enumerate(token_lists):
+                for token in tokens:
+                    column = lookup(token)
+                    if column is not None:
+                        rows.append(row)
+                        columns.append(column)
+            if rows:
+                matrix[rows, columns] = 1.0
+            return matrix
         for row, tokens in enumerate(token_lists):
             for token in tokens:
                 column = self.vocabulary_.get(token)
-                if column is None:
-                    continue
-                if self.binary:
-                    matrix[row, column] = 1.0
-                else:
+                if column is not None:
                     matrix[row, column] += 1.0
         return matrix
 

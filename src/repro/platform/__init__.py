@@ -17,6 +17,9 @@ paper's Figure 5, layered for scale (see ``docs/architecture.md``):
 * :mod:`service <repro.platform.service>` — the LIGHTOR back-end web service:
   receives a video id, crawls chat if needed, computes red dots, serves them,
   logs interactions and refines highlights.  Stateless over its backend.
+  Live channels ingest per event (``ingest_live_chat``) or in batches
+  (``ingest_chat_batch`` / ``ingest_plays_batch`` — one lock acquisition
+  and one storage transaction per batch; byte-equivalent persisted state).
 * :mod:`sharding <repro.platform.sharding>` — the sharded front door:
   consistent-hashes video ids across N workers, each with its own backend,
   crawler and streaming orchestrator, under per-shard locks.

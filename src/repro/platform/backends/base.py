@@ -10,7 +10,9 @@ the same contract test suite (``tests/test_backends.py``).
 Semantics every backend must honour:
 
 * **chat ingest is idempotent** — ``put_chat`` replaces any previous crawl
-  and stores messages sorted by timestamp;
+  and stores messages sorted by timestamp; ``append_chat`` is the
+  *incremental* variant for live ingest (append in arrival order, one
+  transaction per batch);
 * **interaction logs are append-only** and preserve arrival order (per-user
   causality survives backward seeks);
 * **red dots replace** and are stored sorted by position; an empty computed
@@ -69,6 +71,19 @@ class StorageBackend(abc.ABC):
         """Store chat for a video (idempotent: replaces any previous crawl).
 
         Returns the number of messages stored.
+        """
+
+    @abc.abstractmethod
+    def append_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
+        """Append live-ingested chat for a video; returns the new chat size.
+
+        This is the batched live-ingest primitive: unlike :meth:`put_chat`
+        (idempotent replace of a whole crawl), ``append_chat`` extends the
+        stored log in arrival order — callers feed timestamp-ordered live
+        chat, so the stored log stays sorted.  Durable backends must commit
+        each call as **one transaction** (one fsync per batch, not per
+        message); that is what makes a chat firehose survivable.  Unknown
+        video ids are errors, as for every write.
         """
 
     @abc.abstractmethod

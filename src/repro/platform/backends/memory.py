@@ -59,6 +59,13 @@ class InMemoryStore(StorageBackend):
         self._chat[video_id] = stored
         return len(stored)
 
+    def append_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
+        """Append live-ingested chat in arrival order; returns the new size."""
+        self._require_known_video(video_id, "append chat")
+        log = self._chat.setdefault(video_id, [])
+        log.extend(messages)
+        return len(log)
+
     def has_chat(self, video_id: str) -> bool:
         """Whether chat has been crawled for the video."""
         return video_id in self._chat and len(self._chat[video_id]) > 0

@@ -147,6 +147,39 @@ class SQLiteStore(StorageBackend):
             )
         return len(rows)
 
+    def append_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
+        """Append live-ingested chat in arrival order; returns the new size.
+
+        The whole batch commits as **one** ``BEGIN IMMEDIATE`` transaction —
+        one ``executemany`` and one fsync per batch, which is what makes the
+        per-message cost of a chat firehose amortisable.  The write lock is
+        taken before reading ``MAX(seq)`` so two handles on the same file
+        cannot allocate colliding sequence numbers.
+        """
+        self._require_known_video(video_id, "append chat")
+        payloads = [
+            json.dumps(codecs.chat_message_to_dict(message)) for message in messages
+        ]
+        with self._lock:
+            self._connection.execute("BEGIN IMMEDIATE")
+            try:
+                base = self._connection.execute(
+                    "SELECT COALESCE(MAX(seq), -1) FROM chat_messages WHERE video_id = ?",
+                    (video_id,),
+                ).fetchone()[0]
+                self._connection.executemany(
+                    "INSERT INTO chat_messages (video_id, seq, payload) VALUES (?, ?, ?)",
+                    (
+                        (video_id, base + 1 + offset, payload)
+                        for offset, payload in enumerate(payloads)
+                    ),
+                )
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            self._connection.execute("COMMIT")
+        return int(base) + 1 + len(payloads)
+
     def has_chat(self, video_id: str) -> bool:
         """Whether chat has been crawled for the video."""
         with self._lock:

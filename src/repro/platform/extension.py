@@ -25,7 +25,19 @@ _VIDEO_URL_PATTERN = re.compile(r"^https?://[^/]+/videos/(?P<video_id>[A-Za-z0-9
 
 @dataclass(frozen=True)
 class ProgressBarView:
-    """A textual rendering of the progress bar with red-dot markers."""
+    """A textual rendering of the progress bar with red-dot markers.
+
+    Parameters
+    ----------
+    video_id / duration:
+        The rendered video and its length in seconds (positions are scaled
+        against it).
+    dot_positions:
+        Red-dot positions in video seconds; positions beyond ``duration``
+        clamp to the last cell.
+    width:
+        Bar width in character cells (must be positive).
+    """
 
     video_id: str
     duration: float
@@ -49,7 +61,19 @@ class ProgressBarView:
 
 @dataclass
 class BrowserExtension:
-    """Simulated LIGHTOR browser extension."""
+    """Simulated LIGHTOR browser extension.
+
+    Parameters
+    ----------
+    service:
+        The back-end web service the extension talks to.
+    k:
+        Red dots requested per video page.
+
+    Invariants: at most one video page is active at a time;
+    ``current_dots`` always mirrors what the active page renders (empty
+    when no recorded-video page is open).
+    """
 
     service: LightorWebService
     k: int = 5

@@ -16,6 +16,16 @@ surface backed by :mod:`repro.streaming`: chat messages and viewer
 interactions are pushed as they happen, provisional red dots are served
 mid-stream, and ending the live session persists the final (batch-parity)
 dots in the store.
+
+The live surface comes in two granularities: per event
+(:meth:`~LightorWebService.ingest_live_chat` /
+:meth:`~LightorWebService.ingest_live_interactions`) and batched
+(:meth:`~LightorWebService.ingest_chat_batch` /
+:meth:`~LightorWebService.ingest_plays_batch`) — one boundary crossing,
+one storage transaction and one provisional re-score per batch.  Whatever
+the chunking, the persisted state is byte-identical
+(``tests/test_batch_ingest.py``); ``docs/performance.md`` covers what
+batching buys and why.
 """
 
 from __future__ import annotations
@@ -197,21 +207,63 @@ class LightorWebService:
             events.extend(session.ingest_message(message))
         return events
 
+    def ingest_chat_batch(
+        self, video_id: str, messages: Sequence[ChatMessage], persist: bool = False
+    ) -> list[StreamEvent]:
+        """Push a timestamp-ordered chat batch for a live channel.
+
+        The batched twin of :meth:`ingest_live_chat`: the whole batch crosses
+        the service boundary once and folds into the window state in one
+        NumPy pass, with the emit-policy checkpoint evaluated once at the
+        batch boundary instead of once per message.  The final (and
+        persisted) red dots are byte-identical to per-message ingest — only
+        the provisional re-score cadence coarsens, which is where batched
+        ingest gets its throughput (see ``docs/performance.md``).
+
+        With ``persist=True`` the batch is also appended to the store's chat
+        log (one transaction via
+        :meth:`~repro.platform.backends.base.StorageBackend.append_chat`),
+        so a post-stream batch pass can re-read the full live chat.
+        """
+        session = self._require_live(video_id)
+        # Fold first, persist second: ingest validates batch ordering, and a
+        # rejected batch must not leave rows in the store that the stream
+        # never saw (that would break both the sorted-log invariant and the
+        # byte-equivalence of persisted state with per-event ingest).
+        events = session.ingest_messages(list(messages))
+        if persist and self.store.has_video(video_id):
+            self.store.append_chat(video_id, messages)
+        return events
+
     def ingest_live_interactions(
         self, video_id: str, interactions: Sequence[Interaction]
     ) -> list[StreamEvent]:
         """Push viewer interactions from a live channel; returns refinements.
 
         Interactions are also persisted in the store so a post-stream batch
-        refinement pass (:meth:`refine_video`) can reuse them.
+        refinement pass (:meth:`refine_video`) can reuse them.  Alias of
+        :meth:`ingest_plays_batch` (one event is just a batch of one).
+        """
+        return self.ingest_plays_batch(video_id, interactions)
+
+    def ingest_plays_batch(
+        self, video_id: str, interactions: Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Push a batch of viewer interactions for a live channel.
+
+        The whole batch is persisted in **one** store append (a single
+        transaction on durable backends) and folded into the streaming
+        extractor in arrival order.  Before any play is attributed, a stale
+        provisional dot set is refreshed — any emit/retract events that
+        forces are returned ahead of the refinement events — so play
+        attribution depends only on the events ingested so far, never on how
+        chat was chunked into calls (the batch-equivalence suite holds the
+        service to this).
         """
         session = self._require_live(video_id)
         if self.store.has_video(video_id):
             self.store.log_interactions(video_id, interactions)
-        events: list[StreamEvent] = []
-        for interaction in interactions:
-            events.extend(session.ingest_interaction(interaction))
-        return events
+        return session.ingest_interactions(list(interactions))
 
     def live_red_dots(self, video_id: str) -> list[RedDot]:
         """The red dots to render right now for a channel.

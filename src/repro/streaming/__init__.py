@@ -6,10 +6,12 @@ highlights in the stream that is running *right now*?" — with three layers:
 
 1. :mod:`initializer <repro.streaming.initializer>` — an incremental
    prediction + adjustment engine that folds chat messages in one at a time
-   and maintains a provisional top-k of red dots under an emit/retract
-   policy.  Finalizing a stream reproduces the batch
-   ``HighlightInitializer.propose`` output exactly (the parity suite pins
-   this down).
+   (``ingest``) or as a batch in one NumPy pass (``ingest_batch``) and
+   maintains a provisional top-k of red dots under an emit/retract policy.
+   Finalizing a stream reproduces the batch
+   ``HighlightInitializer.propose`` output exactly regardless of how the
+   chat was chunked (the parity and batch-equivalence suites pin this
+   down).
 2. :mod:`extractor <repro.streaming.extractor>` — folds live viewer
    interactions into bounded per-dot play buffers and runs a refinement
    round whenever a dot has gathered enough evidence.

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.config import LightorConfig
 from repro.core.extractor.extractor import HighlightExtractor
@@ -137,6 +138,19 @@ class StreamingExtractor:
         events: list[StreamEvent] = []
         for play in completed:
             events.extend(self._attribute(play))
+        return events
+
+    def ingest_batch(self, interactions: Sequence[Interaction]) -> list[StreamEvent]:
+        """Fold a batch of raw interactions in; returns refinement events.
+
+        The per-user open-play state machine is inherently sequential, so
+        this simply delegates to :meth:`ingest` per event in arrival order —
+        the batch entry point exists so callers can hand a whole batch over
+        one boundary, and so the two paths can never drift apart.
+        """
+        events: list[StreamEvent] = []
+        for interaction in interactions:
+            events.extend(self.ingest(interaction))
         return events
 
     def ingest_play(self, play: PlayRecord) -> list[StreamEvent]:

@@ -26,6 +26,7 @@ re-processing O(#messages) chat.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -158,6 +159,49 @@ class StreamingInitializer:
         if not self._should_evaluate(message.timestamp):
             return []
         return self._reevaluate(message.timestamp)
+
+    def ingest_batch(self, messages: Sequence[ChatMessage]) -> list[StreamEvent]:
+        """Fold a timestamp-ordered batch in; return any emit/retract events.
+
+        The window summaries after the call are bit-identical to feeding the
+        messages one at a time through :meth:`ingest` (the fold is
+        order-exact), so the **finalized** dots cannot depend on how the
+        stream was chunked.  The *evaluation* checkpoints, however, coalesce
+        to the batch boundary: the emit policy is checked once after the
+        whole batch is folded, exactly as :meth:`ingest` checks it once per
+        message.  Larger batches therefore mean fewer provisional re-scores —
+        that is where batched ingest gets its throughput (see
+        ``docs/performance.md``) — while :meth:`refresh` lets a caller force
+        the provisional set current at any instant.
+        """
+        if not messages:
+            return []
+        if self.final_dots is not None:
+            raise ValidationError("stream already finalized; no further messages")
+        sealed = self._state.add_batch(messages)
+        self._messages_since_eval += len(messages)
+        if sealed:
+            self._sealed_since_eval = True
+        last_timestamp = messages[-1].timestamp
+        if not self._should_evaluate(last_timestamp):
+            return []
+        return self._reevaluate(last_timestamp)
+
+    def refresh(self) -> list[StreamEvent]:
+        """Re-evaluate now if any window sealed since the last evaluation.
+
+        Because the provisional top-k is a pure function of the sealed
+        window summaries, a refreshed engine's dots depend only on the chat
+        ingested so far — never on how it was chunked into calls.  Ingesting
+        viewer interactions refreshes first for exactly that reason: plays
+        are attributed against the dots for the chat seen so far, making
+        batched and per-event ingest attribute identically (the
+        batch-equivalence property suite holds the service to this).
+        Returns the emit/retract events of the evaluation, if one ran.
+        """
+        if self.final_dots is not None or not self._sealed_since_eval:
+            return []
+        return self._reevaluate(self._state.last_timestamp)
 
     def finalize(self, duration: float | None = None) -> list[RedDot]:
         """Close the stream and return the final (batch-identical) red dots.

@@ -57,12 +57,61 @@ class StreamSession:
         self.events_produced += len(events)
         return events
 
-    def ingest_interaction(self, interaction: Interaction) -> list[StreamEvent]:
-        """Feed one viewer interaction; returns refinement events."""
+    def ingest_messages(self, messages: Sequence[ChatMessage]) -> list[StreamEvent]:
+        """Feed a timestamp-ordered chat batch; returns emit/retract events.
+
+        Equivalent to feeding the messages through :meth:`ingest_message`
+        one at a time except that the emit-policy checkpoint is evaluated
+        once per batch instead of once per message (see
+        :meth:`~repro.streaming.initializer.StreamingInitializer.ingest_batch`);
+        the finalized dots and the extractor's play attribution are
+        byte-identical either way.
+        """
         self._require_open()
-        events = self.extractor.ingest(interaction)
+        events = self.initializer.ingest_batch(messages)
+        self.messages_ingested += len(messages)
+        if events:
+            self.extractor.sync_dots(self.initializer.current_dots())
+        self.events_produced += len(events)
+        return events
+
+    def ingest_interaction(self, interaction: Interaction) -> list[StreamEvent]:
+        """Feed one viewer interaction; returns refinement events.
+
+        A stale provisional set is refreshed first (emitting any resulting
+        emit/retract events ahead of the refinements), so the play is
+        attributed against the dots implied by *all* chat seen so far — see
+        :meth:`ingest_interactions` for why.
+        """
+        self._require_open()
+        events = self._refresh_dots()
+        events.extend(self.extractor.ingest(interaction))
         self.interactions_ingested += 1
         self.events_produced += len(events)
+        return events
+
+    def ingest_interactions(self, interactions: Sequence[Interaction]) -> list[StreamEvent]:
+        """Feed a batch of viewer interactions; returns refinement events.
+
+        Like :meth:`ingest_interaction`, the provisional dots are refreshed
+        before any play is attributed.  The refresh makes interaction
+        handling independent of how chat was chunked: the tracked-dot set at
+        every interaction is a pure function of the events ingested so far,
+        which is what makes batched ingest byte-equivalent to per-event
+        ingest all the way down to the persisted highlight records.
+        """
+        self._require_open()
+        events = self._refresh_dots()
+        events.extend(self.extractor.ingest_batch(interactions))
+        self.interactions_ingested += len(interactions)
+        self.events_produced += len(events)
+        return events
+
+    def _refresh_dots(self) -> list[StreamEvent]:
+        """Bring the provisional dots current; sync the extractor if they moved."""
+        events = self.initializer.refresh()
+        if events:
+            self.extractor.sync_dots(self.initializer.current_dots())
         return events
 
     def finalize(self, duration: float | None = None) -> list[RedDot]:
@@ -199,15 +248,17 @@ class StreamOrchestrator:
         """Route one chat message to its channel's session."""
         return self.session(video_id).ingest_message(message)
 
+    def ingest_messages(
+        self, video_id: str, messages: Sequence[ChatMessage]
+    ) -> list[StreamEvent]:
+        """Route a timestamp-ordered chat batch to its channel's session."""
+        return self.session(video_id).ingest_messages(messages)
+
     def ingest_interactions(
         self, video_id: str, interactions: Iterable[Interaction] | Sequence[Interaction]
     ) -> list[StreamEvent]:
         """Route a batch of viewer interactions to their channel's session."""
-        session = self.session(video_id)
-        events: list[StreamEvent] = []
-        for interaction in interactions:
-            events.extend(session.ingest_interaction(interaction))
-        return events
+        return self.session(video_id).ingest_interactions(list(interactions))
 
     def close_session(
         self, video_id: str, duration: float | None = None

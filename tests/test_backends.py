@@ -110,6 +110,34 @@ class TestBackendContract:
         assert not store.has_chat("v1")
         assert store.get_chat("v1") == []
 
+    def test_append_chat_requires_known_video(self, store):
+        with pytest.raises(ValidationError):
+            store.append_chat("ghost", [ChatMessage(1.0)])
+
+    def test_append_chat_accumulates_in_arrival_order(self, store):
+        store.put_video(_video())
+        assert store.append_chat("v1", [ChatMessage(1.0, "a", "one")]) == 1
+        assert store.append_chat(
+            "v1", [ChatMessage(2.0, "b", "two"), ChatMessage(3.0, "c", "three")]
+        ) == 3
+        assert [m.text for m in store.get_chat("v1")] == ["one", "two", "three"]
+        assert store.has_chat("v1")
+        assert store.stats()["chat_messages"] == 3
+
+    def test_append_chat_extends_a_previous_crawl(self, store):
+        store.put_video(_video())
+        store.put_chat("v1", [ChatMessage(1.0, "a", "crawled")])
+        assert store.append_chat("v1", [ChatMessage(2.0, "b", "live")]) == 2
+        assert [m.text for m in store.get_chat("v1")] == ["crawled", "live"]
+        # put_chat stays idempotent: a re-crawl replaces everything appended.
+        store.put_chat("v1", [ChatMessage(5.0, "c", "recrawled")])
+        assert [m.text for m in store.get_chat("v1")] == ["recrawled"]
+
+    def test_append_chat_empty_batch_is_a_noop(self, store):
+        store.put_video(_video())
+        assert store.append_chat("v1", []) == 0
+        assert not store.has_chat("v1")
+
     # ---------------------------------------------------------- interactions
     def test_interactions_require_known_video(self, store):
         with pytest.raises(ValidationError):
@@ -212,6 +240,16 @@ class TestSQLiteSpecifics:
         ]
         assert versions == [1, 2, 3]
         assert len(b.highlight_history("v1")) == 3
+        a.close(), b.close()
+
+    def test_two_handles_append_chat_without_seq_collisions(self, tmp_path):
+        path = tmp_path / "append-shared.db"
+        a, b = SQLiteStore(path), SQLiteStore(path)
+        a.put_video(_video())
+        assert a.append_chat("v1", [ChatMessage(1.0, "a", "x")]) == 1
+        assert b.append_chat("v1", [ChatMessage(2.0, "b", "y")]) == 2
+        assert a.append_chat("v1", [ChatMessage(3.0, "c", "z")]) == 3
+        assert [m.text for m in b.get_chat("v1")] == ["x", "y", "z"]
         a.close(), b.close()
 
     def test_two_handles_on_one_file_agree_on_log_size(self, tmp_path):

@@ -70,6 +70,14 @@ class TestStreamCommand:
         assert main(["stream", "--backend", "sqlite", "--db-path", str(missing)]) == 1
         assert "cannot build the service tier" in capsys.readouterr().out
 
+    def test_stream_help_documents_platform_flags(self, capsys):
+        """The PR 2 flags must show up in --help (README mirrors this text)."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--backend", "--shards", "--db-path"):
+            assert flag in out
+
     def test_sharded_sqlite_stream_end_to_end(self, capsys, tmp_path):
         db = tmp_path / "stream.db"
         argv = [
@@ -85,3 +93,33 @@ class TestStreamCommand:
         # Reusing the files with a different shard count is refused.
         assert main(argv[:4] + ["4"] + argv[5:]) == 1
         assert "2-shard deployment" in capsys.readouterr().out
+
+
+class TestLoadCommand:
+    def test_load_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "load", "--channels", "6", "--viewers", "300", "--duration", "1800",
+                "--shards", "4", "--batch-size", "256", "--workers", "3",
+                "--zipf", "0.5", "--stretch", "--backend", "sqlite", "--db-path", "x.db",
+            ]
+        )
+        assert (args.channels, args.viewers, args.duration) == (6, 300, 1800.0)
+        assert (args.shards, args.batch_size, args.workers) == (4, 256, 3)
+        assert (args.zipf, args.stretch, args.backend, args.db_path) == (
+            0.5, True, "sqlite", "x.db",
+        )
+
+    def test_load_db_path_requires_sqlite(self, capsys):
+        assert main(["load", "--db-path", "x.db"]) == 1
+        assert "--backend sqlite" in capsys.readouterr().out
+
+    def test_load_rejects_invalid_workload(self, capsys):
+        assert main(["load", "--channels", "0"]) == 1
+        assert "invalid workload" in capsys.readouterr().out
+
+    def test_load_smoke_runs_end_to_end(self, capsys):
+        assert main(["load", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out
+        assert "0 divergences" in out

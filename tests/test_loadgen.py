@@ -1,0 +1,208 @@
+"""Tests for the load-generation subsystem (workload, driver, metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    LatencyRecorder,
+    LoadGenerator,
+    LoadWorkload,
+    WorkloadSpec,
+    merge_recorders,
+    run_load,
+    zipf_weights,
+)
+from repro.platform.sharding import ShardedLightorService
+from repro.utils.validation import ValidationError
+
+SMALL = WorkloadSpec(channels=3, viewers=45, duration=900.0, batch_size=32, seed=11)
+
+# ``fitted_initializer`` comes from the session-scoped fixture in conftest.py.
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return LoadWorkload.from_spec(SMALL)
+
+
+class TestZipfWeights:
+    def test_normalised_and_monotone(self):
+        weights = zipf_weights(8, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        assert np.allclose(zipf_weights(5, 0.0), 0.2)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValidationError):
+            zipf_weights(3, -1.0)
+
+
+class TestWorkloadSynthesis:
+    def test_deterministic_per_spec(self, small_workload):
+        again = LoadWorkload.from_spec(SMALL)
+        assert [p.video.video_id for p in again.plans] == [
+            p.video.video_id for p in small_workload.plans
+        ]
+        assert again.total_chat == small_workload.total_chat
+        assert again.total_plays == small_workload.total_plays
+        first = small_workload.batches()
+        second = again.batches()
+        assert [(b.kind, b.video_id, len(b.events)) for b in first] == [
+            (b.kind, b.video_id, len(b.events)) for b in second
+        ]
+
+    def test_channel_ids_do_not_collide_with_datasets(self, small_workload):
+        for plan in small_workload.plans:
+            assert int(plan.video.video_id.split("-")[1]) >= 1000
+
+    def test_zipf_skews_viewers_to_head_channels(self):
+        workload = LoadWorkload.from_spec(
+            WorkloadSpec(channels=4, viewers=400, duration=900.0, zipf_exponent=1.5, seed=3)
+        )
+        viewers = [plan.viewers for plan in workload.plans]
+        assert viewers[0] > viewers[-1]
+
+    def test_stretch_extends_short_videos(self):
+        stretched = LoadWorkload.from_spec(
+            WorkloadSpec(channels=2, viewers=20, duration=30000.0, stretch=True, seed=5)
+        )
+        assert all(plan.duration == 30000.0 for plan in stretched.plans)
+
+    def test_duration_caps_chat_and_plays(self, small_workload):
+        for plan in small_workload.plans:
+            assert plan.duration <= SMALL.duration
+            assert all(m.timestamp < plan.duration for m in plan.chat)
+            assert all(e.timestamp < plan.duration for e in plan.plays)
+
+
+class TestBatchChunking:
+    def test_batches_respect_size_and_kind(self, small_workload):
+        for batch in small_workload.batches():
+            assert batch.kind in ("chat", "plays")
+            assert 1 <= len(batch.events) <= SMALL.batch_size
+
+    def test_per_kind_order_preserved_within_channel(self, small_workload):
+        for plan in small_workload.plans:
+            vid = plan.video.video_id
+            chat = [
+                event
+                for batch in small_workload.batches()
+                if batch.video_id == vid and batch.kind == "chat"
+                for event in batch.events
+            ]
+            assert chat == list(plan.chat)
+            plays = [
+                event
+                for batch in small_workload.batches()
+                if batch.video_id == vid and batch.kind == "plays"
+                for event in batch.events
+            ]
+            assert plays == list(plan.plays)
+
+    def test_batch_size_one_is_per_event_traffic(self):
+        workload = LoadWorkload.from_spec(SMALL).rebatched(1)
+        assert all(len(batch.events) == 1 for batch in workload.batches())
+        assert sum(len(b.events) for b in workload.batches()) == workload.total_events
+
+    def test_rebatched_shares_plans(self, small_workload):
+        rebatched = small_workload.rebatched(128)
+        assert rebatched.plans is small_workload.plans
+        assert rebatched.spec.batch_size == 128
+        assert small_workload.spec.batch_size == SMALL.batch_size
+
+    def test_global_order_is_by_arrival(self, small_workload):
+        arrivals = [batch.arrival for batch in small_workload.batches()]
+        assert arrivals == sorted(arrivals)
+
+
+class TestDriver:
+    def test_run_load_reports_and_oracle_passes(self, fitted_initializer, small_workload):
+        report = run_load(
+            SMALL, fitted_initializer, shards=2, workers=2, workload=small_workload
+        )
+        assert report.total_events == small_workload.total_events
+        assert report.oracle_checked
+        assert report.divergences == []
+        assert set(report.stages) >= {"chat", "open", "close"}
+        assert report.events_per_sec > 0
+        payload = report.to_dict()
+        assert payload["shards"] == 2 and payload["divergences"] == []
+        assert "0 divergences" in report.describe()
+
+    def test_outcomes_identical_across_worker_counts(self, fitted_initializer, small_workload):
+        """Thread scheduling must never leak into the persisted results."""
+        fingerprints = []
+        for workers in (1, 3):
+            service = ShardedLightorService.create(
+                2, fitted_initializer, max_live_sessions=SMALL.channels
+            )
+            report = LoadGenerator(small_workload, workers=workers).drive(service)
+            fingerprints.append(
+                {vid: outcome.fingerprint for vid, outcome in report.outcomes.items()}
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_worker_failure_fails_the_run(self, fitted_initializer, small_workload):
+        """A dead worker must not produce a success report over partial traffic."""
+        service = ShardedLightorService.create(
+            1, fitted_initializer, max_live_sessions=SMALL.channels
+        )
+        boom = RuntimeError("backend went away")
+
+        def exploding(video_id, messages, persist=False):
+            raise boom
+
+        service.ingest_chat_batch = exploding
+        with pytest.raises(RuntimeError, match="backend went away"):
+            LoadGenerator(small_workload, workers=2).drive(service)
+
+    def test_channels_without_traffic_still_close(self, fitted_initializer):
+        """A channel whose events were all filtered out must still open/close."""
+        from dataclasses import replace
+
+        workload = LoadWorkload.from_spec(
+            WorkloadSpec(channels=2, viewers=4, duration=600.0, batch_size=8, seed=9)
+        )
+        # Strip every event from one channel: zero batches for it.
+        idle, busy = workload.plans[0], workload.plans[1]
+        workload.plans[0] = replace(idle, chat=(), plays=())
+        assert workload.plans[0].total_events == 0 and busy.total_events > 0
+        report = run_load(
+            workload.spec, fitted_initializer, shards=1, workers=2, workload=workload
+        )
+        assert report.divergences == []
+        assert len(report.outcomes) == 2
+        assert report.outcomes[idle.video.video_id].final_dots == 0
+
+    def test_sqlite_backend_run(self, fitted_initializer, small_workload, tmp_path):
+        report = run_load(
+            SMALL,
+            fitted_initializer,
+            shards=2,
+            workers=2,
+            backend="sqlite",
+            db_path=tmp_path / "load.db",
+            workload=small_workload,
+        )
+        assert report.divergences == []
+        assert (tmp_path / "load.shard0.db").exists()
+
+
+class TestMetrics:
+    def test_merge_recorders_percentiles(self):
+        first, second = LatencyRecorder(), LatencyRecorder()
+        for value in (0.001, 0.002, 0.003):
+            first.record("chat", value, events=10)
+        second.record("chat", 0.004, events=10)
+        second.record("plays", 0.005, events=2)
+        stats = merge_recorders([first, second])
+        assert stats["chat"].calls == 4
+        assert stats["chat"].events == 40
+        assert stats["chat"].seconds == pytest.approx(0.010)
+        assert stats["chat"].events_per_sec == pytest.approx(4000.0)
+        assert stats["plays"].p50_ms == pytest.approx(5.0)
+        assert stats["chat"].max_ms == pytest.approx(4.0)
