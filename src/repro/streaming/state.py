@@ -20,6 +20,7 @@ batch windows, features and peaks exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -99,6 +100,26 @@ class IncrementalWindowState:
         """Fold one message in; return summaries of any windows it sealed."""
         self.last_timestamp = max(self.last_timestamp, message.timestamp)
         sealed = [self._summarise(window) for window in self._builder.add(message)]
+        if sealed:
+            self._summaries.extend(sealed)
+            self._enforce_cap()
+            self._prune_token_cache()
+        return sealed
+
+    def add_batch(self, messages: Sequence[ChatMessage]) -> list[WindowSummary]:
+        """Fold a timestamp-ordered batch in; return the summaries it sealed.
+
+        Equivalent to calling :meth:`add` once per message — identical window
+        membership, identical seal order, bit-identical summaries — but the
+        membership fold runs through
+        :meth:`~repro.core.initializer.windows.StreamingWindowBuilder.add_batch`
+        (one NumPy pass over the batch timestamps) and cap enforcement plus
+        token-cache pruning run once per batch instead of once per message.
+        """
+        if not messages:
+            return []
+        sealed = [self._summarise(window) for window in self._builder.add_batch(messages)]
+        self.last_timestamp = max(self.last_timestamp, messages[-1].timestamp)
         if sealed:
             self._summaries.extend(sealed)
             self._enforce_cap()
