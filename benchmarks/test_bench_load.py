@@ -98,7 +98,12 @@ def _save(payload: dict) -> None:
         "seed": SEED,
     }
     section[signature] = entry
-    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    # allow_nan=False keeps the file spec-valid JSON: a non-finite rate
+    # anywhere in the report fails the bench loudly instead of writing a
+    # file most parsers reject.
+    RESULTS_PATH.write_text(
+        json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
 
 
 def test_bench_load_scaling(fitted_initializer, workload):

@@ -13,7 +13,13 @@ Sub-commands:
 * ``lightor load`` — synthesize a multi-channel load-test workload (Zipf
   channel popularity, chat + viewer-play firehoses) and drive it through the
   sharded service tier with a worker pool, reporting throughput, latency
-  percentiles and the single-shard oracle spot-check.
+  percentiles and the single-shard oracle spot-check.  With
+  ``--kill-after N --recover`` the run becomes a chaos test: the tier is
+  killed mid-run, rebuilt from its durable checkpoints, and the finished
+  run is compared byte-for-byte against an uninterrupted one.
+* ``lightor recover`` — rebuild the live sessions a crashed (or killed)
+  ``lightor stream``/``lightor load`` run left checkpointed in its SQLite
+  databases, report them, and optionally finalize them.
 """
 
 from __future__ import annotations
@@ -86,6 +92,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="service workers to consistent-hash the channels across (default: 1)",
     )
+    stream_parser.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="durable session-checkpoint cadence in persisted events "
+        "(default: 500 on the sqlite backend, disabled on memory)",
+    )
+    stream_parser.add_argument(
+        "--resume", action="store_true",
+        help="rebuild live sessions from the checkpoints a previous killed run "
+        "left in the database and continue streaming where it stopped "
+        "(requires --backend sqlite --db-path)",
+    )
+
+    recover_parser = subparsers.add_parser(
+        "recover",
+        help="rebuild live sessions from the durable checkpoints in a database",
+    )
+    recover_parser.add_argument(
+        "--db-path", required=True,
+        help="SQLite database path the crashed run was using (one file per shard)",
+    )
+    recover_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard count of the crashed deployment (default: 1)",
+    )
+    recover_parser.add_argument(
+        "--seed", type=int, default=2020,
+        help="dataset seed the crashed run trained with (the model is retrained "
+        "deterministically from it; default: 2020)",
+    )
+    recover_parser.add_argument(
+        "--end", action="store_true",
+        help="finalize every recovered session: persist its final red dots and "
+        "delete its checkpoint (default: report and re-checkpoint only)",
+    )
 
     load_parser = subparsers.add_parser(
         "load",
@@ -138,6 +178,21 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument(
         "--smoke", action="store_true",
         help="tiny fixed workload for CI: overrides the sizing flags",
+    )
+    load_parser.add_argument(
+        "--kill-after", type=int, default=None, metavar="N",
+        help="chaos mode: kill the service tier after N ingest batches "
+        "(requires --recover and --backend sqlite --db-path)",
+    )
+    load_parser.add_argument(
+        "--recover", action="store_true",
+        help="chaos mode: rebuild the killed tier from its checkpoints, finish "
+        "the run, and verify byte-equivalence with an uninterrupted run",
+    )
+    load_parser.add_argument(
+        "--checkpoint-every", type=int, default=256,
+        help="durable session-checkpoint cadence in persisted events for the "
+        "chaos mode (default: 256)",
     )
     return parser
 
@@ -214,6 +269,8 @@ def _command_stream(
     backend: str,
     db_path: str | None,
     shards: int,
+    checkpoint_every: int | None,
+    resume: bool,
 ) -> int:
     import time
 
@@ -238,6 +295,16 @@ def _command_stream(
     if db_path is not None and backend != "sqlite":
         print("--db-path requires --backend sqlite", flush=True)
         return 1
+    if resume and (backend != "sqlite" or db_path is None):
+        print("--resume requires --backend sqlite --db-path", flush=True)
+        return 1
+    if checkpoint_every is not None and checkpoint_every < 1:
+        print("--checkpoint-every must be at least 1", flush=True)
+        return 1
+    if checkpoint_every is None and backend == "sqlite":
+        # Durable backend → crash-safe by default; chat is persisted below
+        # for the same reason (recovery can only replay what the store holds).
+        checkpoint_every = 500
     try:
         policy = EmitPolicy(
             eval_every_messages=emit_every_messages,
@@ -263,6 +330,7 @@ def _command_stream(
             db_path=db_path,
             live_k=k,
             live_policy=policy,
+            checkpoint_every=checkpoint_every,
             # Every channel must stay live until its parity check at the end,
             # so the LRU bound is sized to the run instead of the default.
             max_live_sessions=channels,
@@ -277,28 +345,65 @@ def _command_stream(
     )
 
     logs = {t.video.video_id: t.chat_log for t in targets}
-    # close() finalizes any still-open session, so even an abnormal exit
-    # persists the results streamed so far to a durable backend.
+    # On the sqlite backend chat is persisted and sessions are checkpointed,
+    # so a killed run can be continued with --resume; a normal exit
+    # (including the parity check below) finalizes every session and deletes
+    # its checkpoint.  Persisted ingest is chunked so the durable path pays
+    # one storage transaction per chunk, not per message (the provisional
+    # emit/retract cadence coalesces to chunk boundaries; the final dots are
+    # chunking-independent — see docs/performance.md).
+    persist = backend == "sqlite"
+    chunk_size = 64 if persist else 1
+    interrupted = False
+
+    def print_events(video_id: str, events) -> None:
+        for event in events:
+            if quiet:
+                continue
+            if isinstance(event, DotEmitted):
+                verb, dot = "emit   ", event.dot
+            elif isinstance(event, DotRetracted):
+                verb, dot = "retract", event.dot
+            else:
+                continue
+            print(
+                f"  t={event.stream_time:8.1f}s {video_id} {verb} "
+                f"dot @ {dot.position:8.1f}s (score {dot.score:.3f})"
+            )
+
     try:
+        skip_remaining: dict[str, int] = {}
+        if resume:
+            recovered = service.recover_live_sessions()
+            if recovered:
+                for report in recovered:
+                    print(f"  resumed {report.describe()}")
+                skip_remaining = {
+                    report.video_id: report.messages_ingested for report in recovered
+                }
+            else:
+                print("no checkpointed sessions to resume; starting fresh")
         for target in targets:
             service.start_live(target.video)
         n_messages = 0
+        pending: dict[str, list] = {}
         started = time.perf_counter()
         for video_id, message in interleave_live(list(logs.values())):
+            if skip_remaining.get(video_id, 0) > 0:
+                skip_remaining[video_id] -= 1
+                continue
             n_messages += 1
-            for event in service.ingest_live_chat(video_id, [message]):
-                if quiet:
-                    continue
-                if isinstance(event, DotEmitted):
-                    verb, dot = "emit   ", event.dot
-                elif isinstance(event, DotRetracted):
-                    verb, dot = "retract", event.dot
-                else:
-                    continue
-                print(
-                    f"  t={event.stream_time:8.1f}s {video_id} {verb} "
-                    f"dot @ {dot.position:8.1f}s (score {dot.score:.3f})"
+            buffer = pending.setdefault(video_id, [])
+            buffer.append(message)
+            if len(buffer) >= chunk_size:
+                print_events(
+                    video_id,
+                    service.ingest_chat_batch(video_id, pending.pop(video_id), persist=persist),
                 )
+        for video_id, buffer in sorted(pending.items()):
+            print_events(
+                video_id, service.ingest_chat_batch(video_id, buffer, persist=persist)
+            )
         elapsed = time.perf_counter() - started
         rate = n_messages / elapsed if elapsed > 0 else float("inf")
         print(f"ingested {n_messages} messages across {len(targets)} channel(s) "
@@ -324,9 +429,99 @@ def _command_stream(
         )
         if db_path is not None:
             print(f"results persisted durably in: {', '.join(service.db_paths())}")
+    except KeyboardInterrupt:
+        interrupted = True
     finally:
-        service.close()
+        if interrupted and persist and db_path is not None:
+            # Treat the interrupt like a crash: leave every session's durable
+            # checkpoint in place so the run can be continued, and only
+            # release the file handles.
+            for shard in service.shards:
+                shard.store.close()
+        else:
+            service.close()
+    if interrupted:
+        if persist and db_path is not None:
+            print(
+                "interrupted — live sessions left checkpointed; continue with "
+                f"the same flags plus --resume (db: {db_path})"
+            )
+        return 130
     return exit_code
+
+
+def _command_recover(db_path: str, shards: int, seed: int, end: bool) -> int:
+    import sqlite3
+
+    from repro import LightorConfig
+    from repro.core.initializer.initializer import HighlightInitializer
+    from repro.datasets import DatasetSpec, build_dataset
+    from repro.platform.sharding import ShardedLightorService
+    from repro.utils.validation import ValidationError
+
+    if shards < 1:
+        print("--shards must be at least 1", flush=True)
+        return 1
+    # Session checkpoints deliberately do not embed the trained model (it is
+    # shared, read-only serving state); retrain it exactly as `stream`/`load`
+    # did — deterministically from the seed.
+    dataset = build_dataset(DatasetSpec.dota2(size=1, seed=seed))
+    initializer = HighlightInitializer(config=LightorConfig())
+    initializer.fit([dataset[0].training_pair])
+
+    try:
+        service = ShardedLightorService.create(
+            shards, initializer, backend="sqlite", db_path=db_path,
+            checkpoint_every=500,
+        )
+    except (ValidationError, sqlite3.Error) as error:
+        print(f"cannot open the service tier: {error}", flush=True)
+        return 1
+    finalized = False
+    try:
+        # recover_live_sessions raises the LRU budget while it runs, but the
+        # recovered sessions must stay live afterwards for --end to close
+        # them at the stored durations — so size the budget to the fleet.
+        for shard in service.shards:
+            shard.max_live_sessions = max(
+                shard.max_live_sessions, len(shard.store.get_session_snapshots())
+            )
+        recovered = service.recover_live_sessions()
+        if not recovered:
+            print("no checkpointed live sessions found")
+            return 0
+        print(f"recovered {len(recovered)} live session(s):")
+        for report in recovered:
+            print(f"  {report.describe()}")
+        if end:
+            for report in recovered:
+                # Finalize at the stored video duration — the same closing
+                # point a normal end_live uses — so the final window set and
+                # play clamping match an uninterrupted run; fall back to the
+                # last chat timestamp if the stored duration is stale
+                # (shorter than the chat already observed).
+                duration = service.store_for(report.video_id).get_video(
+                    report.video_id
+                ).duration
+                try:
+                    dots = service.end_live(report.video_id, duration)
+                except ValidationError:
+                    dots = service.end_live(report.video_id)
+                print(f"  {report.video_id}: finalized with {len(dots)} red dot(s)")
+            print("checkpoints deleted; final red dots persisted")
+            finalized = True
+        else:
+            print("sessions re-checkpointed; rerun with --end to finalize them")
+    finally:
+        if finalized:
+            service.close()
+        else:
+            # Without --end the sessions stay recoverable: release the file
+            # handles only — a full close would finalize every session and
+            # delete the checkpoints we just reported.
+            for shard in service.shards:
+                shard.store.close()
+    return 0
 
 
 def _command_load(args) -> int:
@@ -335,9 +530,16 @@ def _command_load(args) -> int:
     from repro import LightorConfig
     from repro.core.initializer.initializer import HighlightInitializer
     from repro.datasets import DatasetSpec, build_dataset
-    from repro.loadgen import WorkloadSpec, run_load
+    from repro.loadgen import WorkloadSpec, run_kill_recover, run_load
     from repro.utils.validation import ValidationError
 
+    chaos = args.kill_after is not None
+    if chaos != args.recover:
+        print("--kill-after and --recover must be used together", flush=True)
+        return 1
+    if chaos and (args.backend != "sqlite" or args.db_path is None):
+        print("chaos mode requires --backend sqlite --db-path", flush=True)
+        return 1
     if args.smoke:
         spec_kwargs = dict(
             channels=3, viewers=60, duration=1200.0, batch_size=64, seed=args.seed
@@ -366,6 +568,22 @@ def _command_load(args) -> int:
     dataset = build_dataset(DatasetSpec.dota2(size=1, seed=args.seed))
     initializer = HighlightInitializer(config=LightorConfig())
     initializer.fit([dataset[0].training_pair])
+
+    if chaos:
+        try:
+            chaos_report = run_kill_recover(
+                spec,
+                initializer,
+                db_path=args.db_path,
+                shards=shards,
+                kill_after=args.kill_after,
+                checkpoint_every=args.checkpoint_every,
+            )
+        except (ValidationError, sqlite3.Error) as error:
+            print(f"kill/recover run failed: {error}", flush=True)
+            return 1
+        print(chaos_report.describe())
+        return 0 if chaos_report.ok else 1
 
     try:
         report = run_load(
@@ -400,6 +618,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_demo(args.k, args.seed)
     if args.command == "load":
         return _command_load(args)
+    if args.command == "recover":
+        return _command_recover(
+            db_path=args.db_path, shards=args.shards, seed=args.seed, end=args.end
+        )
     if args.command == "stream":
         return _command_stream(
             channels=args.channels,
@@ -411,6 +633,8 @@ def main(argv: list[str] | None = None) -> int:
             backend=args.backend,
             db_path=args.db_path,
             shards=args.shards,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
     parser.print_help()
     return 1

@@ -14,6 +14,9 @@ instead of assumed:
   the batches through a :class:`~repro.platform.sharding.ShardedLightorService`,
   times every call, then spot-checks the sharded concurrent results against
   a sequential single-shard oracle (zero divergences or the run fails).
+  :func:`~repro.loadgen.driver.run_kill_recover` is the chaos twin: kill
+  the tier mid-run, rebuild it from its durable checkpoints, and require
+  byte-equivalence with an uninterrupted run.
 * :mod:`metrics <repro.loadgen.metrics>` — per-stage throughput and latency
   percentile accounting.
 
@@ -24,7 +27,14 @@ study (``BENCH_load.json``).  ``docs/load_testing.md`` documents the design
 and how to read the results.
 """
 
-from repro.loadgen.driver import ChannelOutcome, LoadGenerator, LoadReport, run_load
+from repro.loadgen.driver import (
+    ChannelOutcome,
+    KillRecoverReport,
+    LoadGenerator,
+    LoadReport,
+    run_kill_recover,
+    run_load,
+)
 from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
 from repro.loadgen.workload import (
     ChannelPlan,
@@ -37,6 +47,7 @@ from repro.loadgen.workload import (
 __all__ = [
     "ChannelOutcome",
     "ChannelPlan",
+    "KillRecoverReport",
     "LatencyRecorder",
     "LoadGenerator",
     "LoadReport",
@@ -45,6 +56,7 @@ __all__ = [
     "WorkBatch",
     "WorkloadSpec",
     "merge_recorders",
+    "run_kill_recover",
     "run_load",
     "zipf_weights",
 ]

@@ -34,9 +34,16 @@ from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
 from repro.loadgen.workload import LoadWorkload, WorkBatch
 from repro.platform import codecs
 from repro.platform.sharding import ShardedLightorService
-from repro.utils.validation import require_positive
+from repro.utils.validation import ValidationError, require_positive
 
-__all__ = ["ChannelOutcome", "LoadReport", "LoadGenerator", "run_load"]
+__all__ = [
+    "ChannelOutcome",
+    "KillRecoverReport",
+    "LoadReport",
+    "LoadGenerator",
+    "run_kill_recover",
+    "run_load",
+]
 
 
 @dataclass(frozen=True)
@@ -71,8 +78,13 @@ class LoadReport:
 
     @property
     def events_per_sec(self) -> float:
-        """Wall-clock events per second across the whole run."""
-        return self.total_events / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+        """Wall-clock events per second across the whole run.
+
+        ``0.0`` (not ``inf``) when the wall clock recorded nothing — the
+        JSON-safety rule of :meth:`StageStats.events_per_sec` applies here
+        too.
+        """
+        return self.total_events / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def to_dict(self) -> dict:
         """JSON-friendly form (what ``BENCH_load.json`` stores)."""
@@ -305,6 +317,212 @@ class LoadGenerator:
             return divergences
         finally:
             oracle.close()
+
+
+@dataclass(frozen=True)
+class KillRecoverReport:
+    """Outcome of a kill-and-recover chaos run (``repro load --kill-after``).
+
+    ``divergences`` lists channels whose post-recovery end state differed
+    from the same workload run uninterrupted — it must be empty: the
+    checkpoint/recovery subsystem promises byte-identical final red dots,
+    highlight records and interaction logs (see
+    :mod:`repro.platform.recovery`).
+    """
+
+    shards: int
+    channels: int
+    total_batches: int
+    killed_after: int
+    checkpoint_every: int
+    sessions_recovered: int
+    chat_replayed: int
+    plays_replayed: int
+    events_redriven: int
+    total_events: int
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the recovered run matched the uninterrupted oracle."""
+        return not self.divergences
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary for the CLI."""
+        lines = [
+            f"killed after {self.killed_after}/{self.total_batches} batches "
+            f"({self.shards} shard(s), checkpoint every {self.checkpoint_every} events); "
+            f"recovered {self.sessions_recovered} session(s), replaying "
+            f"{self.chat_replayed} chat + {self.plays_replayed} play event(s) "
+            f"from the store",
+            f"re-drove {self.events_redriven:,} of {self.total_events:,} events "
+            f"to finish the run",
+        ]
+        if self.divergences:
+            lines.append(
+                f"RECOVERY DIVERGENCE on {len(self.divergences)} channel(s): "
+                + ", ".join(self.divergences)
+            )
+        else:
+            lines.append(
+                f"recovered run is byte-identical to the uninterrupted run "
+                f"on all {self.channels} channel(s)"
+            )
+        return "\n".join(lines)
+
+
+def run_kill_recover(
+    spec,
+    initializer: HighlightInitializer,
+    *,
+    db_path,
+    shards: int = 1,
+    kill_after: int,
+    checkpoint_every: int = 256,
+    live_k: int | None = None,
+    workload: LoadWorkload | None = None,
+) -> KillRecoverReport:
+    """Drive a workload, kill the service tier mid-run, recover, and verify.
+
+    The chaos twin of :func:`run_load`, sequential for exactness:
+
+    1. drive the first ``kill_after`` batches into a checkpointing SQLite
+       service tier (chat persisted — recovery can only replay what the
+       store holds);
+    2. simulate a crash — close the backend connections without finalizing
+       a single session (no ``shutdown``, no eviction callbacks);
+    3. build a fresh tier over the same database files, rebuild every open
+       session via ``recover_live_sessions``, and finish the run, skipping
+       exactly the events the recovered sessions already ingested;
+    4. close every channel and compare each channel's full persisted end
+       state (final dots, stored dots, highlight records, interaction log)
+       byte-for-byte against the same workload driven uninterrupted.
+
+    Any divergence is a recovery bug and lands in the report (the CLI and
+    CI fail on it).
+    """
+    require_positive(checkpoint_every, "checkpoint_every")
+    if kill_after < 0:
+        raise ValidationError(f"kill_after must be >= 0, got {kill_after}")
+    if db_path is None:
+        raise ValidationError(
+            "kill/recover needs a file-backed SQLite store (pass db_path); "
+            "an in-memory database cannot survive the simulated crash"
+        )
+    if workload is None:
+        workload = LoadWorkload.from_spec(spec)
+    batches = workload.batches()
+    plans = {plan.video.video_id: plan for plan in workload.plans}
+    kill_at = min(kill_after, len(batches))
+    max_sessions = max(spec.channels, 1)
+
+    def create(backend: str, path, n_shards: int, cadence: int | None):
+        return ShardedLightorService.create(
+            n_shards,
+            initializer,
+            backend=backend,
+            db_path=path,
+            max_live_sessions=max_sessions,
+            live_k=live_k,
+            checkpoint_every=cadence,
+        )
+
+    def ingest(service: ShardedLightorService, batch: WorkBatch, events: list) -> None:
+        if batch.kind == "chat":
+            service.ingest_chat_batch(batch.video_id, events, persist=True)
+        else:
+            service.ingest_plays_batch(batch.video_id, events)
+
+    def open_idle(service: ShardedLightorService) -> None:
+        with_traffic = {batch.video_id for batch in batches}
+        for plan in workload.plans:
+            if plan.video.video_id not in with_traffic:
+                service.start_live(plan.video)
+
+    def close_and_fingerprint(service: ShardedLightorService) -> dict[str, str]:
+        fingerprints: dict[str, str] = {}
+        for plan in sorted(workload.plans, key=lambda p: p.video.video_id):
+            video_id = plan.video.video_id
+            dots = service.end_live(video_id, plan.duration)
+            fingerprints[video_id] = LoadGenerator._fingerprint(service, video_id, dots)
+        return fingerprints
+
+    # Phase 1: drive to the kill point, then drop the tier on the floor.
+    service = create("sqlite", db_path, shards, checkpoint_every)
+    open_idle(service)
+    live: set[str] = set()
+    for batch in batches[:kill_at]:
+        if batch.video_id not in live:
+            service.start_live(plans[batch.video_id].video)
+            live.add(batch.video_id)
+        ingest(service, batch, list(batch.events))
+    for shard in service.shards:
+        # The simulated crash: release the file handles so a fresh tier can
+        # open the databases, but finalize nothing and delete no snapshot.
+        shard.store.close()
+
+    # Phase 2: a fresh tier over the same files rebuilds the open sessions
+    # and finishes the run, skipping what the recovered sessions already saw.
+    service = create("sqlite", db_path, shards, checkpoint_every)
+    recovered = service.recover_live_sessions()
+    skip = {
+        report.video_id: {
+            "chat": report.messages_ingested,
+            "plays": report.interactions_ingested,
+        }
+        for report in recovered
+    }
+    live = {report.video_id for report in recovered}
+    redriven = 0
+    for batch in batches:
+        events = list(batch.events)
+        counts = skip.get(batch.video_id)
+        if counts is not None and counts[batch.kind] > 0:
+            if counts[batch.kind] >= len(events):
+                counts[batch.kind] -= len(events)
+                continue
+            events = events[counts[batch.kind] :]
+            counts[batch.kind] = 0
+        if batch.video_id not in live:
+            service.start_live(plans[batch.video_id].video)
+            live.add(batch.video_id)
+        ingest(service, batch, events)
+        redriven += len(events)
+    outcomes = close_and_fingerprint(service)
+    service.close()
+
+    # The uninterrupted reference: identical call sequence, one shard, no
+    # checkpointing — which doubles as proof that checkpointing itself never
+    # perturbs results.
+    oracle = create("memory", None, 1, None)
+    open_idle(oracle)
+    live = set()
+    for batch in batches:
+        if batch.video_id not in live:
+            oracle.start_live(plans[batch.video_id].video)
+            live.add(batch.video_id)
+        ingest(oracle, batch, list(batch.events))
+    expected = close_and_fingerprint(oracle)
+    oracle.close()
+
+    divergences = [
+        video_id
+        for video_id in sorted(expected)
+        if expected[video_id] != outcomes.get(video_id)
+    ]
+    return KillRecoverReport(
+        shards=shards,
+        channels=len(workload.plans),
+        total_batches=len(batches),
+        killed_after=kill_at,
+        checkpoint_every=checkpoint_every,
+        sessions_recovered=len(recovered),
+        chat_replayed=sum(report.chat_replayed for report in recovered),
+        plays_replayed=sum(report.plays_replayed for report in recovered),
+        events_redriven=redriven,
+        total_events=workload.total_events,
+        divergences=divergences,
+    )
 
 
 def run_load(

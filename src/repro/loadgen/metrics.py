@@ -37,11 +37,18 @@ class StageStats:
 
     @property
     def events_per_sec(self) -> float:
-        """Events pushed through the stage per in-call second."""
-        return self.events / self.seconds if self.seconds > 0 else float("inf")
+        """Events pushed through the stage per in-call second.
+
+        A stage that recorded zero in-call seconds (every call under the
+        clock's resolution — tiny smoke runs do this) reports ``0.0`` rather
+        than ``inf``: the measurement carries no rate information, and
+        ``inf`` is not valid JSON (``BENCH_load.json`` is written with
+        ``allow_nan=False``, which would reject the whole report).
+        """
+        return self.events / self.seconds if self.seconds > 0 else 0.0
 
     def to_dict(self) -> dict:
-        """JSON-friendly form (used by ``BENCH_load.json``)."""
+        """JSON-friendly form (used by ``BENCH_load.json``); strictly JSON-safe."""
         return {
             "calls": self.calls,
             "events": self.events,

@@ -20,6 +20,11 @@ paper's Figure 5, layered for scale (see ``docs/architecture.md``):
   Live channels ingest per event (``ingest_live_chat``) or in batches
   (``ingest_chat_batch`` / ``ingest_plays_batch`` — one lock acquisition
   and one storage transaction per batch; byte-equivalent persisted state).
+* :mod:`recovery <repro.platform.recovery>` — durable checkpoint/recovery
+  for live sessions: the service snapshots each open session into its
+  backend (on an event cadence, on kind flips, on eviction) and
+  ``recover_live_sessions`` rebuilds every open session after a crash from
+  its latest snapshot plus the rows persisted since it.
 * :mod:`sharding <repro.platform.sharding>` — the sharded front door:
   consistent-hashes video ids across N workers, each with its own backend,
   crawler and streaming orchestrator, under per-shard locks.

@@ -20,6 +20,11 @@ Semantics every backend must honour:
   "never computed";
 * **highlight results are versioned** — ``put_highlight`` appends with a
   monotonically increasing version per video;
+* **session snapshots are the open-session registry** — one strict-JSON
+  checkpoint per live session, replaced atomically (one transaction per
+  checkpoint on durable backends) and deleted on clean close, so
+  ``get_session_snapshots`` after a crash is exactly the set of sessions
+  recovery must rebuild;
 * **unknown video ids are errors** for every write and for ``get_video``.
 """
 
@@ -94,6 +99,14 @@ class StorageBackend(abc.ABC):
     def get_chat(self, video_id: str) -> list[ChatMessage]:
         """Return the crawled chat messages (empty list when not crawled)."""
 
+    def count_chat(self, video_id: str) -> int:
+        """Number of stored chat messages for the video.
+
+        The default materialises the log; backends override with an O(1)
+        count — the checkpoint path reads this on every snapshot.
+        """
+        return len(self.get_chat(video_id))
+
     # ---------------------------------------------------------- interactions
     @abc.abstractmethod
     def log_interactions(self, video_id: str, interactions: Iterable[Interaction]) -> int:
@@ -102,6 +115,10 @@ class StorageBackend(abc.ABC):
     @abc.abstractmethod
     def get_interactions(self, video_id: str) -> list[Interaction]:
         """All logged interactions for the video, in arrival (log) order."""
+
+    def count_interactions(self, video_id: str) -> int:
+        """Number of logged interactions for the video (override for O(1))."""
+        return len(self.get_interactions(video_id))
 
     # -------------------------------------------------------------- red dots
     @abc.abstractmethod
@@ -131,6 +148,59 @@ class StorageBackend(abc.ABC):
     @abc.abstractmethod
     def highlight_history(self, video_id: str) -> list[HighlightRecord]:
         """Every stored highlight record for the video, in version order."""
+
+    # ----------------------------------------------------- session snapshots
+    @abc.abstractmethod
+    def put_session_snapshot(self, video_id: str, payload: dict) -> None:
+        """Store (replacing) the checkpoint of a live session.
+
+        ``payload`` must be strict-JSON-serializable (``allow_nan=False`` —
+        the codecs map the streaming engine's non-finite sentinels to
+        ``None``); backends reject anything else rather than store a
+        checkpoint recovery cannot parse.  Durable backends commit each
+        checkpoint as **one transaction**, so a crash leaves either the
+        previous snapshot or the new one, never a torn mix.  Unknown video
+        ids are errors, as for every write.
+        """
+
+    @abc.abstractmethod
+    def get_session_snapshots(self) -> dict[str, dict]:
+        """Every stored session checkpoint, keyed by video id.
+
+        This is the open-session registry: after a crash, recovery rebuilds
+        exactly these sessions (each from its snapshot plus the chat and
+        interactions persisted since it — see
+        :mod:`repro.platform.recovery`).
+        """
+
+    @abc.abstractmethod
+    def delete_session_snapshot(self, video_id: str) -> bool:
+        """Drop a session checkpoint (clean close); returns whether one existed.
+
+        Idempotent, and intentionally not an error for unknown video ids —
+        closing a channel that never checkpointed is a no-op.
+        """
+
+    def get_session_snapshot(self, video_id: str) -> dict | None:
+        """The stored checkpoint for one video (``None`` when absent).
+
+        The default goes through :meth:`get_session_snapshots`; backends
+        override with a single-row read — ``start_live`` consults this on
+        every channel registration when checkpointing is enabled.
+        """
+        return self.get_session_snapshots().get(video_id)
+
+    def get_chat_since(self, video_id: str, offset: int) -> list[ChatMessage]:
+        """Chat rows from ``offset`` on — the recovery replay suffix.
+
+        The default materialises the whole log; backends override so
+        recovery costs O(suffix), not O(history).
+        """
+        return self.get_chat(video_id)[offset:]
+
+    def get_interactions_since(self, video_id: str, offset: int) -> list[Interaction]:
+        """Interaction rows from ``offset`` on (override for O(suffix))."""
+        return self.get_interactions(video_id)[offset:]
 
     # --------------------------------------------------------------- summary
     @abc.abstractmethod

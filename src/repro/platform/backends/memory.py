@@ -8,6 +8,7 @@ contract test suite holds every other backend to.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -27,6 +28,7 @@ class InMemoryStore(StorageBackend):
     _interactions: dict[str, list[Interaction]] = field(default_factory=dict, repr=False)
     _red_dots: dict[str, list[RedDot]] = field(default_factory=dict, repr=False)
     _highlights: dict[str, list[HighlightRecord]] = field(default_factory=dict, repr=False)
+    _session_snapshots: dict[str, str] = field(default_factory=dict, repr=False)
 
     # ---------------------------------------------------------------- videos
     def put_video(self, video: Video) -> None:
@@ -74,6 +76,10 @@ class InMemoryStore(StorageBackend):
         """Return the crawled chat messages (empty list when not crawled)."""
         return list(self._chat.get(video_id, []))
 
+    def count_chat(self, video_id: str) -> int:
+        """Number of stored chat messages for the video (no copy)."""
+        return len(self._chat.get(video_id, ()))
+
     # ---------------------------------------------------------- interactions
     def log_interactions(self, video_id: str, interactions: Iterable[Interaction]) -> int:
         """Append viewer interactions for a video; returns the new log size."""
@@ -89,6 +95,10 @@ class InMemoryStore(StorageBackend):
         that per-user causality survives backward seeks (re-watches).
         """
         return list(self._interactions.get(video_id, []))
+
+    def count_interactions(self, video_id: str) -> int:
+        """Number of logged interactions for the video (no copy)."""
+        return len(self._interactions.get(video_id, ()))
 
     # -------------------------------------------------------------- red dots
     def put_red_dots(self, video_id: str, dots: Iterable[RedDot]) -> None:
@@ -121,6 +131,42 @@ class InMemoryStore(StorageBackend):
         """Every stored highlight record for the video, in version order."""
         return list(self._highlights.get(video_id, []))
 
+    # ----------------------------------------------------- session snapshots
+    def put_session_snapshot(self, video_id: str, payload: dict) -> None:
+        """Store (replacing) the checkpoint of a live session.
+
+        The payload is stored as its strict-JSON encoding — the exact bytes
+        a durable backend would write — which both enforces the contract's
+        JSON-safety requirement and decouples the stored checkpoint from
+        later mutation of the caller's dict.
+        """
+        self._require_known_video(video_id, "store a session snapshot")
+        self._session_snapshots[video_id] = json.dumps(payload, allow_nan=False)
+
+    def get_session_snapshots(self) -> dict[str, dict]:
+        """Every stored session checkpoint, keyed by video id."""
+        return {
+            video_id: json.loads(text)
+            for video_id, text in sorted(self._session_snapshots.items())
+        }
+
+    def delete_session_snapshot(self, video_id: str) -> bool:
+        """Drop a session checkpoint; returns whether one existed."""
+        return self._session_snapshots.pop(video_id, None) is not None
+
+    def get_session_snapshot(self, video_id: str) -> dict | None:
+        """The stored checkpoint for one video (single lookup)."""
+        text = self._session_snapshots.get(video_id)
+        return None if text is None else json.loads(text)
+
+    def get_chat_since(self, video_id: str, offset: int) -> list[ChatMessage]:
+        """Chat rows from ``offset`` on (slices without copying the prefix)."""
+        return self._chat.get(video_id, [])[offset:]
+
+    def get_interactions_since(self, video_id: str, offset: int) -> list[Interaction]:
+        """Interaction rows from ``offset`` on."""
+        return self._interactions.get(video_id, [])[offset:]
+
     # --------------------------------------------------------------- summary
     def stats(self) -> dict[str, int]:
         """Coarse row counts, useful for monitoring and tests."""
@@ -131,4 +177,5 @@ class InMemoryStore(StorageBackend):
             "interactions": sum(len(i) for i in self._interactions.values()),
             "red_dots": sum(len(d) for d in self._red_dots.values()),
             "highlight_records": sum(len(h) for h in self._highlights.values()),
+            "session_snapshots": len(self._session_snapshots),
         }

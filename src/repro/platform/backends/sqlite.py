@@ -65,6 +65,10 @@ CREATE TABLE IF NOT EXISTS highlight_records (
     payload  TEXT NOT NULL,
     PRIMARY KEY (video_id, version)
 );
+CREATE TABLE IF NOT EXISTS session_snapshots (
+    video_id TEXT PRIMARY KEY,
+    payload  TEXT NOT NULL
+);
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
@@ -197,6 +201,24 @@ class SQLiteStore(StorageBackend):
             ).fetchall()
         return [codecs.chat_message_from_dict(json.loads(row[0])) for row in rows]
 
+    def count_chat(self, video_id: str) -> int:
+        """Number of stored chat messages (COUNT(*), no payload decode)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM chat_messages WHERE video_id = ?", (video_id,)
+            ).fetchone()
+        return int(row[0])
+
+    def get_chat_since(self, video_id: str, offset: int) -> list[ChatMessage]:
+        """Chat rows from ``offset`` on — O(suffix) rows read and decoded."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT payload FROM chat_messages WHERE video_id = ? "
+                "ORDER BY seq LIMIT -1 OFFSET ?",
+                (video_id, offset),
+            ).fetchall()
+        return [codecs.chat_message_from_dict(json.loads(row[0])) for row in rows]
+
     # ---------------------------------------------------------- interactions
     def log_interactions(self, video_id: str, interactions: Iterable[Interaction]) -> int:
         """Append viewer interactions for a video; returns the new log size."""
@@ -227,6 +249,24 @@ class SQLiteStore(StorageBackend):
             rows = self._connection.execute(
                 "SELECT payload FROM interactions WHERE video_id = ? ORDER BY rowid",
                 (video_id,),
+            ).fetchall()
+        return [codecs.interaction_from_dict(json.loads(row[0])) for row in rows]
+
+    def count_interactions(self, video_id: str) -> int:
+        """Number of logged interactions (COUNT(*), no payload decode)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM interactions WHERE video_id = ?", (video_id,)
+            ).fetchone()
+        return int(row[0])
+
+    def get_interactions_since(self, video_id: str, offset: int) -> list[Interaction]:
+        """Interaction rows from ``offset`` on — O(suffix) rows read."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT payload FROM interactions WHERE video_id = ? "
+                "ORDER BY rowid LIMIT -1 OFFSET ?",
+                (video_id, offset),
             ).fetchall()
         return [codecs.interaction_from_dict(json.loads(row[0])) for row in rows]
 
@@ -312,6 +352,49 @@ class SQLiteStore(StorageBackend):
             ).fetchall()
         return [codecs.highlight_record_from_dict(json.loads(row[0])) for row in rows]
 
+    # ----------------------------------------------------- session snapshots
+    def put_session_snapshot(self, video_id: str, payload: dict) -> None:
+        """Store (replacing) the checkpoint of a live session.
+
+        One ``INSERT OR REPLACE`` in one implicit transaction: a crash during
+        the write leaves the previous checkpoint intact, never a torn one.
+        ``allow_nan=False`` rejects any payload that would not survive a
+        strict JSON parse at recovery time.
+        """
+        self._require_known_video(video_id, "store a session snapshot")
+        text = json.dumps(payload, allow_nan=False)
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO session_snapshots (video_id, payload) "
+                "VALUES (?, ?)",
+                (video_id, text),
+            )
+
+    def get_session_snapshots(self) -> dict[str, dict]:
+        """Every stored session checkpoint, keyed by video id."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT video_id, payload FROM session_snapshots ORDER BY video_id"
+            ).fetchall()
+        return {row[0]: json.loads(row[1]) for row in rows}
+
+    def delete_session_snapshot(self, video_id: str) -> bool:
+        """Drop a session checkpoint; returns whether one existed."""
+        with self._lock, self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM session_snapshots WHERE video_id = ?", (video_id,)
+            )
+        return cursor.rowcount > 0
+
+    def get_session_snapshot(self, video_id: str) -> dict | None:
+        """The stored checkpoint for one video (single-row read)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT payload FROM session_snapshots WHERE video_id = ?",
+                (video_id,),
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
     # --------------------------------------------------------------- summary
     def stats(self) -> dict[str, int]:
         """Coarse row counts, useful for monitoring and tests."""
@@ -323,6 +406,7 @@ class SQLiteStore(StorageBackend):
                 "interactions": "SELECT COUNT(*) FROM interactions",
                 "red_dots": "SELECT COUNT(*) FROM red_dots",
                 "highlight_records": "SELECT COUNT(*) FROM highlight_records",
+                "session_snapshots": "SELECT COUNT(*) FROM session_snapshots",
             }
             return {
                 key: int(self._connection.execute(query).fetchone()[0])

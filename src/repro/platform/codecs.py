@@ -14,13 +14,23 @@ Two surfaces are provided:
 * a tagged generic surface — :func:`encode` / :func:`decode` — that wraps
   the payload in ``{"type": ..., ...}`` so heterogeneous streams (event
   logs, wire protocols, parity fingerprints) can round-trip mixed objects.
+
+The checkpoint/recovery subsystem (:mod:`repro.platform.recovery`) adds a
+third family: codecs for the *streaming engine state* — sealed window
+summaries, emit policies — that session snapshots are built from.  These
+are held to the same round-trip-exact bar; non-finite floats (the window
+builder's ``-inf`` "no message seen yet" sentinel) are mapped to ``None``
+so every payload stays strict-JSON (``json.dumps(..., allow_nan=False)``
+never raises on a snapshot).
 """
 
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Callable
 
+from repro.core.initializer.features import WindowFeatures
 from repro.core.types import (
     ChatMessage,
     Highlight,
@@ -51,6 +61,14 @@ __all__ = [
     "chat_log_from_dict",
     "highlight_record_to_dict",
     "highlight_record_from_dict",
+    "window_features_to_dict",
+    "window_features_from_dict",
+    "window_summary_to_dict",
+    "window_summary_from_dict",
+    "emit_policy_to_dict",
+    "emit_policy_from_dict",
+    "finite_or_none",
+    "none_or_neg_inf",
     "encode",
     "decode",
     "dumps",
@@ -200,6 +218,84 @@ def highlight_record_from_dict(payload: dict[str, Any]) -> HighlightRecord:
         highlight=highlight_from_dict(payload["highlight"]),
         version=payload["version"],
         source=payload.get("source", "extractor"),
+    )
+
+
+# ----------------------------------------------------- streaming-state codecs
+def finite_or_none(value: float) -> float | None:
+    """JSON-safe form of a float sentinel: non-finite values become ``None``.
+
+    Snapshots must stay strict-JSON (``allow_nan=False``); the window
+    builder's ``-inf`` "nothing seen yet" marker is the one non-finite value
+    the streaming state legitimately holds.
+    """
+    return float(value) if math.isfinite(value) else None
+
+
+def none_or_neg_inf(value: float | None) -> float:
+    """Inverse of :func:`finite_or_none` for the ``-inf`` sentinel."""
+    return -math.inf if value is None else float(value)
+
+
+def window_features_to_dict(features: WindowFeatures) -> dict[str, Any]:
+    """Plain-dict form of a raw :class:`WindowFeatures` triple."""
+    return {
+        "message_number": features.message_number,
+        "message_length": features.message_length,
+        "message_similarity": features.message_similarity,
+    }
+
+
+def window_features_from_dict(payload: dict[str, Any]) -> WindowFeatures:
+    """Rebuild a :class:`WindowFeatures` from its plain-dict form."""
+    return WindowFeatures(
+        message_number=payload["message_number"],
+        message_length=payload["message_length"],
+        message_similarity=payload["message_similarity"],
+    )
+
+
+def window_summary_to_dict(summary) -> dict[str, Any]:
+    """Plain-dict form of a sealed :class:`~repro.streaming.state.WindowSummary`."""
+    return {
+        "start": summary.start,
+        "end": summary.end,
+        "message_count": summary.message_count,
+        "peak": summary.peak,
+        "raw": window_features_to_dict(summary.raw),
+    }
+
+
+def window_summary_from_dict(payload: dict[str, Any]):
+    """Rebuild a :class:`~repro.streaming.state.WindowSummary` (round-trip exact)."""
+    from repro.streaming.state import WindowSummary
+
+    return WindowSummary(
+        start=payload["start"],
+        end=payload["end"],
+        message_count=payload["message_count"],
+        peak=payload["peak"],
+        raw=window_features_from_dict(payload["raw"]),
+    )
+
+
+def emit_policy_to_dict(policy) -> dict[str, Any]:
+    """Plain-dict form of an :class:`~repro.streaming.initializer.EmitPolicy`."""
+    return {
+        "eval_every_messages": policy.eval_every_messages,
+        "eval_every_seconds": policy.eval_every_seconds,
+        "min_score": policy.min_score,
+    }
+
+
+def emit_policy_from_dict(payload: dict[str, Any]):
+    """Rebuild an :class:`~repro.streaming.initializer.EmitPolicy`."""
+    from repro.streaming.initializer import EmitPolicy
+
+    return EmitPolicy(
+        eval_every_messages=payload["eval_every_messages"],
+        eval_every_seconds=payload["eval_every_seconds"],
+        min_score=payload.get("min_score", 0.0),
     )
 
 

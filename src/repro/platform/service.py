@@ -26,6 +26,14 @@ one storage transaction and one provisional re-score per batch.  Whatever
 the chunking, the persisted state is byte-identical
 (``tests/test_batch_ingest.py``); ``docs/performance.md`` covers what
 batching buys and why.
+
+With ``checkpoint_every`` set, live sessions are also *crash-safe*: the
+service writes a durable session checkpoint on that event cadence, on LRU
+eviction, and whenever the persisted ingest kind flips between chat and
+plays (the flip rule is what makes recovery byte-exact — see
+:mod:`repro.platform.recovery`), and
+:meth:`~LightorWebService.recover_live_sessions` rebuilds every open
+session from its latest checkpoint plus the rows persisted since it.
 """
 
 from __future__ import annotations
@@ -73,6 +81,14 @@ class LightorWebService:
     live_k / live_policy:
         Provisional top-k and emit/retract policy for live sessions (``None``
         uses the orchestrator defaults).
+    checkpoint_every:
+        Durable-checkpoint cadence for live sessions, in persisted events.
+        ``None`` (default) disables checkpointing.  When set, a session is
+        checkpointed at ``start_live``, after every ``checkpoint_every``
+        persisted events, before any persisted batch whose kind (chat vs
+        plays) differs from the batches persisted since the last checkpoint,
+        and on LRU eviction — see :mod:`repro.platform.recovery` for why
+        each trigger exists.
     """
 
     store: StorageBackend
@@ -84,24 +100,62 @@ class LightorWebService:
     max_live_sessions: int = 64
     live_k: int | None = None
     live_policy: EmitPolicy | None = None
+    checkpoint_every: int | None = None
     refinement_rounds_: dict[str, int] = field(default_factory=dict, repr=False)
     _orchestrator: StreamOrchestrator | None = field(default=None, repr=False)
+    # Checkpoint bookkeeping per live channel: store row counts covered by
+    # the latest snapshot inputs, events persisted since the last snapshot,
+    # and the (single, by the flip rule) kind persisted since it.
+    _persisted_chat: dict[str, int] = field(default_factory=dict, repr=False)
+    _persisted_plays: dict[str, int] = field(default_factory=dict, repr=False)
+    _events_since_checkpoint: dict[str, int] = field(default_factory=dict, repr=False)
+    _suffix_kind: dict[str, str] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         require_positive(self.min_interactions_for_refinement, "min_interactions_for_refinement")
+        if self.checkpoint_every is not None:
+            require_positive(self.checkpoint_every, "checkpoint_every")
 
     # -------------------------------------------------------------- red dots
     def request_red_dots(self, video_id: str, k: int | None = None) -> list[RedDot]:
         """Front-end request: return the red dots to render for a video.
 
         Chat is crawled on demand; computed dots are cached in the store and
-        reused on subsequent requests (until refinement updates them).
+        reused on subsequent requests (until refinement updates them).  A
+        cache hit still honours ``k``: a *smaller* ``k`` than the cached set
+        re-truncates it (greedy spaced selection is prefix-stable, so the
+        truncation equals a fresh top-``k`` — the stored superset is left
+        untouched for future requests); a *larger* ``k`` recomputes from the
+        stored chat and, when the video can actually yield more dots,
+        replaces the cached set (which resets any refinement-adjusted
+        positions — refinement reruns as interactions accumulate).  When it
+        cannot (sparse chat under-delivers against the spacing constraint),
+        the cached — possibly refined — set is kept.
         """
+        cached: list[RedDot] | None = None
         if self.store.has_red_dots(video_id):
-            return self.store.get_red_dots(video_id)
-        self.crawler.crawl_video(video_id)
+            cached = self.store.get_red_dots(video_id)
+            if not cached:
+                # "Computed: nothing to show" (below-threshold video) holds
+                # for every k; recomputing would just re-derive the empty set.
+                return cached
+            if k is None or k == len(cached):
+                return cached
+            if k < len(cached):
+                return self._truncate_dots(cached, k)
+            # k exceeds the cached set: fall through and recompute with the
+            # requested k against the already-stored chat.
+        if not self.store.has_chat(video_id):
+            self.crawler.crawl_video(video_id)
         chat_log = self.store.get_chat_log(video_id)
         if not self.initializer.is_applicable(chat_log):
+            if cached:
+                # A larger-k fall-through on a video whose *stored chat* is
+                # below the threshold (e.g. dots persisted by the live path,
+                # which never gates on applicability): keep the cached set —
+                # replacing real results with [] would destroy them for
+                # every future request.
+                return cached
             _LOGGER.info(
                 "video %s below the chat-rate threshold (%.0f msgs/hour); serving no dots",
                 video_id,
@@ -110,15 +164,60 @@ class LightorWebService:
             self.store.put_red_dots(video_id, [])
             return []
         dots = self.initializer.propose(chat_log, k=k)
+        if cached is not None and len(dots) <= len(cached):
+            # The video cannot yield more dots than already cached (the
+            # spacing constraint under-delivers on sparse chat): keep the
+            # cached set — it is the same selection, possibly with
+            # refinement-adjusted positions that a rewrite would erase.
+            return cached
         self.store.put_red_dots(video_id, dots)
         return dots
 
+    @staticmethod
+    def _truncate_dots(dots: Sequence[RedDot], k: int) -> list[RedDot]:
+        """The exact top-``k`` of a cached spaced selection.
+
+        ``select_spaced_top_k`` accepts candidates in ``(-score, window
+        start)`` order, and each acceptance depends only on the already
+        accepted prefix — so the first ``k`` accepted dots of a larger
+        selection *are* the ``k``-selection.  Re-ranking the cached dots by
+        the same key and keeping the first ``k`` therefore reproduces a
+        fresh ``k``-request without recomputation.
+        """
+        def rank(dot: RedDot) -> tuple[float, float]:
+            start = dot.window[0] if dot.window is not None else dot.position
+            return (-(dot.score or 0.0), start)
+
+        best = sorted(dots, key=rank)[:k]
+        return sorted(best, key=lambda dot: dot.position)
+
     # ---------------------------------------------------------- interactions
     def log_interactions(self, video_id: str, interactions: Sequence[Interaction]) -> int:
-        """Front-end callback: persist viewer interactions for a video."""
+        """Front-end callback: persist viewer interactions for a video.
+
+        Rows logged here bypass the live fold, so for a checkpointed channel
+        the *durable* snapshot must immediately count them as covered —
+        otherwise a crash before the next cadence checkpoint would make
+        recovery replay into the session interactions it never ingested.  A
+        live session gets a fresh checkpoint; an evicted-but-checkpointed
+        one gets its snapshot's count patched (its session state is
+        unchanged — it never saw these rows either).
+        """
         if not self.store.has_video(video_id):
             raise ValidationError(f"interactions logged for unknown video {video_id!r}")
-        return self.store.log_interactions(video_id, interactions)
+        total = self.store.log_interactions(video_id, interactions)
+        if self.checkpointing:
+            self._persisted_plays[video_id] = total
+            if self._orchestrator is not None and self._orchestrator.has_session(video_id):
+                self.checkpoint_live_session(video_id)
+            else:
+                from repro.platform.recovery import SNAPSHOT_VERSION
+
+                payload = self.store.get_session_snapshot(video_id)
+                if payload is not None and payload.get("version") == SNAPSHOT_VERSION:
+                    payload["interactions_persisted"] = total
+                    self.store.put_session_snapshot(video_id, payload)
+        return total
 
     # ------------------------------------------------------------ refinement
     def refine_video(self, video_id: str) -> int:
@@ -176,18 +275,50 @@ class LightorWebService:
                 max_sessions=self.max_live_sessions,
                 on_evict=self._persist_live_result,
                 on_evict_highlights=self._persist_live_highlights,
+                on_evict_snapshot=(
+                    self._checkpoint_on_evict if self.checkpointing else None
+                ),
                 **kwargs,
             )
         return self._orchestrator
+
+    @property
+    def checkpointing(self) -> bool:
+        """Whether durable session checkpointing is enabled."""
+        return self.checkpoint_every is not None
 
     def start_live(self, video: Video) -> None:
         """Register a channel that is currently live and open its session.
 
         The video metadata (its id, and the duration so far if known) is
         stored so interactions and final results have somewhere to land.
+        With checkpointing enabled an initial snapshot is written
+        immediately: the stored snapshots are the open-session registry, so
+        a channel that crashes before its first cadence checkpoint is still
+        rebuilt by recovery instead of silently lost.
+
+        A channel that was LRU-evicted while still live left a checkpoint
+        behind; going live again *resumes from it* rather than opening an
+        empty session — which would both lose the evicted state in memory
+        and overwrite its only durable copy with an empty snapshot.
         """
         self.store.put_video(video)
-        self.streaming.open_session(video.video_id)
+        video_id = video.video_id
+        if self.checkpointing and not self.streaming.has_session(video_id):
+            payload = self.store.get_session_snapshot(video_id)
+            if payload is not None:
+                from repro.platform.recovery import (
+                    check_snapshot_version,
+                    recover_session,
+                )
+
+                check_snapshot_version(video_id, payload)
+                if not payload["session"]["closed"]:
+                    recover_session(self, video_id, payload)
+                    return
+        self.streaming.open_session(video_id)
+        if self.checkpointing:
+            self.checkpoint_live_session(video_id)
 
     def ingest_live_chat(
         self, video_id: str, messages: Sequence[ChatMessage]
@@ -223,16 +354,30 @@ class LightorWebService:
         With ``persist=True`` the batch is also appended to the store's chat
         log (one transaction via
         :meth:`~repro.platform.backends.base.StorageBackend.append_chat`),
-        so a post-stream batch pass can re-read the full live chat.
+        so a post-stream batch pass can re-read the full live chat — and so
+        crash recovery can replay it (checkpointed sessions only recover
+        chat that was persisted; see :mod:`repro.platform.recovery`).
+        Requesting persistence for a channel whose video metadata was never
+        stored is an error, exactly like :meth:`log_interactions` — silently
+        skipping the append would leave the "full live chat" promise quietly
+        broken.
         """
         session = self._require_live(video_id)
+        if persist and not self.store.has_video(video_id):
+            raise ValidationError(
+                f"cannot persist chat for unknown video {video_id!r}; "
+                "store its metadata first (start_live does)"
+            )
+        if persist:
+            self._checkpoint_before_persist(video_id, "chat")
         # Fold first, persist second: ingest validates batch ordering, and a
         # rejected batch must not leave rows in the store that the stream
         # never saw (that would break both the sorted-log invariant and the
         # byte-equivalence of persisted state with per-event ingest).
         events = session.ingest_messages(list(messages))
-        if persist and self.store.has_video(video_id):
-            self.store.append_chat(video_id, messages)
+        if persist:
+            self._persisted_chat[video_id] = self.store.append_chat(video_id, messages)
+            self._after_persisted_ingest(video_id, "chat", len(messages))
         return events
 
     def ingest_live_interactions(
@@ -259,11 +404,23 @@ class LightorWebService:
         attribution depends only on the events ingested so far, never on how
         chat was chunked into calls (the batch-equivalence suite holds the
         service to this).
+
+        Fold first, persist second — the same invariant as
+        :meth:`ingest_chat_batch`: the session validates the batch by
+        ingesting it, and a rejected batch must not leave interaction rows
+        in the store that the stream never saw.
         """
         session = self._require_live(video_id)
-        if self.store.has_video(video_id):
-            self.store.log_interactions(video_id, interactions)
-        return session.ingest_interactions(list(interactions))
+        persist = self.store.has_video(video_id)
+        if persist:
+            self._checkpoint_before_persist(video_id, "plays")
+        events = session.ingest_interactions(list(interactions))
+        if persist:
+            self._persisted_plays[video_id] = self.store.log_interactions(
+                video_id, interactions
+            )
+            self._after_persisted_ingest(video_id, "plays", len(interactions))
+        return events
 
     def live_red_dots(self, video_id: str) -> list[RedDot]:
         """The red dots to render right now for a channel.
@@ -283,18 +440,140 @@ class LightorWebService:
         the same way — which also makes ``end_live`` idempotent: ending a
         channel that was already closed or evicted returns the dots
         persisted at that time.
+
+        Ending a channel is the clean close: any session checkpoint is
+        deleted (there is nothing left to recover), including the lingering
+        checkpoint of an LRU-evicted channel that is only now truly over.
         """
         if not self.streaming.has_session(video_id):
             if self.store.has_video(video_id):
+                self._forget_checkpoint(video_id)
                 return self.store.get_red_dots(video_id)
             raise ValidationError(f"no live session for video {video_id!r}")
-        return self.streaming.close_session(video_id, duration)
+        dots = self.streaming.close_session(video_id, duration)
+        self._forget_checkpoint(video_id)
+        return dots
 
     def shutdown(self) -> None:
-        """Finalize any open live sessions (persisting results), close the store."""
+        """Finalize any open live sessions (persisting results), close the store.
+
+        A graceful shutdown routes every open session through
+        :meth:`end_live`, so final dots persist through the usual eviction
+        callbacks **and** the session checkpoints are deleted — after a
+        clean shutdown there is nothing for recovery to rebuild (a killed
+        process, by contrast, leaves its checkpoints behind).
+        """
         if self._orchestrator is not None:
-            self._orchestrator.close_all_sessions()
+            for video_id in self._orchestrator.open_video_ids():
+                self.end_live(video_id)
         self.store.close()
+
+    # ---------------------------------------------------- checkpoint/recovery
+    def checkpoint_live_session(self, video_id: str) -> dict:
+        """Write a durable checkpoint of a live session right now.
+
+        The snapshot bundles the session state with the store row counts it
+        covers, committed in one transaction.  Returns the stored payload.
+        """
+        if not self.streaming.has_session(video_id):
+            raise ValidationError(f"no live session for video {video_id!r}")
+        payload = self._write_checkpoint(video_id, self.streaming.session(video_id))
+        self._events_since_checkpoint[video_id] = 0
+        self._suffix_kind.pop(video_id, None)
+        return payload
+
+    def recover_live_sessions(self) -> list:
+        """Rebuild every open session from its latest durable checkpoint.
+
+        Call this on a freshly constructed service over a store that a
+        crashed (or killed) process left behind: each stored snapshot is
+        restored around this service's trained model and the chat and
+        interactions persisted after the snapshot are replayed into it.
+        Returns the :class:`~repro.platform.recovery.RecoveredSession`
+        reports.  See :mod:`repro.platform.recovery` for the guarantees.
+        """
+        from repro.platform import recovery
+
+        return recovery.recover_live_sessions(self)
+
+    def _write_checkpoint(self, video_id: str, session) -> dict:
+        """Build and durably store the checkpoint envelope for ``session``."""
+        from repro.platform.recovery import build_checkpoint
+
+        payload = build_checkpoint(
+            session,
+            chat_persisted=self._persisted_count(
+                video_id, self._persisted_chat, self.store.count_chat
+            ),
+            interactions_persisted=self._persisted_count(
+                video_id, self._persisted_plays, self.store.count_interactions
+            ),
+        )
+        self.store.put_session_snapshot(video_id, payload)
+        return payload
+
+    def _persisted_count(self, video_id: str, cache: dict[str, int], counter) -> int:
+        """Store row count for a video, tracked incrementally once known."""
+        count = cache.get(video_id)
+        if count is None:
+            count = cache[video_id] = counter(video_id)
+        return count
+
+    def _checkpoint_before_persist(self, video_id: str, kind: str) -> None:
+        """Force a checkpoint when the persisted ingest kind flips.
+
+        Recovery replays the rows persisted after a snapshot, and the store
+        only orders rows *within* a kind — so the suffix past any snapshot
+        must stay homogeneous for the replay to be order-exact.  Snapshotting
+        *before* the flipping batch touches the store keeps that invariant
+        at every instant, even if the process dies mid-call.
+        """
+        if not self.checkpointing:
+            return
+        if self._suffix_kind.get(video_id, kind) != kind:
+            self.checkpoint_live_session(video_id)
+
+    def _after_persisted_ingest(self, video_id: str, kind: str, n_events: int) -> None:
+        """Cadence bookkeeping after a persisted batch folded successfully."""
+        if not self.checkpointing:
+            return
+        self._suffix_kind[video_id] = kind
+        count = self._events_since_checkpoint.get(video_id, 0) + n_events
+        self._events_since_checkpoint[video_id] = count
+        if count >= self.checkpoint_every:
+            self.checkpoint_live_session(video_id)
+
+    def _checkpoint_on_evict(self, video_id: str, session) -> None:
+        """Orchestrator eviction hook: snapshot the still-open session state.
+
+        LRU eviction reclaims memory from a channel that is still live; the
+        checkpoint lets ``recover_live_sessions`` (or ``repro recover``)
+        continue it later instead of losing everything past the final dots.
+        """
+        if not self.store.has_video(video_id):
+            return
+        self._write_checkpoint(video_id, session)
+        self._drop_checkpoint_state(video_id)
+
+    def _note_recovered(self, video_id: str, chat_rows: int, interaction_rows: int) -> None:
+        """Post-recovery bookkeeping: counts are current; write a fresh snapshot."""
+        self._persisted_chat[video_id] = chat_rows
+        self._persisted_plays[video_id] = interaction_rows
+        self._events_since_checkpoint[video_id] = 0
+        self._suffix_kind.pop(video_id, None)
+        if self.checkpointing:
+            self.checkpoint_live_session(video_id)
+
+    def _forget_checkpoint(self, video_id: str) -> None:
+        """Clean close: delete the stored snapshot and the local bookkeeping."""
+        self.store.delete_session_snapshot(video_id)
+        self._drop_checkpoint_state(video_id)
+
+    def _drop_checkpoint_state(self, video_id: str) -> None:
+        self._persisted_chat.pop(video_id, None)
+        self._persisted_plays.pop(video_id, None)
+        self._events_since_checkpoint.pop(video_id, None)
+        self._suffix_kind.pop(video_id, None)
 
     def _require_live(self, video_id: str):
         if not self.streaming.has_session(video_id):

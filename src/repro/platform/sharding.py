@@ -338,6 +338,23 @@ class ShardedLightorService:
         with lock:
             return shard.end_live(video_id, duration)
 
+    def recover_live_sessions(self) -> list:
+        """Rebuild every shard's open sessions from their durable checkpoints.
+
+        The sharded twin of
+        :meth:`~repro.platform.service.LightorWebService.recover_live_sessions`:
+        each shard recovers from its *own* backend under its own lock, and
+        because the hash ring placement is deterministic across processes, a
+        channel recovers on exactly the shard that checkpointed it.  Returns
+        the merged :class:`~repro.platform.recovery.RecoveredSession`
+        reports, ordered by video id.
+        """
+        recovered = []
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                recovered.extend(shard.recover_live_sessions())
+        return sorted(recovered, key=lambda report: report.video_id)
+
     # ----------------------------------------------------------------- summary
     def db_paths(self) -> list[str]:
         """Database files behind the shards (empty for non-durable backends)."""

@@ -18,6 +18,10 @@ highlights in the stream that is running *right now*?" — with three layers:
 3. :mod:`session <repro.streaming.session>` — per-channel sessions and an
    LRU-bounded orchestrator multiplexing many concurrent channels.
 
+Every stateful class in the stack serializes itself round-trip exactly
+(``snapshot()`` / ``restore()``), which is what makes live sessions
+crash-safe at the platform tier — see :mod:`repro.platform.recovery`.
+
 Typical usage::
 
     from repro.streaming import StreamOrchestrator

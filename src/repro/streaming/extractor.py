@@ -172,6 +172,86 @@ class StreamingExtractor:
         self._last_position.clear()
         return events
 
+    # ------------------------------------------------------------- durability
+    def snapshot(self) -> dict:
+        """A JSON-safe dict of the extractor state, round-trip exact.
+
+        Tracked dots are serialized **in insertion order** — attribution
+        iterates the tracked set in that order, so preserving it keeps a
+        restored extractor's refinement events byte-identical to an
+        uninterrupted run.  Per-user open-play state and the completed-play
+        ring buffers are captured in full; the workflow config and the batch
+        extractor are shared serving state supplied again at :meth:`restore`.
+        """
+        from repro.platform import codecs
+
+        return {
+            "min_plays_for_refinement": self.min_plays_for_refinement,
+            "max_plays_per_dot": self.max_plays_per_dot,
+            "video_duration": self.video_duration,
+            "interactions_seen": self.interactions_seen,
+            "plays_completed": self.plays_completed,
+            # Pair lists, not JSON objects: insertion order is semantic (it
+            # is flush()'s iteration order) and a serializer is free to
+            # reorder object keys (sort_keys), which would scramble it.
+            "open_play": [[user, start] for user, start in self._open_play.items()],
+            "last_position": [
+                [user, position] for user, position in self._last_position.items()
+            ],
+            "dots": [
+                {
+                    "dot": codecs.red_dot_to_dict(accumulator.dot),
+                    "plays": [codecs.play_record_to_dict(p) for p in accumulator.plays],
+                    "plays_since_refinement": accumulator.plays_since_refinement,
+                    "refinement_rounds": accumulator.refinement_rounds,
+                    "highlight": (
+                        None
+                        if accumulator.highlight is None
+                        else codecs.highlight_to_dict(accumulator.highlight)
+                    ),
+                }
+                for accumulator in self._dots.values()
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls, payload: dict, *, config: LightorConfig | None = None
+    ) -> "StreamingExtractor":
+        """Rebuild an extractor from :meth:`snapshot` over a shared config."""
+        from repro.platform import codecs
+
+        extractor = cls(
+            config=config if config is not None else LightorConfig(),
+            min_plays_for_refinement=payload["min_plays_for_refinement"],
+            max_plays_per_dot=payload["max_plays_per_dot"],
+            video_duration=payload["video_duration"],
+        )
+        extractor.interactions_seen = payload["interactions_seen"]
+        extractor.plays_completed = payload["plays_completed"]
+        extractor._open_play = {user: start for user, start in payload["open_play"]}
+        extractor._last_position = {
+            user: position for user, position in payload["last_position"]
+        }
+        for entry in payload["dots"]:
+            dot = codecs.red_dot_from_dict(entry["dot"])
+            accumulator = DotAccumulator(
+                dot=dot,
+                plays=deque(
+                    (codecs.play_record_from_dict(p) for p in entry["plays"]),
+                    maxlen=extractor.max_plays_per_dot,
+                ),
+                plays_since_refinement=entry["plays_since_refinement"],
+                refinement_rounds=entry["refinement_rounds"],
+                highlight=(
+                    None
+                    if entry["highlight"] is None
+                    else codecs.highlight_from_dict(entry["highlight"])
+                ),
+            )
+            extractor._dots[extractor._key(dot)] = accumulator
+        return extractor
+
     # -------------------------------------------------------------- internals
     @staticmethod
     def _key(dot: RedDot) -> tuple:

@@ -219,6 +219,81 @@ class StreamingInitializer:
         self.final_dots = dots
         return list(dots)
 
+    # ------------------------------------------------------------- durability
+    def snapshot(self) -> dict:
+        """A JSON-safe dict of the whole engine state, round-trip exact.
+
+        Includes the window state, the emitted provisional set (in emission
+        order — retraction ordering at the next evaluation depends on it),
+        every emit-policy counter and the policy itself, so a restored
+        engine evaluates at exactly the checkpoints the original would have.
+        The trained model is **not** serialized: it is shared, read-only
+        serving state that :meth:`restore` receives from the orchestrator.
+
+        ``final_events`` (the close-time reconciliation diff) is transient
+        hand-off data and is not captured; a restored finalized engine
+        reports its final dots with an empty reconciliation log.
+        """
+        from repro.platform import codecs
+
+        return {
+            "k": self.k,
+            "video_id": self.video_id,
+            "max_window_summaries": self.max_window_summaries,
+            "policy": codecs.emit_policy_to_dict(self.policy),
+            "state": self._state.snapshot(),
+            "live": [codecs.red_dot_to_dict(dot) for dot in self._live.values()],
+            "messages_since_eval": self._messages_since_eval,
+            "sealed_since_eval": self._sealed_since_eval,
+            "last_eval_time": self._last_eval_time,
+            "evaluations_run": self.evaluations_run,
+            "final_dots": (
+                None
+                if self.final_dots is None
+                else [codecs.red_dot_to_dict(dot) for dot in self.final_dots]
+            ),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        payload: dict,
+        *,
+        model: InitializerModel,
+        config: LightorConfig | None = None,
+        feature_set: FeatureSet | None = None,
+    ) -> "StreamingInitializer":
+        """Rebuild an engine from :meth:`snapshot` around a fitted ``model``.
+
+        ``model``/``config``/``feature_set`` are the shared serving state the
+        snapshot deliberately omits; they must be the same trained objects
+        the snapshotted engine used (deterministic retraining reproduces
+        them — see ``docs/architecture.md``).
+        """
+        from repro.platform import codecs
+
+        engine = cls(
+            model=model,
+            config=config,
+            feature_set=feature_set,
+            k=payload["k"],
+            policy=codecs.emit_policy_from_dict(payload["policy"]),
+            video_id=payload["video_id"],
+            max_window_summaries=payload["max_window_summaries"],
+        )
+        engine._state = IncrementalWindowState.restore(payload["state"])
+        live = [codecs.red_dot_from_dict(dot) for dot in payload["live"]]
+        engine._live = {dot.window: dot for dot in live}
+        engine._messages_since_eval = payload["messages_since_eval"]
+        engine._sealed_since_eval = payload["sealed_since_eval"]
+        engine._last_eval_time = payload["last_eval_time"]
+        engine.evaluations_run = payload["evaluations_run"]
+        if payload["final_dots"] is not None:
+            engine.final_dots = [
+                codecs.red_dot_from_dict(dot) for dot in payload["final_dots"]
+            ]
+        return engine
+
     # ------------------------------------------------------------------ views
     def current_dots(self) -> list[RedDot]:
         """The currently emitted provisional dots (final dots once closed)."""

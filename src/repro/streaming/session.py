@@ -131,6 +131,50 @@ class StreamSession:
         self.closed = True
         return dots
 
+    # ------------------------------------------------------------- durability
+    def snapshot(self) -> dict:
+        """A JSON-safe dict of the whole session, round-trip exact.
+
+        Bundles both engines' snapshots with the session counters.  The
+        trained model and workflow config are shared serving state and are
+        supplied again at :meth:`restore` (normally by
+        :meth:`StreamOrchestrator.restore_session`).
+        """
+        return {
+            "video_id": self.video_id,
+            "messages_ingested": self.messages_ingested,
+            "interactions_ingested": self.interactions_ingested,
+            "events_produced": self.events_produced,
+            "closed": self.closed,
+            "initializer": self.initializer.snapshot(),
+            "extractor": self.extractor.snapshot(),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        payload: dict,
+        *,
+        model: InitializerModel,
+        config: LightorConfig | None = None,
+        feature_set=None,
+    ) -> "StreamSession":
+        """Rebuild a session from :meth:`snapshot` around shared serving state."""
+        return cls(
+            video_id=payload["video_id"],
+            initializer=StreamingInitializer.restore(
+                payload["initializer"],
+                model=model,
+                config=config,
+                feature_set=feature_set,
+            ),
+            extractor=StreamingExtractor.restore(payload["extractor"], config=config),
+            messages_ingested=payload["messages_ingested"],
+            interactions_ingested=payload["interactions_ingested"],
+            events_produced=payload["events_produced"],
+            closed=payload["closed"],
+        )
+
     def current_dots(self) -> list[RedDot]:
         """The dots currently on screen (refined positions when available)."""
         refined = self.extractor.tracked_dots()
@@ -176,6 +220,12 @@ class StreamOrchestrator:
         ``on_evict`` when the finalized session produced exact boundaries —
         without it an LRU eviction would silently drop the extractor's
         refinement work.
+    on_evict_snapshot:
+        Callback ``(video_id, session)`` invoked on LRU eviction **before**
+        the session is finalized, with the session still open.  A durable
+        tier checkpoints the live state here, so an evicted channel — which
+        is still live, eviction is a memory decision — can later be rebuilt
+        via :meth:`restore_session` and continue where it left off.
     """
 
     initializer: HighlightInitializer
@@ -187,11 +237,13 @@ class StreamOrchestrator:
     min_plays_for_refinement: int = 10
     on_evict: Callable[[str, list[RedDot]], None] | None = None
     on_evict_highlights: Callable[[str, list[Highlight]], None] | None = None
+    on_evict_snapshot: Callable[[str, StreamSession], None] | None = None
     _sessions: "OrderedDict[str, StreamSession]" = field(
         default_factory=OrderedDict, repr=False
     )
     sessions_opened: int = 0
     sessions_evicted: int = 0
+    sessions_restored: int = 0
 
     def __post_init__(self) -> None:
         require_positive(self.max_sessions, "max_sessions")
@@ -235,6 +287,34 @@ class StreamOrchestrator:
         self._evict_over_budget()
         return session
 
+    def restore_session(self, payload: dict) -> StreamSession:
+        """Rebuild a checkpointed session around the shared trained model.
+
+        The inverse of :meth:`StreamSession.snapshot` at the orchestrator
+        level: engine geometry, policy and counters come from the payload;
+        the model, config and feature set are this orchestrator's own (they
+        are deterministic retraining products, not per-session state).  The
+        restored session joins the LRU like a freshly opened one.  Restoring
+        over an already-live session is an error — it would silently discard
+        the newer in-memory state.
+        """
+        video_id = payload["video_id"]
+        if video_id in self._sessions:
+            raise ValidationError(
+                f"video {video_id!r} already has a live session; refuse to "
+                "overwrite it with a snapshot"
+            )
+        session = StreamSession.restore(
+            payload,
+            model=self.initializer.model,
+            config=self.config,
+            feature_set=self.initializer.feature_set,
+        )
+        self._sessions[video_id] = session
+        self.sessions_restored += 1
+        self._evict_over_budget()
+        return session
+
     def session(self, video_id: str) -> StreamSession:
         """The session for ``video_id``, opened on first use."""
         return self.open_session(video_id)
@@ -242,6 +322,10 @@ class StreamOrchestrator:
     def has_session(self, video_id: str) -> bool:
         """Whether a live session is currently tracked for ``video_id``."""
         return video_id in self._sessions
+
+    def open_video_ids(self) -> list[str]:
+        """Ids of the currently tracked sessions, least recently used first."""
+        return list(self._sessions)
 
     # ------------------------------------------------------------------ feed
     def ingest_message(self, video_id: str, message: ChatMessage) -> list[StreamEvent]:
@@ -263,11 +347,17 @@ class StreamOrchestrator:
     def close_session(
         self, video_id: str, duration: float | None = None
     ) -> list[RedDot]:
-        """Finalize and drop a channel; returns its final red dots."""
-        session = self._sessions.pop(video_id, None)
+        """Finalize and drop a channel; returns its final red dots.
+
+        The session is removed only after a successful finalize: a rejected
+        ``duration`` (earlier than chat already observed) leaves the channel
+        live, so the caller can retry with a valid closing point.
+        """
+        session = self._sessions.get(video_id)
         if session is None:
             raise ValidationError(f"no live session for video {video_id!r}")
         dots = session.finalize(duration)
+        del self._sessions[video_id]
         self._notify_evicted(video_id, session, dots)
         return dots
 
@@ -310,6 +400,11 @@ class StreamOrchestrator:
     def _evict_over_budget(self) -> None:
         while len(self._sessions) > self.max_sessions:
             video_id, session = self._sessions.popitem(last=False)
+            if self.on_evict_snapshot is not None:
+                # Checkpoint the still-open state first: eviction reclaims
+                # memory from a channel that is *still live*, and finalize
+                # below is irreversible.
+                self.on_evict_snapshot(video_id, session)
             dots = session.finalize()
             self.sessions_evicted += 1
             _LOGGER.info(

@@ -158,6 +158,80 @@ class IncrementalWindowState:
             self.finalized = True
         return self._resolved(self._summaries)
 
+    # ------------------------------------------------------------- durability
+    def snapshot(self) -> dict:
+        """A JSON-safe dict capturing the full window state, round-trip exact.
+
+        Everything the fold depends on is included: the sealed summaries, the
+        builder's open windows (with their member messages), the seal
+        frontier and the monotonicity watermark.  :meth:`restore` rebuilds a
+        state object that is *bit-identical in behaviour* — feeding the same
+        subsequent messages to the original and the restored state produces
+        the same sealed summaries and the same finalized window set.
+
+        The token cache is deliberately absent: it is a pure cache keyed on
+        message object identity (which cannot survive a process restart) and
+        tokenisation is deterministic, so a restored state simply re-derives
+        tokens on the next seal.
+        """
+        from repro.platform import codecs
+
+        builder = self._builder
+        return {
+            "window_size": self.window_size,
+            "stride": self.stride,
+            "min_messages": self.min_messages,
+            "max_summaries": self.max_summaries,
+            "summaries": [codecs.window_summary_to_dict(s) for s in self._summaries],
+            "dropped_summaries": self.dropped_summaries,
+            "last_timestamp": self.last_timestamp,
+            "finalized": self.finalized,
+            "builder": {
+                "next_seal": builder._next_seal,
+                # -inf ("no message seen yet") is mapped to None so the
+                # payload stays strict-JSON (allow_nan=False never raises).
+                "last_timestamp": codecs.finite_or_none(builder._last_timestamp),
+                "messages_seen": builder.messages_seen,
+                "windows_sealed": builder.windows_sealed,
+                "active": [
+                    [index, [codecs.chat_message_to_dict(m) for m in window.messages]]
+                    for index, window in sorted(builder._active.items())
+                ],
+            },
+        }
+
+    @classmethod
+    def restore(cls, payload: dict) -> "IncrementalWindowState":
+        """Rebuild a window state from :meth:`snapshot`'s payload."""
+        from repro.platform import codecs
+
+        state = cls(
+            window_size=payload["window_size"],
+            stride=payload["stride"],
+            min_messages=payload["min_messages"],
+            max_summaries=payload["max_summaries"],
+        )
+        state._summaries = [
+            codecs.window_summary_from_dict(s) for s in payload["summaries"]
+        ]
+        state.dropped_summaries = payload["dropped_summaries"]
+        state.last_timestamp = payload["last_timestamp"]
+        state.finalized = payload["finalized"]
+        builder = state._builder
+        builder_payload = payload["builder"]
+        builder._next_seal = builder_payload["next_seal"]
+        builder._last_timestamp = codecs.none_or_neg_inf(builder_payload["last_timestamp"])
+        builder.messages_seen = builder_payload["messages_seen"]
+        builder.windows_sealed = builder_payload["windows_sealed"]
+        for index, messages in builder_payload["active"]:
+            # Open-window geometry is arithmetic over the index, the exact
+            # expression the builder itself uses, so restored floats match.
+            start = index * builder.stride
+            window = SlidingWindow(start=start, end=start + builder.window_size)
+            window.messages = [codecs.chat_message_from_dict(m) for m in messages]
+            builder._active[index] = window
+        return state
+
     # ------------------------------------------------------------------ views
     def scorable_summaries(self) -> list[WindowSummary]:
         """The current sealed windows after overlap resolution.

@@ -218,6 +218,87 @@ class TestBackendContract:
         assert record.source == "streaming"
 
     # --------------------------------------------------------------- summary
+    def test_row_counts_match_materialised_logs(self, store):
+        store.put_video(_video())
+        assert store.count_chat("v1") == 0
+        assert store.count_interactions("v1") == 0
+        store.append_chat("v1", [ChatMessage(1.0), ChatMessage(2.0)])
+        store.log_interactions(
+            "v1",
+            [
+                Interaction(1.0, InteractionKind.PLAY, "a"),
+                Interaction(2.0, InteractionKind.STOP, "a"),
+                Interaction(3.0, InteractionKind.PLAY, "b"),
+            ],
+        )
+        assert store.count_chat("v1") == len(store.get_chat("v1")) == 2
+        assert store.count_interactions("v1") == len(store.get_interactions("v1")) == 3
+        assert store.count_chat("never-seen") == 0
+
+    def test_suffix_reads_match_materialised_slices(self, store):
+        store.put_video(_video())
+        store.append_chat("v1", [ChatMessage(1.0, "a", "x"), ChatMessage(2.0, "b", "y")])
+        interactions = [
+            Interaction(1.0, InteractionKind.PLAY, "a"),
+            Interaction(2.0, InteractionKind.STOP, "a"),
+            Interaction(3.0, InteractionKind.PLAY, "b"),
+        ]
+        store.log_interactions("v1", interactions)
+        for offset in range(4):
+            assert store.get_chat_since("v1", offset) == store.get_chat("v1")[offset:]
+            assert (
+                store.get_interactions_since("v1", offset)
+                == store.get_interactions("v1")[offset:]
+            )
+        assert store.get_chat_since("never-seen", 0) == []
+
+    # ----------------------------------------------------- session snapshots
+    def test_session_snapshot_roundtrip_and_replace(self, store):
+        store.put_video(_video())
+        store.put_session_snapshot("v1", {"version": 1, "chat_persisted": 3})
+        assert store.get_session_snapshots() == {"v1": {"version": 1, "chat_persisted": 3}}
+        store.put_session_snapshot("v1", {"version": 1, "chat_persisted": 9})
+        assert store.get_session_snapshots()["v1"]["chat_persisted"] == 9
+        assert store.stats()["session_snapshots"] == 1
+
+    def test_session_snapshot_requires_known_video(self, store):
+        with pytest.raises(ValidationError):
+            store.put_session_snapshot("ghost", {"version": 1})
+
+    def test_session_snapshot_single_lookup(self, store):
+        store.put_video(_video())
+        assert store.get_session_snapshot("v1") is None
+        store.put_session_snapshot("v1", {"version": 1, "chat_persisted": 4})
+        assert store.get_session_snapshot("v1") == {"version": 1, "chat_persisted": 4}
+
+    def test_session_snapshot_delete_is_idempotent(self, store):
+        store.put_video(_video())
+        store.put_session_snapshot("v1", {"version": 1})
+        assert store.delete_session_snapshot("v1") is True
+        assert store.delete_session_snapshot("v1") is False
+        assert store.delete_session_snapshot("never-checkpointed") is False
+        assert store.get_session_snapshots() == {}
+
+    def test_session_snapshot_rejects_non_json_payloads(self, store):
+        # The contract requires strict JSON: a snapshot recovery cannot parse
+        # must fail at write time, not at recovery time.
+        store.put_video(_video())
+        with pytest.raises(ValueError):
+            store.put_session_snapshot("v1", {"version": 1, "rate": float("inf")})
+        with pytest.raises(TypeError):
+            store.put_session_snapshot("v1", {"version": 1, "video": _video()})
+        assert store.get_session_snapshots() == {}
+
+    def test_session_snapshot_returns_decoupled_copies(self, store):
+        store.put_video(_video())
+        payload = {"version": 1, "counters": [1, 2]}
+        store.put_session_snapshot("v1", payload)
+        payload["counters"].append(3)
+        fetched = store.get_session_snapshots()["v1"]
+        assert fetched["counters"] == [1, 2]
+        fetched["counters"].append(4)
+        assert store.get_session_snapshots()["v1"]["counters"] == [1, 2]
+
     def test_stats(self, store):
         store.put_video(_video())
         store.put_chat("v1", [ChatMessage(1.0)])
@@ -226,6 +307,7 @@ class TestBackendContract:
         assert stats["videos_with_chat"] == 1
         assert stats["interactions"] == stats["red_dots"] == 0
         assert stats["highlight_records"] == 0
+        assert stats["session_snapshots"] == 0
 
 
 class TestSQLiteSpecifics:
@@ -281,6 +363,18 @@ class TestSQLiteSpecifics:
             1,
             "streaming",
         )
+        reopened.close()
+
+    def test_session_snapshots_survive_reopen(self, tmp_path):
+        path = tmp_path / "snapshots.db"
+        first = SQLiteStore(path)
+        first.put_video(_video())
+        first.put_session_snapshot("v1", {"version": 1, "chat_persisted": 7})
+        first.close()
+        reopened = SQLiteStore(path)
+        assert reopened.get_session_snapshots() == {
+            "v1": {"version": 1, "chat_persisted": 7}
+        }
         reopened.close()
 
     def test_file_backed_runs_in_wal_mode(self, tmp_path):

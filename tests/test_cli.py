@@ -65,6 +65,14 @@ class TestStreamCommand:
         assert main(["stream", "--channels", "0"]) == 1
         assert main(["stream", "--k", "0"]) == 1
 
+    def test_resume_requires_sqlite_file(self, capsys):
+        assert main(["stream", "--resume"]) == 1
+        assert "--resume requires" in capsys.readouterr().out
+
+    def test_invalid_checkpoint_cadence_rejected(self, capsys):
+        assert main(["stream", "--checkpoint-every", "0"]) == 1
+        assert "--checkpoint-every" in capsys.readouterr().out
+
     def test_unopenable_db_path_fails_cleanly(self, capsys, tmp_path):
         missing = tmp_path / "no_such_dir" / "x.db"
         assert main(["stream", "--backend", "sqlite", "--db-path", str(missing)]) == 1
@@ -123,3 +131,69 @@ class TestLoadCommand:
         out = capsys.readouterr().out
         assert "events/s" in out
         assert "0 divergences" in out
+
+    def test_chaos_flags_must_be_used_together(self, capsys):
+        assert main(["load", "--kill-after", "5"]) == 1
+        assert "--recover" in capsys.readouterr().out
+        assert main(["load", "--recover"]) == 1
+        assert "--kill-after" in capsys.readouterr().out
+
+    def test_chaos_mode_requires_sqlite_file(self, capsys):
+        assert main(["load", "--kill-after", "5", "--recover"]) == 1
+        assert "--backend sqlite" in capsys.readouterr().out
+
+    def test_chaos_smoke_kill_and_recover(self, capsys, tmp_path):
+        argv = [
+            "load", "--smoke", "--backend", "sqlite",
+            "--db-path", str(tmp_path / "chaos.db"),
+            "--kill-after", "15", "--recover", "--checkpoint-every", "64",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "killed after 15" in out
+        assert "byte-identical" in out
+
+
+class TestRecoverCommand:
+    def test_recover_requires_db_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover"])
+
+    def test_recover_reports_empty_database(self, capsys, tmp_path):
+        assert main(["recover", "--db-path", str(tmp_path / "empty.db")]) == 0
+        assert "no checkpointed live sessions" in capsys.readouterr().out
+
+    def test_recover_reports_and_ends_a_killed_run(self, capsys, tmp_path):
+        from repro import LightorConfig
+        from repro.core.initializer.initializer import HighlightInitializer
+        from repro.datasets import DatasetSpec, build_dataset
+        from repro.platform.sharding import ShardedLightorService
+
+        # A "killed" run: drive live chat into a durable tier, then drop the
+        # file handles without any shutdown.
+        db_path = tmp_path / "killed.db"
+        dataset = build_dataset(DatasetSpec.dota2(size=2, seed=2020))
+        initializer = HighlightInitializer(config=LightorConfig())
+        initializer.fit([dataset[0].training_pair])
+        service = ShardedLightorService.create(
+            1, initializer, backend="sqlite", db_path=db_path, checkpoint_every=100
+        )
+        target = dataset[1]
+        service.start_live(target.video)
+        service.ingest_chat_batch(
+            target.video.video_id, list(target.chat_log.messages[:500]), persist=True
+        )
+        for shard in service.shards:
+            shard.store.close()
+
+        assert main(["recover", "--db-path", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 1 live session(s)" in out
+        assert "500 messages" in out
+
+        assert main(["recover", "--db-path", str(db_path), "--end"]) == 0
+        out = capsys.readouterr().out
+        assert "finalized with" in out
+
+        assert main(["recover", "--db-path", str(db_path)]) == 0
+        assert "no checkpointed live sessions" in capsys.readouterr().out

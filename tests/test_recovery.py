@@ -1,0 +1,604 @@
+"""Checkpoint/recovery subsystem tests.
+
+Four layers, matching the subsystem's own structure:
+
+1. **Snapshot codecs** — hypothesis round-trips for every streaming class
+   that gained ``snapshot()``/``restore()``: the payload must survive a
+   strict JSON encode/decode bit-exactly (re-snapshot equality) *and* the
+   restored object must behave identically from that point on (continuation
+   equality: same events, same finalized dots).
+2. **Service checkpointing** — the snapshot registry semantics (written at
+   ``start_live``, replaced on cadence and kind flips, kept on eviction,
+   deleted on clean close).
+3. **Crash recovery** — kill a SQLite-backed service mid-stream, rebuild it
+   in a fresh service, finish the run, and require byte-identical final red
+   dots and highlight records to an uninterrupted run.
+4. **Service-tier correctness fixes** that rode along with the hardening:
+   cache-hit ``k`` handling, fold-first/persist-second store purity on both
+   backends, the unregistered-video persist error, and JSON-safe zero-
+   duration stage stats.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import ChatMessage, Interaction, InteractionKind, RedDot, Video
+from repro.loadgen import WorkloadSpec, run_kill_recover
+from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
+from repro.platform.api import SimulatedStreamingAPI
+from repro.platform.backends import InMemoryStore, SQLiteStore
+from repro.platform.crawler import ChatCrawler
+from repro.platform.recovery import SNAPSHOT_VERSION
+from repro.platform.service import LightorWebService
+from repro.streaming import (
+    IncrementalWindowState,
+    StreamSession,
+    StreamingExtractor,
+    StreamingInitializer,
+)
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ValidationError
+
+# ``fitted_initializer``, ``labelled_video`` and ``crowd`` come from the
+# session-scoped fixtures in conftest.py.
+
+
+def _roundtrip(payload: dict) -> dict:
+    """A snapshot as recovery will see it: through strict JSON and back."""
+    return json.loads(json.dumps(payload, sort_keys=True, allow_nan=False))
+
+
+def _messages(timestamps, texts=None):
+    return [
+        ChatMessage(
+            timestamp=t,
+            user=f"user_{i % 5}",
+            text="" if texts is None and i % 7 == 3 else f"msg {i} gg wp kill",
+        )
+        for i, t in enumerate(timestamps)
+    ]
+
+
+_timestamps = st.lists(
+    st.floats(min_value=0.0, max_value=480.0, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=60,
+).map(sorted)
+
+
+# ---------------------------------------------------------------------------
+# 1. snapshot-codec round trips
+# ---------------------------------------------------------------------------
+class TestSnapshotRoundTrips:
+    @settings(deadline=None, max_examples=40)
+    @given(timestamps=_timestamps, split_salt=st.integers(0, 1_000))
+    def test_window_state_roundtrip_and_continuation(self, timestamps, split_salt):
+        messages = _messages(timestamps)
+        split = split_salt % (len(messages) + 1)
+        state = IncrementalWindowState(window_size=25.0, stride=10.0)
+        for message in messages[:split]:
+            state.add(message)
+
+        snap = state.snapshot()
+        restored = IncrementalWindowState.restore(_roundtrip(snap))
+        assert restored.snapshot() == snap
+
+        original_sealed = [s for m in messages[split:] for s in state.add(m)]
+        restored_sealed = [s for m in messages[split:] for s in restored.add(m)]
+        assert restored_sealed == original_sealed
+        assert restored.finalize(600.0) == state.finalize(600.0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(timestamps=_timestamps, split_salt=st.integers(0, 1_000))
+    def test_initializer_roundtrip_and_continuation(
+        self, fitted_initializer, timestamps, split_salt
+    ):
+        messages = _messages(timestamps)
+        split = split_salt % (len(messages) + 1)
+        engine = StreamingInitializer.from_initializer(
+            fitted_initializer, k=4, video_id="hypo"
+        )
+        engine.ingest_batch(messages[:split])
+
+        snap = engine.snapshot()
+        restored = StreamingInitializer.restore(
+            _roundtrip(snap),
+            model=fitted_initializer.model,
+            config=fitted_initializer.config,
+            feature_set=fitted_initializer.feature_set,
+        )
+        assert restored.snapshot() == snap
+        assert restored.current_dots() == engine.current_dots()
+
+        assert restored.ingest_batch(messages[split:]) == engine.ingest_batch(
+            messages[split:]
+        )
+        assert restored.finalize(600.0) == engine.finalize(600.0)
+        # A finalized engine snapshots and restores too (final dots kept).
+        closed = StreamingInitializer.restore(
+            _roundtrip(engine.snapshot()), model=fitted_initializer.model
+        )
+        assert closed.current_dots() == engine.current_dots()
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+                st.sampled_from(list(InteractionKind)),
+                st.integers(0, 3),
+                st.one_of(
+                    st.none(),
+                    st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+                ),
+            ),
+            max_size=50,
+        ).map(lambda raw: sorted(raw, key=lambda e: e[0])),
+        split_salt=st.integers(0, 1_000),
+    )
+    def test_extractor_roundtrip_and_continuation(self, events, split_salt):
+        interactions = [
+            Interaction(
+                timestamp=t,
+                kind=kind,
+                user=f"viewer_{u}",
+                # Seek interactions require a target; land on the timestamp
+                # when the strategy drew none.
+                target=(
+                    t
+                    if target is None
+                    and kind
+                    in (InteractionKind.SEEK_FORWARD, InteractionKind.SEEK_BACKWARD)
+                    else target
+                ),
+            )
+            for t, kind, u, target in events
+        ]
+        split = split_salt % (len(interactions) + 1)
+        extractor = StreamingExtractor(min_plays_for_refinement=3, max_plays_per_dot=8)
+        extractor.sync_dots(
+            [RedDot(position=100.0, window=(75.0, 100.0)), RedDot(position=250.0)]
+        )
+        extractor.ingest_batch(interactions[:split])
+
+        snap = extractor.snapshot()
+        restored = StreamingExtractor.restore(_roundtrip(snap))
+        assert restored.snapshot() == snap
+        assert restored.tracked_dots() == extractor.tracked_dots()
+
+        assert restored.ingest_batch(interactions[split:]) == extractor.ingest_batch(
+            interactions[split:]
+        )
+        assert restored.flush() == extractor.flush()
+        assert restored.refined_highlights() == extractor.refined_highlights()
+
+    def test_session_roundtrip_with_live_traffic(
+        self, fitted_initializer, labelled_video, crowd
+    ):
+        messages = list(labelled_video.chat_log.messages)
+        half = len(messages) // 2
+        session = StreamSession(
+            video_id=labelled_video.video.video_id,
+            initializer=StreamingInitializer.from_initializer(
+                fitted_initializer, k=5, video_id=labelled_video.video.video_id
+            ),
+            extractor=StreamingExtractor(
+                config=fitted_initializer.config, min_plays_for_refinement=5
+            ),
+        )
+        session.ingest_messages(messages[:half])
+        for round_index, dot in enumerate(session.current_dots()[:2]):
+            session.ingest_interactions(
+                crowd.collect_round(labelled_video.video, dot, round_index)
+            )
+
+        snap = session.snapshot()
+        restored = StreamSession.restore(
+            _roundtrip(snap),
+            model=fitted_initializer.model,
+            config=fitted_initializer.config,
+            feature_set=fitted_initializer.feature_set,
+        )
+        assert restored.snapshot() == snap
+
+        assert restored.ingest_messages(messages[half:]) == session.ingest_messages(
+            messages[half:]
+        )
+        duration = labelled_video.video.duration
+        assert restored.finalize(duration) == session.finalize(duration)
+        assert restored.refined_highlights() == session.refined_highlights()
+
+
+# ---------------------------------------------------------------------------
+# 2 + 3. service checkpointing and crash recovery
+# ---------------------------------------------------------------------------
+def _service(store, initializer, checkpoint_every=None):
+    api = SimulatedStreamingAPI(seeds=SeedSequenceFactory(2020))
+    return LightorWebService(
+        store=store,
+        crawler=ChatCrawler(api=api, store=store),
+        initializer=initializer,
+        checkpoint_every=checkpoint_every,
+        live_k=5,
+    )
+
+
+class TestServiceCheckpointing:
+    def test_snapshots_are_the_open_session_registry(
+        self, fitted_initializer, labelled_video
+    ):
+        service = _service(InMemoryStore(), fitted_initializer, checkpoint_every=50)
+        video_id = labelled_video.video.video_id
+        service.start_live(labelled_video.video)
+        assert set(service.store.get_session_snapshots()) == {video_id}
+
+        service.ingest_chat_batch(
+            video_id, list(labelled_video.chat_log.messages[:200]), persist=True
+        )
+        snapshot = service.store.get_session_snapshots()[video_id]
+        assert snapshot["version"] == SNAPSHOT_VERSION
+        assert snapshot["chat_persisted"] == 200
+        assert snapshot["session"]["messages_ingested"] == 200
+
+        service.end_live(video_id, labelled_video.video.duration)
+        assert service.store.get_session_snapshots() == {}
+
+    def test_kind_flip_checkpoints_before_the_flipping_batch(
+        self, fitted_initializer, labelled_video
+    ):
+        # Cadence far above the traffic: only start_live and the flip rule
+        # may write snapshots, so the flip is observable in isolation.
+        service = _service(InMemoryStore(), fitted_initializer, checkpoint_every=10_000)
+        video_id = labelled_video.video.video_id
+        service.start_live(labelled_video.video)
+        service.ingest_chat_batch(
+            video_id, list(labelled_video.chat_log.messages[:120]), persist=True
+        )
+        # Still the start_live snapshot: nothing was persisted before it.
+        assert service.store.get_session_snapshots()[video_id]["chat_persisted"] == 0
+
+        service.ingest_plays_batch(
+            video_id, [Interaction(50.0, InteractionKind.PLAY, "viewer_0")]
+        )
+        flipped = service.store.get_session_snapshots()[video_id]
+        # The flip checkpoint covers all persisted chat but none of the plays
+        # (it is written before the flipping batch touches the store), so the
+        # suffix past it stays homogeneous.
+        assert flipped["chat_persisted"] == 120
+        assert flipped["interactions_persisted"] == 0
+        assert flipped["session"]["interactions_ingested"] == 0
+
+    def test_shutdown_is_a_clean_close(self, fitted_initializer, labelled_video):
+        service = _service(InMemoryStore(), fitted_initializer, checkpoint_every=50)
+        service.start_live(labelled_video.video)
+        service.shutdown()
+        assert service.store.get_session_snapshots() == {}
+
+    def test_eviction_checkpoints_the_still_open_state(
+        self, fitted_initializer, dota2_dataset
+    ):
+        service = _service(InMemoryStore(), fitted_initializer, checkpoint_every=50)
+        service.max_live_sessions = 1
+        first, second = dota2_dataset[1], dota2_dataset[2]
+        service.start_live(first.video)
+        service.ingest_chat_batch(
+            first.video.video_id, list(first.chat_log.messages[:150]), persist=True
+        )
+        service.start_live(second.video)  # LRU-evicts the first channel
+
+        assert not service.streaming.has_session(first.video.video_id)
+        snapshot = service.store.get_session_snapshots()[first.video.video_id]
+        assert snapshot["session"]["closed"] is False
+        assert snapshot["session"]["messages_ingested"] == 150
+        # The evicted channel's provisional results were persisted as before …
+        assert service.store.has_red_dots(first.video.video_id)
+        # … and once the budget frees up, recovery resurrects the live session.
+        service.end_live(second.video.video_id, second.video.duration)
+        recovered = service.recover_live_sessions()
+        assert [r.video_id for r in recovered] == [first.video.video_id]
+        assert service.streaming.has_session(first.video.video_id)
+
+    def test_start_live_resumes_an_evicted_channel_from_its_checkpoint(
+        self, fitted_initializer, dota2_dataset
+    ):
+        service = _service(InMemoryStore(), fitted_initializer, checkpoint_every=50)
+        service.max_live_sessions = 1
+        first, second = dota2_dataset[1], dota2_dataset[2]
+        service.start_live(first.video)
+        service.ingest_chat_batch(
+            first.video.video_id, list(first.chat_log.messages[:150]), persist=True
+        )
+        service.start_live(second.video)  # evicts the first channel
+        service.end_live(second.video.video_id, second.video.duration)
+
+        # Going live again must continue from the eviction checkpoint, not
+        # open an empty session that would overwrite it.
+        service.start_live(first.video)
+        session = service.streaming.session(first.video.video_id)
+        assert session.messages_ingested == 150
+        snapshot = service.store.get_session_snapshots()[first.video.video_id]
+        assert snapshot["session"]["messages_ingested"] == 150
+
+    def test_out_of_band_interaction_log_is_counted_by_the_next_checkpoint(
+        self, fitted_initializer, labelled_video
+    ):
+        service = _service(InMemoryStore(), fitted_initializer, checkpoint_every=10_000)
+        video_id = labelled_video.video.video_id
+        service.start_live(labelled_video.video)
+        service.ingest_plays_batch(
+            video_id, [Interaction(10.0, InteractionKind.PLAY, "viewer_0")]
+        )
+        # A front-end VOD callback logs rows the live session never folds.
+        service.log_interactions(
+            video_id, [Interaction(20.0, InteractionKind.STOP, "vod_user")]
+        )
+        service.checkpoint_live_session(video_id)
+        snapshot = service.store.get_session_snapshots()[video_id]
+        # The snapshot counts the out-of-band row as covered, so recovery
+        # will not replay it into a session that never ingested it.
+        assert snapshot["interactions_persisted"] == 2
+        assert snapshot["session"]["interactions_ingested"] == 1
+
+    def test_out_of_band_interaction_log_survives_an_immediate_crash(
+        self, fitted_initializer, labelled_video, tmp_path
+    ):
+        # The durable snapshot itself must cover the out-of-band rows: a
+        # crash right after log_interactions (no cadence checkpoint in
+        # between) must not replay them into the recovered session.
+        video = labelled_video.video
+        path = tmp_path / "oob.db"
+        service = _service(SQLiteStore(path), fitted_initializer, checkpoint_every=10_000)
+        service.start_live(video)
+        service.ingest_chat_batch(
+            video.video_id, list(labelled_video.chat_log.messages[:100]), persist=True
+        )
+        service.log_interactions(
+            video.video_id, [Interaction(20.0, InteractionKind.STOP, "vod_user")]
+        )
+        service.store.close()  # crash
+
+        survivor = _service(SQLiteStore(path), fitted_initializer, checkpoint_every=10_000)
+        recovered = survivor.recover_live_sessions()
+        assert recovered[0].plays_replayed == 0
+        session = survivor.streaming.session(video.video_id)
+        assert session.interactions_ingested == 0
+        assert session.extractor.interactions_seen == 0
+        survivor.shutdown()
+
+    def test_recover_skips_sessions_that_are_already_live(
+        self, fitted_initializer, labelled_video
+    ):
+        service = _service(InMemoryStore(), fitted_initializer, checkpoint_every=50)
+        service.start_live(labelled_video.video)
+        assert service.recover_live_sessions() == []
+
+    def test_unknown_snapshot_version_is_an_error(
+        self, fitted_initializer, labelled_video
+    ):
+        store = InMemoryStore()
+        service = _service(store, fitted_initializer, checkpoint_every=50)
+        store.put_video(labelled_video.video)
+        store.put_session_snapshot(
+            labelled_video.video.video_id, {"version": 99, "session": {}}
+        )
+        with pytest.raises(ValidationError):
+            service.recover_live_sessions()
+
+
+class TestCrashRecovery:
+    def _drive(self, service, video, messages, start, upto):
+        """Chat in persisted batches of 40, a play burst every 200 messages."""
+        index = start
+        while index < upto:
+            batch = messages[index : index + 40]
+            service.ingest_chat_batch(video.video_id, batch, persist=True)
+            index += len(batch)
+            if index % 200 == 0 and batch:
+                t = batch[-1].timestamp
+                user = f"viewer_{index % 5}"
+                service.ingest_plays_batch(
+                    video.video_id,
+                    [
+                        Interaction(max(0.0, t - 40.0), InteractionKind.PLAY, user),
+                        Interaction(t, InteractionKind.PAUSE, user),
+                    ],
+                )
+
+    def _end_state(self, service, video):
+        dots = service.end_live(video.video_id, video.duration)
+        store = service.store
+        return (
+            dots,
+            store.get_red_dots(video.video_id),
+            [
+                (r.highlight, r.version, r.source)
+                for r in store.highlight_history(video.video_id)
+            ],
+            store.get_interactions(video.video_id),
+        )
+
+    def test_kill_and_recover_matches_uninterrupted_run(
+        self, fitted_initializer, labelled_video, tmp_path
+    ):
+        video = labelled_video.video
+        messages = list(labelled_video.chat_log.messages)
+        path = tmp_path / "crash.db"
+
+        service = _service(SQLiteStore(path), fitted_initializer, checkpoint_every=150)
+        service.start_live(video)
+        self._drive(service, video, messages, 0, len(messages) // 2)
+        killed_at = service.streaming.session(video.video_id).messages_ingested
+        service.store.close()  # the crash: no shutdown, no finalize
+
+        survivor = _service(SQLiteStore(path), fitted_initializer, checkpoint_every=150)
+        recovered = survivor.recover_live_sessions()
+        assert [r.video_id for r in recovered] == [video.video_id]
+        assert recovered[0].messages_ingested == killed_at
+        self._drive(survivor, video, messages, killed_at, len(messages))
+        recovered_state = self._end_state(survivor, video)
+        assert survivor.store.get_session_snapshots() == {}
+        survivor.shutdown()
+
+        reference = _service(InMemoryStore(), fitted_initializer)
+        reference.start_live(video)
+        self._drive(reference, video, messages, 0, len(messages))
+        assert self._end_state(reference, video) == recovered_state
+
+    @pytest.mark.parametrize("kill_after", [0, 9])
+    def test_loadgen_chaos_oracle(self, fitted_initializer, tmp_path, kill_after):
+        spec = WorkloadSpec(
+            channels=2, viewers=30, duration=900.0, batch_size=48, seed=7
+        )
+        report = run_kill_recover(
+            spec,
+            fitted_initializer,
+            db_path=tmp_path / "chaos.db",
+            shards=2,
+            kill_after=kill_after,
+            checkpoint_every=64,
+        )
+        assert report.ok, f"divergent channels: {report.divergences}"
+        assert report.killed_after == min(kill_after, report.total_batches)
+        if kill_after > 0:
+            # Channels that opened before the kill must all come back.
+            assert report.sessions_recovered >= 1
+        else:
+            # Nothing was live yet; recovery has nothing to rebuild and the
+            # whole workload is simply re-driven.
+            assert report.sessions_recovered == 0
+            assert report.events_redriven == report.total_events
+
+
+# ---------------------------------------------------------------------------
+# 4. service-tier correctness fixes
+# ---------------------------------------------------------------------------
+@pytest.fixture(params=["memory", "sqlite"])
+def fix_store(request):
+    store = InMemoryStore() if request.param == "memory" else SQLiteStore()
+    yield store
+    store.close()
+
+
+class TestServiceCorrectnessFixes:
+    def test_cache_hit_honours_smaller_k(self, fitted_initializer):
+        service = _service(InMemoryStore(), fitted_initializer)
+        video_id = service.crawler.api.recent_videos("dota2_channel_0", 1)[0].video_id
+        full = service.request_red_dots(video_id, k=5)
+        assert len(full) == 5
+        truncated = service.request_red_dots(video_id, k=3)
+        # Exactly a fresh k=3 request, without recomputation …
+        assert truncated == fitted_initializer.propose(
+            service.store.get_chat_log(video_id), k=3
+        )
+        # … and the stored superset is untouched for future requests.
+        assert service.store.get_red_dots(video_id) == full
+        assert service.request_red_dots(video_id, k=5) == full
+
+    def test_cache_hit_recomputes_for_larger_k(self, fitted_initializer):
+        service = _service(InMemoryStore(), fitted_initializer)
+        video_id = service.crawler.api.recent_videos("dota2_channel_0", 1)[0].video_id
+        small = service.request_red_dots(video_id, k=2)
+        assert len(small) == 2
+        grown = service.request_red_dots(video_id, k=6)
+        assert grown == fitted_initializer.propose(
+            service.store.get_chat_log(video_id), k=6
+        )
+        assert len(grown) == 6
+        assert service.store.get_red_dots(video_id) == grown
+
+    def test_larger_k_below_threshold_chat_keeps_the_cached_set(
+        self, fitted_initializer, labelled_video, monkeypatch
+    ):
+        # Dots persisted by the live path (which never gates on chat rate)
+        # must survive a larger-k request whose recompute fails the
+        # applicability check — replacing them with [] would destroy them.
+        service = _service(InMemoryStore(), fitted_initializer)
+        video_id = labelled_video.video.video_id
+        service.start_live(labelled_video.video)
+        service.ingest_chat_batch(
+            video_id, list(labelled_video.chat_log.messages), persist=True
+        )
+        dots = service.end_live(video_id, labelled_video.video.duration)
+        assert dots
+        monkeypatch.setattr(service.initializer, "is_applicable", lambda log: False)
+        assert service.request_red_dots(video_id, k=len(dots) + 3) == dots
+        assert service.store.get_red_dots(video_id) == dots
+
+    def test_unattainable_larger_k_keeps_the_cached_set(self, fitted_initializer):
+        service = _service(InMemoryStore(), fitted_initializer)
+        video_id = service.crawler.api.recent_videos("dota2_channel_0", 1)[0].video_id
+        # The full attainable selection for this video.
+        everything = service.request_red_dots(video_id, k=1_000)
+        attainable = len(everything)
+        # Refinement-style adjustment: move a stored dot and re-store.
+        moved = [everything[0].moved_to(everything[0].position + 1.0)] + everything[1:]
+        service.store.put_red_dots(video_id, moved)
+        # Asking beyond the attainable count must not clobber the adjusted
+        # positions with a fresh recompute of the identical selection.
+        again = service.request_red_dots(video_id, k=attainable + 5)
+        assert again == service.store.get_red_dots(video_id)
+        assert [d.position for d in service.store.get_red_dots(video_id)] == sorted(
+            d.position for d in moved
+        )
+
+    def test_rejected_chat_batch_leaves_no_rows(
+        self, fitted_initializer, labelled_video, fix_store
+    ):
+        service = _service(fix_store, fitted_initializer)
+        video_id = labelled_video.video.video_id
+        service.start_live(labelled_video.video)
+        unsorted = [ChatMessage(50.0, "a", "late"), ChatMessage(10.0, "b", "early")]
+        with pytest.raises(ValidationError):
+            service.ingest_chat_batch(video_id, unsorted, persist=True)
+        assert service.store.get_chat(video_id) == []
+        assert service.streaming.session(video_id).messages_ingested == 0
+
+    def test_rejected_plays_batch_leaves_no_rows(
+        self, fitted_initializer, labelled_video, fix_store, monkeypatch
+    ):
+        service = _service(fix_store, fitted_initializer)
+        video_id = labelled_video.video.video_id
+        service.start_live(labelled_video.video)
+        session = service.streaming.session(video_id)
+
+        def reject(interactions):
+            raise ValidationError("batch rejected by the session")
+
+        monkeypatch.setattr(session, "ingest_interactions", reject)
+        with pytest.raises(ValidationError):
+            service.ingest_plays_batch(
+                video_id, [Interaction(1.0, InteractionKind.PLAY, "a")]
+            )
+        # Fold-first, persist-second: the store never saw the rejected batch.
+        assert service.store.get_interactions(video_id) == []
+
+    def test_persist_for_unregistered_video_raises(self, fitted_initializer):
+        service = _service(InMemoryStore(), fitted_initializer)
+        # A session opened below the service (no start_live → no metadata).
+        service.streaming.open_session("orphan")
+        messages = [ChatMessage(1.0, "a", "hello")]
+        with pytest.raises(ValidationError):
+            service.ingest_chat_batch("orphan", messages, persist=True)
+        # The non-persisting path still works for the same channel.
+        service.streaming.open_session("orphan2")
+        assert service.ingest_chat_batch("orphan2", messages) == []
+
+    def test_zero_duration_stage_stats_are_json_safe(self):
+        recorder = LatencyRecorder()
+        recorder.record("chat", 0.0, events=5)
+        stats = merge_recorders([recorder])["chat"]
+        assert stats.seconds == 0.0
+        assert stats.events_per_sec == 0.0
+        text = json.dumps(stats.to_dict(), allow_nan=False)
+        assert json.loads(text)["events_per_sec"] == 0.0
+
+    def test_stage_stats_rate_unchanged_for_real_durations(self):
+        stats = StageStats(
+            calls=2, events=100, seconds=0.5, p50_ms=1.0, p95_ms=2.0, p99_ms=3.0, max_ms=4.0
+        )
+        assert stats.events_per_sec == 200.0
