@@ -20,6 +20,11 @@ Sub-commands:
 * ``lightor recover`` — rebuild the live sessions a crashed (or killed)
   ``lightor stream``/``lightor load`` run left checkpointed in its SQLite
   databases, report them, and optionally finalize them.
+* ``lightor serve`` — serve the sharded tier over HTTP: a stdlib asyncio
+  JSON gateway exposing the full service surface with per-request
+  validation, bounded admission control and a graceful SIGTERM drain that
+  checkpoints every open live session (``lightor recover`` resumes a
+  drained durable deployment byte-exactly).
 """
 
 from __future__ import annotations
@@ -127,6 +132,56 @@ def build_parser() -> argparse.ArgumentParser:
         "delete its checkpoint (default: report and re-checkpoint only)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the sharded tier over an asyncio HTTP/1.1 JSON gateway",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks an ephemeral port (default: 8765)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="service workers to consistent-hash the channels across (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--backend", default="memory", choices=("memory", "sqlite"),
+        help="storage backend behind the service tier (default: memory)",
+    )
+    serve_parser.add_argument(
+        "--db-path", default=None,
+        help="SQLite database path (sqlite backend; one file per shard). "
+        "Omit for an in-memory database.",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="durable session-checkpoint cadence in persisted events "
+        "(default: 500 on the sqlite backend, disabled on memory)",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission budget: requests in flight beyond this are refused "
+        "with 503 instead of queued (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--worker-threads", type=int, default=8,
+        help="threads executing service calls behind the event loop (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--k", type=int, default=5, help="provisional top-k per live channel"
+    )
+    serve_parser.add_argument(
+        "--max-live-sessions", type=int, default=64,
+        help="LRU budget of concurrently open live sessions per shard (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=2020,
+        help="dataset seed the serving model is trained from (default: 2020)",
+    )
+
     load_parser = subparsers.add_parser(
         "load",
         help="generate multi-channel load against the sharded service tier",
@@ -161,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load_parser.add_argument(
         "--workers", type=int, default=4, help="driver worker threads (default: 4)"
+    )
+    load_parser.add_argument(
+        "--transport", default="inproc", choices=("inproc", "http"),
+        help="how the drivers reach the tier: direct calls, or over the wire "
+        "through an in-process HTTP gateway (default: inproc)",
     )
     load_parser.add_argument(
         "--zipf", type=float, default=1.0,
@@ -524,6 +584,116 @@ def _command_recover(db_path: str, shards: int, seed: int, end: bool) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    import asyncio
+    import signal
+    import sqlite3
+
+    from repro import LightorConfig
+    from repro.core.initializer.initializer import HighlightInitializer
+    from repro.datasets import DatasetSpec, build_dataset
+    from repro.platform.server import LightorGateway
+    from repro.platform.sharding import ShardedLightorService
+    from repro.utils.validation import ValidationError
+
+    if args.shards < 1:
+        print("--shards must be at least 1", flush=True)
+        return 1
+    if args.port < 0:
+        print("--port must be non-negative", flush=True)
+        return 1
+    if args.db_path is not None and args.backend != "sqlite":
+        print("--db-path requires --backend sqlite", flush=True)
+        return 1
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("--checkpoint-every must be at least 1", flush=True)
+        return 1
+    if args.max_pending < 1 or args.worker_threads < 1:
+        print("--max-pending and --worker-threads must be at least 1", flush=True)
+        return 1
+    checkpoint_every = args.checkpoint_every
+    if checkpoint_every is None and args.backend == "sqlite":
+        # Durable backend → crash-safe by default, same rule as `stream`.
+        checkpoint_every = 500
+
+    # The serving model is shared, read-only state; train it exactly as
+    # `stream`/`load`/`recover` do — deterministically from the seed.
+    dataset = build_dataset(DatasetSpec.dota2(size=1, seed=args.seed))
+    initializer = HighlightInitializer(config=LightorConfig())
+    initializer.fit([dataset[0].training_pair])
+
+    try:
+        service = ShardedLightorService.create(
+            args.shards,
+            initializer,
+            backend=args.backend,
+            db_path=args.db_path,
+            live_k=args.k,
+            checkpoint_every=checkpoint_every,
+            max_live_sessions=args.max_live_sessions,
+        )
+    except (ValidationError, sqlite3.Error) as error:
+        print(f"cannot build the service tier: {error}", flush=True)
+        return 1
+
+    durable = args.backend == "sqlite" and args.db_path is not None
+    gateway = LightorGateway(
+        service,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        worker_threads=args.worker_threads,
+    )
+
+    async def _serve() -> None:
+        try:
+            await gateway.start()
+        except OSError as error:
+            raise SystemExit(f"cannot bind {args.host}:{args.port}: {error}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix loops
+                pass
+        print(
+            f"serving {args.shards} shard(s) on {gateway.address} "
+            f"({args.backend} backend; SIGTERM drains gracefully)",
+            flush=True,
+        )
+        await stop.wait()
+        print("drain requested; finishing in-flight requests ...", flush=True)
+        await gateway.drain()
+
+    try:
+        asyncio.run(_serve())
+    except SystemExit as error:
+        print(str(error), flush=True)
+        return 1
+    except KeyboardInterrupt:
+        # Signal handlers normally catch Ctrl-C inside the loop; this is the
+        # fallback for loops without signal support.
+        pass
+
+    if durable:
+        # Checkpoint-and-release: the sessions stay recoverable, so the
+        # deployment resumes byte-exactly via `repro recover`.
+        checkpointed = service.suspend()
+        print(
+            f"drained; {checkpointed} live session(s) checkpointed — resume with: "
+            f"repro recover --db-path {args.db_path} --shards {args.shards} "
+            f"--seed {args.seed}",
+            flush=True,
+        )
+    else:
+        # Nothing durable to resume from: finalize every open session so the
+        # results at least persist through the eviction callbacks.
+        service.close()
+        print("drained; live sessions finalized (memory backend)", flush=True)
+    return 0
+
+
 def _command_load(args) -> int:
     import sqlite3
 
@@ -539,6 +709,11 @@ def _command_load(args) -> int:
         return 1
     if chaos and (args.backend != "sqlite" or args.db_path is None):
         print("chaos mode requires --backend sqlite --db-path", flush=True)
+        return 1
+    if chaos and args.transport != "inproc":
+        # The kill/recover choreography is deliberately sequential and
+        # in-process (see run_kill_recover); a wire hop adds nothing there.
+        print("chaos mode supports only --transport inproc", flush=True)
         return 1
     if args.smoke:
         spec_kwargs = dict(
@@ -594,6 +769,7 @@ def _command_load(args) -> int:
             backend=args.backend,
             db_path=args.db_path,
             oracle=not args.no_oracle,
+            transport=args.transport,
         )
     except (ValidationError, sqlite3.Error) as error:
         print(f"load run failed: {error}", flush=True)
@@ -618,6 +794,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_demo(args.k, args.seed)
     if args.command == "load":
         return _command_load(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "recover":
         return _command_recover(
             db_path=args.db_path, shards=args.shards, seed=args.seed, end=args.end

@@ -20,6 +20,15 @@ sequentially into a fresh single-shard, in-memory service and compares the
 fingerprints: because every engine in the stack is deterministic, a sharded
 concurrent run must produce *exactly* the oracle's results — any divergence
 means a routing, locking or batching bug, and the report counts it.
+
+With ``transport="http"`` the same workload is driven **over the wire**: a
+:class:`~repro.platform.server.GatewayThread` serves the tier on a loopback
+port, each worker owns a :class:`~repro.platform.client.LightorClient`
+(which mirrors the service surface method for method), and every ingest,
+open and close crosses a real HTTP boundary.  The fingerprints still read
+the backing stores directly — they are the ground truth the wire must not
+perturb — so the oracle spot-check now also proves the gateway's JSON wire
+format is byte-exact end to end.
 """
 
 from __future__ import annotations
@@ -75,6 +84,7 @@ class LoadReport:
     outcomes: dict[str, ChannelOutcome]
     divergences: list[str] = field(default_factory=list)
     oracle_checked: bool = False
+    transport: str = "inproc"
 
     @property
     def events_per_sec(self) -> float:
@@ -92,6 +102,7 @@ class LoadReport:
             "shards": self.shards,
             "workers": self.workers,
             "batch_size": self.batch_size,
+            "transport": self.transport,
             "channels": self.channels,
             "total_events": self.total_events,
             "wall_seconds": round(self.wall_seconds, 6),
@@ -106,7 +117,8 @@ class LoadReport:
         lines = [
             f"{self.total_events:,} events over {self.channels} channel(s) "
             f"in {self.wall_seconds:.2f}s — {self.events_per_sec:,.0f} events/s "
-            f"({self.shards} shard(s), {self.workers} worker(s), batch {self.batch_size})"
+            f"({self.shards} shard(s), {self.workers} worker(s), batch {self.batch_size}, "
+            f"transport {self.transport})"
         ]
         for name, stats in sorted(self.stages.items()):
             lines.append(
@@ -147,49 +159,98 @@ class LoadGenerator:
         self.workers = workers
 
     # ------------------------------------------------------------------- drive
-    def drive(self, service: ShardedLightorService, oracle_factory=None) -> LoadReport:
+    def drive(
+        self,
+        service: ShardedLightorService,
+        oracle_factory=None,
+        transport: str = "inproc",
+    ) -> LoadReport:
         """Run the workload against ``service`` and (optionally) oracle-check.
 
         ``oracle_factory`` builds a fresh single-shard service for the
         sequential replay; pass ``None`` to skip the spot-check (e.g. for
         pure timing runs).  The driven service is fully closed before the
         method returns.
+
+        ``transport="http"`` serves ``service`` through an in-process
+        :class:`~repro.platform.server.GatewayThread` on a loopback port and
+        gives every worker its own
+        :class:`~repro.platform.client.LightorClient`, so the whole run —
+        opens, ingest batches, closes — crosses a real HTTP boundary while
+        the fingerprints keep reading the backing stores directly.
         """
+        if transport not in ("inproc", "http"):
+            # The contract holds on every exit: the driven service is closed.
+            service.close()
+            raise ValidationError(
+                f"unknown transport {transport!r} (expected 'inproc' or 'http')"
+            )
+        gateway = None
+        clients: list = []
+        if transport == "http":
+            from repro.platform.client import LightorClient
+            from repro.platform.server import GatewayThread
+
+            # Every worker keeps one blocking request in flight, so the
+            # admission budget must cover the whole pool — a default-sized
+            # gateway would 503 the drivers past its budget.
+            gateway = GatewayThread(
+                service,
+                max_pending=max(64, self.workers + 2),
+                worker_threads=min(32, max(8, self.workers)),
+            )
+            try:
+                host, port = gateway.start()
+            except BaseException:
+                service.close()
+                raise
+            clients = [LightorClient(host, port) for _ in range(self.workers)]
+            frontends: list = list(clients)
+        else:
+            frontends = [service] * self.workers
+
         batches = self.workload.batches()
         worker_of = self._assign_channels()
         queues: list[list[WorkBatch]] = [[] for _ in range(self.workers)]
         for batch in batches:
             queues[worker_of[batch.video_id]].append(batch)
-        # A channel whose events were all filtered out produces no batches;
-        # open it up front so the close phase still runs its lifecycle.
-        self._open_idle_channels(service, batches)
 
         recorders = [LatencyRecorder() for _ in range(self.workers)]
         failures: list[BaseException] = []
         threads = [
             Thread(
                 target=self._worker,
-                args=(service, queue, recorder, failures),
+                args=(frontend, queue, recorder, failures),
                 name=f"loadgen-{index}",
                 daemon=True,
             )
-            for index, (queue, recorder) in enumerate(zip(queues, recorders))
+            for index, (frontend, queue, recorder) in enumerate(
+                zip(frontends, queues, recorders)
+            )
         ]
-        started = time.perf_counter()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        wall = time.perf_counter() - started
-        if failures:
-            # A dead worker means part of the traffic was never driven; a
-            # report computed over the full planned event count would be a
-            # lie, so the run fails loudly with the first worker error.
+        try:
+            # A channel whose events were all filtered out produces no
+            # batches; open it up front so the close phase still runs its
+            # lifecycle.
+            self._open_idle_channels(frontends[0], batches)
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - started
+            if failures:
+                # A dead worker means part of the traffic was never driven; a
+                # report computed over the full planned event count would be a
+                # lie, so the run fails loudly with the first worker error.
+                raise failures[0]
+            outcomes = self._close_channels(frontends[0], service, recorders[0])
+        finally:
+            for client in clients:
+                client.close()
+            if gateway is not None:
+                gateway.stop()
             service.close()
-            raise failures[0]
-
-        outcomes = self._close_channels(service, recorders[0])
-        service.close()
         stages = merge_recorders(recorders)
 
         divergences: list[str] = []
@@ -209,6 +270,7 @@ class LoadGenerator:
             outcomes=outcomes,
             divergences=divergences,
             oracle_checked=oracle_checked,
+            transport=transport,
         )
 
     # ---------------------------------------------------------------- internals
@@ -216,48 +278,51 @@ class LoadGenerator:
         channel_ids = sorted(plan.video.video_id for plan in self.workload.plans)
         return {vid: index % self.workers for index, vid in enumerate(channel_ids)}
 
-    def _open_idle_channels(
-        self, service: ShardedLightorService, batches: list[WorkBatch]
-    ) -> None:
+    def _open_idle_channels(self, frontend, batches: list[WorkBatch]) -> None:
         """Register channels that will receive no traffic this run."""
         with_traffic = {batch.video_id for batch in batches}
         for plan in self.workload.plans:
             if plan.video.video_id not in with_traffic:
-                service.start_live(plan.video)
+                frontend.start_live(plan.video)
 
     def _worker(
         self,
-        service: ShardedLightorService,
+        frontend,
         queue: list[WorkBatch],
         recorder: LatencyRecorder,
         failures: list[BaseException],
     ) -> None:
+        # ``frontend`` is the service itself (inproc) or this worker's own
+        # LightorClient (http) — the two expose the same call surface.
         live: set[str] = set()
         plans = {plan.video.video_id: plan for plan in self.workload.plans}
         try:
             for batch in queue:
                 if batch.video_id not in live:
                     t0 = time.perf_counter()
-                    service.start_live(plans[batch.video_id].video)
+                    frontend.start_live(plans[batch.video_id].video)
                     recorder.record("open", time.perf_counter() - t0)
                     live.add(batch.video_id)
                 t0 = time.perf_counter()
                 if batch.kind == "chat":
-                    service.ingest_chat_batch(batch.video_id, list(batch.events))
+                    frontend.ingest_chat_batch(batch.video_id, list(batch.events))
                 else:
-                    service.ingest_plays_batch(batch.video_id, list(batch.events))
+                    frontend.ingest_plays_batch(batch.video_id, list(batch.events))
                 recorder.record(batch.kind, time.perf_counter() - t0, events=len(batch.events))
         except BaseException as error:  # noqa: BLE001 - surfaced by drive()
             failures.append(error)
 
     def _close_channels(
-        self, service: ShardedLightorService, recorder: LatencyRecorder
+        self,
+        frontend,
+        service: ShardedLightorService,
+        recorder: LatencyRecorder,
     ) -> dict[str, ChannelOutcome]:
         outcomes: dict[str, ChannelOutcome] = {}
         for plan in sorted(self.workload.plans, key=lambda p: p.video.video_id):
             video_id = plan.video.video_id
             t0 = time.perf_counter()
-            dots = service.end_live(video_id, plan.duration)
+            dots = frontend.end_live(video_id, plan.duration)
             recorder.record("close", time.perf_counter() - t0)
             outcomes[video_id] = ChannelOutcome(
                 video_id=video_id,
@@ -536,6 +601,7 @@ def run_load(
     oracle: bool = True,
     live_k: int | None = None,
     workload: LoadWorkload | None = None,
+    transport: str = "inproc",
 ) -> LoadReport:
     """Build the workload, the service tier and the harness; run once.
 
@@ -546,6 +612,10 @@ def run_load(
     covering the whole fleet so LRU eviction cannot interleave with the run
     (evictions under concurrency are exercised by the orchestrator's own
     test suite; a load run wants deterministic end-state fingerprints).
+
+    ``transport="http"`` drives the identical workload through an
+    in-process HTTP gateway instead of direct calls — the oracle bar does
+    not move: the wire must be byte-exact too.
     """
     if workload is None:
         workload = LoadWorkload.from_spec(spec)
@@ -565,4 +635,8 @@ def run_load(
             max_live_sessions=max(spec.channels, 1), live_k=live_k,
         )
 
-    return generator.drive(service, oracle_factory=oracle_factory if oracle else None)
+    return generator.drive(
+        service,
+        oracle_factory=oracle_factory if oracle else None,
+        transport=transport,
+    )

@@ -28,6 +28,15 @@ paper's Figure 5, layered for scale (see ``docs/architecture.md``):
 * :mod:`sharding <repro.platform.sharding>` — the sharded front door:
   consistent-hashes video ids across N workers, each with its own backend,
   crawler and streaming orchestrator, under per-shard locks.
+* :mod:`server <repro.platform.server>` — the network boundary: a
+  stdlib-only ``asyncio`` HTTP/1.1 JSON gateway exposing the full sharded
+  front-door surface, with per-request validation (400), bounded-queue
+  admission control (503) and graceful drain that checkpoints open live
+  sessions for byte-exact recovery.
+* :mod:`client <repro.platform.client>` — the thin blocking HTTP client
+  mirroring the service surface method for method, so in-process callers
+  (the load harness above all) can be pointed at a gateway by swapping the
+  object.
 * :mod:`extension <repro.platform.extension>` — the browser-extension front
   end: renders red dots on the progress bar and forwards viewer interactions
   to the service.
@@ -41,7 +50,9 @@ from repro.platform.backends import (
     create_backend,
 )
 from repro.platform.api import SimulatedStreamingAPI
+from repro.platform.client import GatewayError, GatewayOverloadedError, LightorClient
 from repro.platform.crawler import ChatCrawler
+from repro.platform.server import GatewayThread, LightorGateway
 from repro.platform.service import LightorWebService
 from repro.platform.sharding import ConsistentHashRing, ShardedLightorService
 from repro.platform.extension import BrowserExtension, ProgressBarView
@@ -50,8 +61,13 @@ __all__ = [
     "BrowserExtension",
     "ChatCrawler",
     "ConsistentHashRing",
+    "GatewayError",
+    "GatewayOverloadedError",
+    "GatewayThread",
     "HighlightRecord",
     "InMemoryStore",
+    "LightorClient",
+    "LightorGateway",
     "LightorWebService",
     "ProgressBarView",
     "SQLiteStore",

@@ -23,14 +23,32 @@ from repro.utils.validation import ValidationError
 
 __all__ = [
     "BACKEND_KINDS",
+    "MEMORY_DB_PATH",
     "HighlightRecord",
     "InMemoryStore",
     "SQLiteStore",
     "StorageBackend",
     "create_backend",
+    "is_memory_path",
 ]
 
 BACKEND_KINDS = ("memory", "sqlite")
+
+# SQLite's name for its in-process throwaway database.  Database paths flow
+# through the platform as either ``str`` or ``pathlib.Path``; every check for
+# "is this the in-memory database?" must treat the two identically, which is
+# what :func:`is_memory_path` exists for.
+MEMORY_DB_PATH = ":memory:"
+
+
+def is_memory_path(path: str | Path | None) -> bool:
+    """Whether ``path`` names SQLite's in-process throwaway database.
+
+    Accepts ``str`` and :class:`~pathlib.Path` alike (``Path(":memory:")``
+    stringifies back to ``":memory:"``), so shard-suffixing and durable-path
+    filtering behave the same however the caller spelled the path.
+    """
+    return path is not None and str(path) == MEMORY_DB_PATH
 
 
 def create_backend(kind: str, path: str | Path | None = None) -> StorageBackend:
@@ -49,7 +67,7 @@ def create_backend(kind: str, path: str | Path | None = None) -> StorageBackend:
             raise ValidationError("the memory backend takes no database path")
         return InMemoryStore()
     if kind == "sqlite":
-        return SQLiteStore(path if path is not None else ":memory:")
+        return SQLiteStore(path if path is not None else MEMORY_DB_PATH)
     raise ValidationError(
         f"unknown storage backend {kind!r} (expected one of {BACKEND_KINDS})"
     )

@@ -1,0 +1,215 @@
+"""Thin blocking HTTP client for the LIGHTOR gateway.
+
+:class:`LightorClient` mirrors the call surface of
+:class:`~repro.platform.sharding.ShardedLightorService` method for method,
+so callers written against the in-process front door — the load-generation
+driver above all — can be pointed at a network gateway by swapping the
+object, nothing else.  Payloads are the round-trip-exact codec forms from
+:mod:`repro.platform.codecs`; what comes back out of a client is the same
+value objects (``RedDot``, ``StreamEvent``, …) the in-process service
+returns, byte-identical through the wire.
+
+Error mapping inverts the gateway's: a ``400`` becomes the
+:class:`~repro.utils.validation.ValidationError` the service raised on the
+far side (same message, same type — callers keep their ``except`` clauses),
+a ``503`` becomes :class:`GatewayOverloadedError` (retry later; the gateway
+is applying backpressure or draining), anything else
+:class:`GatewayError`.
+
+Built on stdlib :mod:`http.client` with one kept-alive connection per
+client instance; instances are **not** thread-safe — give each worker
+thread its own client, exactly like each worker owns its own latency
+recorder in the load harness.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Sequence
+from urllib.parse import quote
+
+from repro.core.types import ChatMessage, Interaction, RedDot, Video
+from repro.platform import codecs
+from repro.streaming.events import StreamEvent
+from repro.utils.validation import ValidationError
+
+__all__ = ["GatewayError", "GatewayOverloadedError", "LightorClient"]
+
+
+class GatewayError(RuntimeError):
+    """The gateway answered with an unexpected error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"gateway returned {status}: {message}")
+        self.status = status
+
+
+class GatewayOverloadedError(GatewayError):
+    """The gateway refused admission (overloaded or draining) — retry later."""
+
+
+class LightorClient:
+    """Call a :class:`~repro.platform.server.LightorGateway` over HTTP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -------------------------------------------------------------- transport
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        # One retry on a stale kept-alive connection (the server side may
+        # have closed it between calls) — but only for GETs: a POST whose
+        # response was lost may already have *executed* on the far side
+        # (an ingest batch, an end_live), and blindly replaying it would
+        # double-apply the call and silently diverge the persisted state.
+        # Non-idempotent failures propagate for the caller to decide.
+        retries = (0, 1) if method == "GET" else (1,)
+        for attempt in retries:
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._drop_connection()
+                if attempt:
+                    raise
+        status = response.status
+        content_type = (response.getheader("Content-Type") or "").lower()
+        if "json" in content_type:
+            decoded: dict | str = json.loads(data.decode("utf-8"))
+        else:
+            decoded = data.decode("utf-8")
+        if status == 200:
+            return decoded
+        message = decoded.get("error", "") if isinstance(decoded, dict) else str(decoded)
+        if status == 400:
+            raise ValidationError(message)
+        if status == 503:
+            raise GatewayOverloadedError(status, message)
+        raise GatewayError(status, message)
+
+    @staticmethod
+    def _video_path(video_id: str, leaf: str) -> str:
+        return f"/videos/{quote(video_id, safe='')}/{leaf}"
+
+    @staticmethod
+    def _live_path(video_id: str, leaf: str) -> str:
+        return f"/live/{quote(video_id, safe='')}/{leaf}"
+
+    @staticmethod
+    def _decode_events(payload: dict) -> list[StreamEvent]:
+        return [codecs.stream_event_from_dict(item) for item in payload["events"]]
+
+    @staticmethod
+    def _decode_dots(payload: dict) -> list[RedDot]:
+        return [codecs.red_dot_from_dict(item) for item in payload["red_dots"]]
+
+    # ---------------------------------------------------------- batch surface
+    def register_video(self, video: Video) -> None:
+        """Store video metadata on its home shard (no live session opened)."""
+        self._request("POST", "/videos", codecs.video_to_dict(video))
+
+    def request_red_dots(self, video_id: str, k: int | None = None) -> list[RedDot]:
+        """Red dots for a recorded video, served by its home shard."""
+        path = self._video_path(video_id, "red-dots")
+        if k is not None:
+            path += f"?k={int(k)}"
+        return self._decode_dots(self._request("GET", path))
+
+    def log_interactions(self, video_id: str, interactions: Sequence[Interaction]) -> int:
+        """Persist viewer interactions on the video's home shard."""
+        payload = {"interactions": [codecs.interaction_to_dict(i) for i in interactions]}
+        return self._request("POST", self._video_path(video_id, "interactions"), payload)["total"]
+
+    def refine_video(self, video_id: str) -> int:
+        """Run one Extractor refinement pass on the video's home shard."""
+        return self._request("POST", self._video_path(video_id, "refine"), {})["updated"]
+
+    # ----------------------------------------------------------- live surface
+    def start_live(self, video: Video) -> None:
+        """Register a live channel and open its session on its home shard."""
+        self._request(
+            "POST", self._live_path(video.video_id, "start"), codecs.video_to_dict(video)
+        )
+
+    def ingest_chat_batch(
+        self, video_id: str, messages: Sequence[ChatMessage], persist: bool = False
+    ) -> list[StreamEvent]:
+        """Push a timestamp-ordered chat batch for a live channel."""
+        payload = {
+            "messages": [codecs.chat_message_to_dict(m) for m in messages],
+            "persist": persist,
+        }
+        return self._decode_events(
+            self._request("POST", self._live_path(video_id, "chat"), payload)
+        )
+
+    def ingest_live_chat(
+        self, video_id: str, messages: Sequence[ChatMessage]
+    ) -> list[StreamEvent]:
+        """Per-event twin of :meth:`ingest_chat_batch` (a batch of any size)."""
+        return self.ingest_chat_batch(video_id, messages)
+
+    def ingest_plays_batch(
+        self, video_id: str, interactions: Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Push a batch of viewer interactions for a live channel."""
+        payload = {"interactions": [codecs.interaction_to_dict(i) for i in interactions]}
+        return self._decode_events(
+            self._request("POST", self._live_path(video_id, "plays"), payload)
+        )
+
+    def ingest_live_interactions(
+        self, video_id: str, interactions: Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Alias of :meth:`ingest_plays_batch`, matching the service surface."""
+        return self.ingest_plays_batch(video_id, interactions)
+
+    def live_red_dots(self, video_id: str) -> list[RedDot]:
+        """The dots to render right now for a channel (live or persisted)."""
+        return self._decode_dots(self._request("GET", self._live_path(video_id, "dots")))
+
+    def end_live(self, video_id: str, duration: float | None = None) -> list[RedDot]:
+        """Close a live channel on its home shard; final dots are persisted."""
+        return self._decode_dots(
+            self._request("POST", self._live_path(video_id, "end"), {"duration": duration})
+        )
+
+    # ----------------------------------------------------------- observability
+    def healthz(self) -> dict:
+        """The gateway's health payload."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The gateway's Prometheus-style metrics text."""
+        return self._request("GET", "/metrics")
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the kept-alive connection (the client can be reused)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "LightorClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -67,6 +67,8 @@ __all__ = [
     "window_summary_from_dict",
     "emit_policy_to_dict",
     "emit_policy_from_dict",
+    "stream_event_to_dict",
+    "stream_event_from_dict",
     "finite_or_none",
     "none_or_neg_inf",
     "encode",
@@ -297,6 +299,65 @@ def emit_policy_from_dict(payload: dict[str, Any]):
         eval_every_seconds=payload["eval_every_seconds"],
         min_score=payload.get("min_score", 0.0),
     )
+
+
+# --------------------------------------------------------------- stream events
+def stream_event_to_dict(event) -> dict[str, Any]:
+    """Plain-dict form of a :class:`~repro.streaming.events.StreamEvent`.
+
+    The wire form the HTTP gateway returns from the live-ingest endpoints;
+    tagged by ``event`` so heterogeneous emit/retract/refine responses
+    round-trip through :func:`stream_event_from_dict`.
+    """
+    from repro.streaming.events import DotEmitted, DotRetracted, HighlightRefined
+
+    if isinstance(event, DotEmitted):
+        return {
+            "event": "emit",
+            "stream_time": event.stream_time,
+            "dot": red_dot_to_dict(event.dot),
+        }
+    if isinstance(event, DotRetracted):
+        return {
+            "event": "retract",
+            "stream_time": event.stream_time,
+            "dot": red_dot_to_dict(event.dot),
+        }
+    if isinstance(event, HighlightRefined):
+        return {
+            "event": "refine",
+            "stream_time": event.stream_time,
+            "dot": red_dot_to_dict(event.dot),
+            "highlight": (
+                highlight_to_dict(event.highlight) if event.highlight is not None else None
+            ),
+            "moved_to": event.moved_to,
+        }
+    raise ValidationError(f"no codec for stream events of type {type(event).__name__}")
+
+
+def stream_event_from_dict(payload: dict[str, Any]):
+    """Rebuild a :class:`~repro.streaming.events.StreamEvent` (round-trip exact)."""
+    from repro.streaming.events import DotEmitted, DotRetracted, HighlightRefined
+
+    tag = payload.get("event")
+    if tag == "emit":
+        return DotEmitted(
+            stream_time=payload["stream_time"], dot=red_dot_from_dict(payload["dot"])
+        )
+    if tag == "retract":
+        return DotRetracted(
+            stream_time=payload["stream_time"], dot=red_dot_from_dict(payload["dot"])
+        )
+    if tag == "refine":
+        highlight = payload.get("highlight")
+        return HighlightRefined(
+            stream_time=payload["stream_time"],
+            dot=red_dot_from_dict(payload["dot"]),
+            highlight=highlight_from_dict(highlight) if highlight is not None else None,
+            moved_to=payload.get("moved_to"),
+        )
+    raise ValidationError(f"no codec for stream-event tag {tag!r}")
 
 
 # -------------------------------------------------------------- tagged surface

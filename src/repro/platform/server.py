@@ -1,0 +1,591 @@
+"""Asyncio HTTP/1.1 JSON gateway in front of the sharded service tier.
+
+Until this module the LIGHTOR service tier could only be called in-process;
+:class:`LightorGateway` puts a real network boundary in front of a
+:class:`~repro.platform.sharding.ShardedLightorService` using nothing but
+the standard library: an ``asyncio`` server speaks enough HTTP/1.1
+(keep-alive, ``Content-Length`` bodies) to serve JSON requests, and every
+service call runs on a bounded worker-thread pool so the event loop never
+blocks on a shard lock.
+
+Design points:
+
+* **Full service surface.**  Every front-door method —
+  ``register_video`` / ``request_red_dots`` / ``log_interactions`` /
+  ``refine_video`` plus the live surface (``start_live``, batched chat and
+  play ingest, current dots, ``end_live``) — has an endpoint; payloads are
+  the round-trip-exact codec forms from :mod:`repro.platform.codecs`, so a
+  workload driven over the wire persists byte-identical state to the same
+  workload driven in-process (``tests/test_loadgen.py`` holds the gateway
+  to that).
+* **Validation is a 400, overload is a 503.**  Malformed JSON, codec
+  failures and every :class:`~repro.utils.validation.ValidationError` the
+  service raises map to ``400 {"error": ...}``.  Admission control is a
+  bounded in-flight budget (``max_pending``): past it the gateway answers
+  ``503`` immediately instead of queueing unboundedly — backpressure the
+  caller can see.  ``/healthz`` and ``/metrics`` bypass admission so the
+  gateway stays observable while saturated.
+* **Graceful drain.**  :meth:`LightorGateway.drain` stops accepting, lets
+  the in-flight requests finish and refuses late requests with ``503``;
+  the ``repro serve`` command then calls
+  :meth:`~repro.platform.sharding.ShardedLightorService.suspend`, which
+  checkpoints every open live session — so a SIGTERM'd server resumes
+  byte-exactly via ``repro recover`` (see
+  :mod:`repro.platform.recovery` and ``docs/serving.md``).
+
+:class:`GatewayThread` runs the gateway on a background thread's event
+loop — what the wire-mode load harness (``repro load --transport http``)
+and the test suite use to serve and drive from one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.platform import codecs
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["LightorGateway", "GatewayThread"]
+
+_LOGGER = get_logger("platform.server")
+
+# One chat batch of a few hundred codec-encoded messages is ~100 KiB; cap
+# request bodies far above that so only a runaway client is refused.
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _ProtocolError(Exception):
+    """A request the HTTP layer itself must refuse (before any routing)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require_list(body: dict, key: str) -> list:
+    value = body.get(key)
+    if not isinstance(value, list):
+        raise ValidationError(f"request body must carry {key!r} as a JSON list")
+    return value
+
+
+class LightorGateway:
+    """Serve a sharded LIGHTOR tier over HTTP/1.1 JSON.
+
+    Parameters
+    ----------
+    service:
+        The front door to serve — a
+        :class:`~repro.platform.sharding.ShardedLightorService` (anything
+        with its call surface works; the gateway adds no state of its own).
+    host / port:
+        Bind address.  ``port=0`` binds an ephemeral port; :meth:`start`
+        rewrites :attr:`port` with the bound one.
+    max_pending:
+        Admission budget: requests in flight (admitted but not yet
+        answered) beyond this are refused with ``503`` instead of queued.
+    worker_threads:
+        Threads executing service calls.  The shards serialize per-channel
+        work under their own locks; the pool just keeps the event loop off
+        that path.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        max_pending: int = 64,
+        worker_threads: int = 8,
+    ) -> None:
+        require_positive(max_pending, "max_pending")
+        require_positive(worker_threads, "worker_threads")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self._pool = ThreadPoolExecutor(
+            max_workers=worker_threads, thread_name_prefix="lightor-gateway"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._in_flight = 0
+        self._draining = False
+        self._started_at: float | None = None
+        self._requests: Counter = Counter()
+        self._responses: Counter = Counter()
+        self._events_ingested: Counter = Counter()
+        self._rejected = 0
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> str:
+        """The served base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (resolves ``port=0``)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        _LOGGER.info("gateway listening on %s", self.address)
+
+    async def serve_forever(self) -> None:
+        """Serve until the surrounding task is cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def drain(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, release the pool.
+
+        After this returns, no request is executing and none will be
+        admitted (late requests on kept-alive connections get ``503``).
+        What happens to the *service* is the caller's decision —
+        ``repro serve`` follows with
+        :meth:`~repro.platform.sharding.ShardedLightorService.suspend`
+        (checkpoint, recoverable), the load harness with ``close()``
+        (finalize).
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self._in_flight > 0:
+            await asyncio.sleep(0.005)
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._pool.shutdown(wait=True)
+
+    async def abort(self) -> None:
+        """Hard stop — the simulated ``kill -9``: cut every connection now.
+
+        In-flight work is cancelled, nothing is checkpointed and nothing is
+        closed; tests use this to model a crashed server whose durable state
+        must carry recovery by itself.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # ---------------------------------------------------------- HTTP plumbing
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _ProtocolError as error:
+                    await self._write_json(
+                        writer, error.status, {"error": str(error)}, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                if not await self._respond(writer, *request):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            pass  # drain/abort tears the connection down; nothing to salvage
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """One parsed request, or ``None`` on a cleanly closed connection."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            raise _ProtocolError(400, "malformed HTTP request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _ProtocolError(400, f"invalid Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise _ProtocolError(400, f"invalid Content-Length {raw_length!r}")
+        if length > _MAX_BODY_BYTES:
+            raise _ProtocolError(413, f"request body over {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, method: str, target: str, headers: dict, body: bytes
+    ) -> bool:
+        """Dispatch one request and write its response; returns keep-alive."""
+        keep_alive = headers.get("connection", "").lower() != "close"
+        split = urlsplit(target)
+        query = parse_qs(split.query)
+        route, handler = self._resolve(method, unquote(split.path))
+        self._requests[route] += 1
+
+        if handler is None:
+            status: int
+            payload: dict
+            status, payload = (
+                (404, {"error": f"no such endpoint: {split.path}"})
+                if route == "unknown"
+                else (405, {"error": f"method {method} not allowed on {split.path}"})
+            )
+        elif route == "healthz":
+            status, payload = 200, self._health_payload()
+        elif route == "metrics":
+            self._responses["200"] += 1
+            await self._write_text(writer, 200, self._metrics_text(), keep_alive=keep_alive)
+            return keep_alive
+        elif self._draining:
+            status, payload = 503, {"error": "gateway is draining"}
+            keep_alive = False
+        elif self._in_flight >= self.max_pending:
+            self._rejected += 1
+            status, payload = 503, {
+                "error": f"gateway overloaded ({self._in_flight} requests in flight)"
+            }
+        else:
+            # The check and the increment both run on the event-loop thread
+            # with no await between them, so admission cannot race.  The
+            # count is held until the *response is written*: drain() waits
+            # for in-flight to reach zero before cancelling handler tasks,
+            # and a request that executed but never answered would break
+            # the "in-flight requests finish" drain guarantee.
+            self._in_flight += 1
+            try:
+                status, payload = await asyncio.get_running_loop().run_in_executor(
+                    self._pool, self._execute, handler, body, query
+                )
+                if status == 200:
+                    ingested = payload.get("ingested")
+                    if isinstance(ingested, int):
+                        self._events_ingested[route] += ingested
+                self._responses[str(status)] += 1
+                await self._write_json(writer, status, payload, keep_alive=keep_alive)
+            finally:
+                self._in_flight -= 1
+            return keep_alive
+        self._responses[str(status)] += 1
+        await self._write_json(writer, status, payload, keep_alive=keep_alive)
+        return keep_alive
+
+    def _execute(
+        self, handler: Callable[[dict, dict], dict], body: bytes, query: dict
+    ) -> tuple[int, dict]:
+        """Run one service call on the worker pool, mapping errors to statuses."""
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"request body is not valid JSON: {error}"}
+        if not isinstance(decoded, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        try:
+            return 200, handler(decoded, query)
+        except ValidationError as error:
+            return 400, {"error": str(error)}
+        except (KeyError, TypeError, ValueError) as error:
+            return 400, {"error": f"malformed request payload: {error!r}"}
+        except Exception as error:  # noqa: BLE001 - the wire needs an answer
+            _LOGGER.exception("request handler failed")
+            return 500, {"error": f"internal error: {error}"}
+
+    async def _write_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, *, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        await self._write_raw(writer, status, "application/json", body, keep_alive)
+
+    async def _write_text(
+        self, writer: asyncio.StreamWriter, status: int, text: str, *, keep_alive: bool
+    ) -> None:
+        await self._write_raw(
+            writer, status, "text/plain; charset=utf-8", text.encode("utf-8"), keep_alive
+        )
+
+    @staticmethod
+    async def _write_raw(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ----------------------------------------------------------------- routing
+    def _resolve(
+        self, method: str, path: str
+    ) -> tuple[str, Callable[[dict, dict], dict] | None]:
+        """Map (method, path) to a (route name, handler) pair.
+
+        Unknown paths resolve to ``("unknown", None)`` (404); known paths
+        with the wrong method to ``(route, None)`` (405).
+        """
+        parts = [part for part in path.split("/") if part]
+        if parts == ["healthz"]:
+            return "healthz", self._noop if method == "GET" else None
+        if parts == ["metrics"]:
+            return "metrics", self._noop if method == "GET" else None
+        if parts == ["videos"]:
+            return "register", self._h_register if method == "POST" else None
+        if len(parts) == 3 and parts[0] == "videos":
+            video_id, leaf = parts[1], parts[2]
+            if leaf == "red-dots":
+                if method != "GET":
+                    return "red_dots", None
+                return "red_dots", lambda body, query: self._h_red_dots(video_id, query)
+            if leaf == "interactions":
+                if method != "POST":
+                    return "interactions", None
+                return "interactions", lambda body, query: self._h_interactions(video_id, body)
+            if leaf == "refine":
+                if method != "POST":
+                    return "refine", None
+                return "refine", lambda body, query: self._h_refine(video_id)
+        if len(parts) == 3 and parts[0] == "live":
+            video_id, leaf = parts[1], parts[2]
+            if leaf == "start":
+                if method != "POST":
+                    return "live_start", None
+                return "live_start", lambda body, query: self._h_start_live(video_id, body)
+            if leaf == "chat":
+                if method != "POST":
+                    return "live_chat", None
+                return "live_chat", lambda body, query: self._h_chat(video_id, body)
+            if leaf == "plays":
+                if method != "POST":
+                    return "live_plays", None
+                return "live_plays", lambda body, query: self._h_plays(video_id, body)
+            if leaf == "dots":
+                if method != "GET":
+                    return "live_dots", None
+                return "live_dots", lambda body, query: self._h_live_dots(video_id)
+            if leaf == "end":
+                if method != "POST":
+                    return "live_end", None
+                return "live_end", lambda body, query: self._h_end_live(video_id, body)
+        return "unknown", None
+
+    @staticmethod
+    def _noop(body: dict, query: dict) -> dict:  # pragma: no cover - never executed
+        return {}
+
+    # ---------------------------------------------------------------- handlers
+    def _h_register(self, body: dict, query: dict) -> dict:
+        video = codecs.video_from_dict(body)
+        self.service.register_video(video)
+        return {"registered": video.video_id}
+
+    def _h_red_dots(self, video_id: str, query: dict) -> dict:
+        k = self._query_int(query, "k")
+        dots = self.service.request_red_dots(video_id, k=k)
+        return {"red_dots": [codecs.red_dot_to_dict(dot) for dot in dots]}
+
+    def _h_interactions(self, video_id: str, body: dict) -> dict:
+        interactions = [
+            codecs.interaction_from_dict(item) for item in _require_list(body, "interactions")
+        ]
+        total = self.service.log_interactions(video_id, interactions)
+        return {"total": total, "ingested": len(interactions)}
+
+    def _h_refine(self, video_id: str) -> dict:
+        return {"updated": self.service.refine_video(video_id)}
+
+    def _h_start_live(self, video_id: str, body: dict) -> dict:
+        video = codecs.video_from_dict(body)
+        if video.video_id != video_id:
+            raise ValidationError(
+                f"path names channel {video_id!r} but the body is video "
+                f"{video.video_id!r}"
+            )
+        self.service.start_live(video)
+        return {"live": video_id}
+
+    def _h_chat(self, video_id: str, body: dict) -> dict:
+        messages = [
+            codecs.chat_message_from_dict(item) for item in _require_list(body, "messages")
+        ]
+        persist = body.get("persist", False)
+        if not isinstance(persist, bool):
+            raise ValidationError("persist must be a JSON boolean")
+        events = self.service.ingest_chat_batch(video_id, messages, persist=persist)
+        return {
+            "events": [codecs.stream_event_to_dict(event) for event in events],
+            "ingested": len(messages),
+        }
+
+    def _h_plays(self, video_id: str, body: dict) -> dict:
+        interactions = [
+            codecs.interaction_from_dict(item) for item in _require_list(body, "interactions")
+        ]
+        events = self.service.ingest_plays_batch(video_id, interactions)
+        return {
+            "events": [codecs.stream_event_to_dict(event) for event in events],
+            "ingested": len(interactions),
+        }
+
+    def _h_live_dots(self, video_id: str) -> dict:
+        dots = self.service.live_red_dots(video_id)
+        return {"red_dots": [codecs.red_dot_to_dict(dot) for dot in dots]}
+
+    def _h_end_live(self, video_id: str, body: dict) -> dict:
+        duration = body.get("duration")
+        if duration is not None and not isinstance(duration, (int, float)):
+            raise ValidationError("duration must be a JSON number or null")
+        dots = self.service.end_live(video_id, duration)
+        return {"red_dots": [codecs.red_dot_to_dict(dot) for dot in dots]}
+
+    @staticmethod
+    def _query_int(query: dict, name: str) -> int | None:
+        values = query.get(name)
+        if not values:
+            return None
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise ValidationError(
+                f"query parameter {name}={values[-1]!r} is not an integer"
+            ) from None
+
+    # ------------------------------------------------------------ observability
+    def _health_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "shards": getattr(self.service, "n_shards", 1),
+            "in_flight": self._in_flight,
+            "max_pending": self.max_pending,
+        }
+
+    def _metrics_text(self) -> str:
+        """Prometheus-style exposition of the gateway counters."""
+        uptime = 0.0 if self._started_at is None else time.monotonic() - self._started_at
+        lines = [
+            f"lightor_gateway_uptime_seconds {uptime:.3f}",
+            f"lightor_gateway_in_flight {self._in_flight}",
+            f"lightor_gateway_draining {int(self._draining)}",
+            f"lightor_gateway_rejected_total {self._rejected}",
+            f"lightor_gateway_shards {getattr(self.service, 'n_shards', 1)}",
+        ]
+        for route, count in sorted(self._requests.items()):
+            lines.append(f'lightor_gateway_requests_total{{route="{route}"}} {count}')
+        for status, count in sorted(self._responses.items()):
+            lines.append(f'lightor_gateway_responses_total{{status="{status}"}} {count}')
+        for route, count in sorted(self._events_ingested.items()):
+            lines.append(f'lightor_gateway_events_ingested_total{{route="{route}"}} {count}')
+        return "\n".join(lines) + "\n"
+
+
+class GatewayThread:
+    """Run a :class:`LightorGateway` on a background thread's event loop.
+
+    The wire-mode load harness and the tests need to serve and drive from a
+    single process; this wrapper owns the loop-on-a-thread plumbing.  The
+    served *service*'s storage lifecycle stays with the caller: ``stop()``
+    only drains the HTTP side — follow it with ``service.close()``
+    (finalize) or ``service.suspend()`` (checkpoint for recovery).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0, **gateway_kwargs) -> None:
+        self.gateway = LightorGateway(service, host=host, port=port, **gateway_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Boot the loop, bind the gateway; returns the bound (host, port)."""
+        self._thread = threading.Thread(
+            target=self._run, name="lightor-gateway-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("gateway event loop did not come up within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.gateway.host, self.gateway.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self.gateway.start())
+            except BaseException as error:  # noqa: BLE001 - surfaced by start()
+                self._startup_error = error
+                return
+            finally:
+                self._ready.set()
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop serving.  ``drain=True`` finishes in-flight work first;
+        ``drain=False`` is the hard kill (:meth:`LightorGateway.abort`)."""
+        if self._thread is None or self._loop is None or not self._thread.is_alive():
+            return
+        closer = self.gateway.drain() if drain else self.gateway.abort()
+        asyncio.run_coroutine_threadsafe(closer, self._loop).result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "GatewayThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

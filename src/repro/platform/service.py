@@ -462,11 +462,67 @@ class LightorWebService:
         callbacks **and** the session checkpoints are deleted — after a
         clean shutdown there is nothing for recovery to rebuild (a killed
         process, by contrast, leaves its checkpoints behind).
+
+        The open-id list is snapshotted up front (``end_live`` mutates the
+        orchestrator's session table as it goes) and the store is closed in a
+        ``finally``: one session whose finalization raises must not leak the
+        backend's connection, nor stop the remaining sessions from being
+        finalized — they are all ended best-effort and the first error is
+        re-raised after the store is closed.
         """
-        if self._orchestrator is not None:
-            for video_id in self._orchestrator.open_video_ids():
-                self.end_live(video_id)
-        self.store.close()
+        first_error: BaseException | None = None
+        try:
+            if self._orchestrator is not None:
+                for video_id in list(self._orchestrator.open_video_ids()):
+                    try:
+                        self.end_live(video_id)
+                    except BaseException as error:  # noqa: BLE001 - re-raised below
+                        if first_error is None:
+                            first_error = error
+        finally:
+            self.store.close()
+        if first_error is not None:
+            raise first_error
+
+    def suspend(self) -> int:
+        """Checkpoint every open live session, then release the store handle.
+
+        The graceful-*drain* counterpart of :meth:`shutdown`: nothing is
+        finalized and no checkpoint is deleted, so on a durable backend the
+        whole deployment can be rebuilt byte-exactly with
+        :meth:`recover_live_sessions` (or ``repro recover``) — exactly what a
+        draining network gateway wants on SIGTERM.  Sessions whose video
+        metadata was never stored cannot be checkpointed and are skipped
+        (there is nowhere durable to put them).  Returns the number of
+        sessions checkpointed; the store handle is released even when a
+        checkpoint write raises (first error re-raised, like
+        :meth:`shutdown`).
+        """
+        first_error: BaseException | None = None
+        checkpointed = 0
+        try:
+            if self._orchestrator is not None:
+                for video_id in list(self._orchestrator.open_video_ids()):
+                    if not self.store.has_video(video_id):
+                        _LOGGER.info(
+                            "live session %s has no stored video metadata; "
+                            "suspend cannot checkpoint it",
+                            video_id,
+                        )
+                        continue
+                    try:
+                        self._write_checkpoint(
+                            video_id, self._orchestrator.session(video_id)
+                        )
+                        checkpointed += 1
+                    except BaseException as error:  # noqa: BLE001 - re-raised below
+                        if first_error is None:
+                            first_error = error
+        finally:
+            self.store.close()
+        if first_error is not None:
+            raise first_error
+        return checkpointed
 
     # ---------------------------------------------------- checkpoint/recovery
     def checkpoint_live_session(self, video_id: str) -> dict:

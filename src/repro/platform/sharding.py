@@ -37,9 +37,11 @@ from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
 from repro.platform.api import SimulatedStreamingAPI
 from repro.platform.backends import (
     HighlightRecord,
+    MEMORY_DB_PATH,
     SQLiteStore,
     StorageBackend,
     create_backend,
+    is_memory_path,
 )
 from repro.platform.crawler import ChatCrawler
 from repro.platform.service import LightorWebService
@@ -90,7 +92,13 @@ def shard_db_path(path: str | Path, shard_index: int) -> str:
 
     ``highlights.db`` becomes ``highlights.shard0.db``, ``highlights.shard1.db``
     … so each shard's SQLite backend owns its own file (one writer per file).
+    Suffix-less paths gain only the shard part (``highlights`` →
+    ``highlights.shard0``), and ``":memory:"`` — as a ``str`` or a ``Path`` —
+    is passed through untouched: suffixing it would silently turn the
+    in-process database into a stray file literally named ``:memory:.shard0``.
     """
+    if is_memory_path(path):
+        return MEMORY_DB_PATH
     base = Path(path)
     return str(base.with_name(f"{base.stem}.shard{shard_index}{base.suffix}"))
 
@@ -155,7 +163,9 @@ class ShardedLightorService:
             # Always shard-suffix file paths (even for one shard) so the ring
             # marker is checked on every reuse — switching between 1 and N
             # shards must not silently leave history behind in another file.
-            if backend == "sqlite" and db_path is not None:
+            # ``:memory:`` (str or Path) is not a file path: each shard gets
+            # its own private in-memory database without any suffixing.
+            if backend == "sqlite" and db_path is not None and not is_memory_path(db_path):
                 return create_backend(backend, shard_db_path(db_path, shard_index))
             return create_backend(backend, db_path)
 
@@ -165,7 +175,12 @@ class ShardedLightorService:
             for shard_index in range(n_shards):
                 store = factory(shard_index)
                 try:
-                    if backend_factory is None and backend == "sqlite" and db_path is not None:
+                    if (
+                        backend_factory is None
+                        and backend == "sqlite"
+                        and db_path is not None
+                        and not is_memory_path(db_path)
+                    ):
                         cls._check_shard_marker(store, shard_index, n_shards)
                     shards.append(
                         LightorWebService(
@@ -361,7 +376,7 @@ class ShardedLightorService:
         return [
             shard.store.path
             for shard in self.shards
-            if isinstance(shard.store, SQLiteStore) and shard.store.path != ":memory:"
+            if isinstance(shard.store, SQLiteStore) and not is_memory_path(shard.store.path)
         ]
 
     def stats(self) -> dict[str, int]:
@@ -373,10 +388,50 @@ class ShardedLightorService:
                     totals[key] = totals.get(key, 0) + value
         return totals
 
+    def suspend(self) -> int:
+        """Checkpoint every shard's open sessions and release the backends.
+
+        The sharded twin of
+        :meth:`~repro.platform.service.LightorWebService.suspend` — the
+        graceful-drain counterpart of :meth:`close`: nothing is finalized, so
+        a durable deployment can be resumed byte-exactly with
+        :meth:`recover_live_sessions` (``repro recover``).  Returns the total
+        number of sessions checkpointed.  Like :meth:`close`, every shard is
+        suspended even when one raises; the first error is re-raised at the
+        end.
+        """
+        first_error: BaseException | None = None
+        checkpointed = 0
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                try:
+                    checkpointed += shard.suspend()
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = error
+        if first_error is not None:
+            raise first_error
+        return checkpointed
+
     def close(self) -> None:
         """Shut down every shard: open live sessions are finalized (their
         results persist through the eviction callbacks) before the backends
-        are released."""
+        are released.
+
+        A shard whose ``shutdown()`` raises must not abort the loop: the
+        remaining shards still own live sessions and open backends, and
+        skipping them would leak every one of their stores and silently drop
+        their session finalization.  Every shard is therefore closed
+        best-effort and the first error is re-raised once all of them have
+        been given the chance.
+        """
+        first_error: BaseException | None = None
         for shard, lock in zip(self.shards, self._locks):
             with lock:
-                shard.shutdown()
+                try:
+                    shard.shutdown()
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = error
+        if first_error is not None:
+            raise first_error

@@ -132,6 +132,30 @@ class TestLoadCommand:
         assert "events/s" in out
         assert "0 divergences" in out
 
+    def test_load_transport_parsed_and_validated(self):
+        args = build_parser().parse_args(["load", "--transport", "http"])
+        assert args.transport == "http"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--transport", "carrier-pigeon"])
+
+    def test_load_http_transport_end_to_end(self, capsys):
+        argv = [
+            "load", "--transport", "http", "--channels", "2", "--viewers", "20",
+            "--duration", "600", "--shards", "2", "--workers", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "transport http" in out
+        assert "0 divergences" in out
+
+    def test_chaos_mode_rejects_http_transport(self, capsys):
+        argv = [
+            "load", "--kill-after", "5", "--recover", "--backend", "sqlite",
+            "--db-path", "x.db", "--transport", "http",
+        ]
+        assert main(argv) == 1
+        assert "--transport inproc" in capsys.readouterr().out
+
     def test_chaos_flags_must_be_used_together(self, capsys):
         assert main(["load", "--kill-after", "5"]) == 1
         assert "--recover" in capsys.readouterr().out
@@ -152,6 +176,42 @@ class TestLoadCommand:
         out = capsys.readouterr().out
         assert "killed after 15" in out
         assert "byte-identical" in out
+
+
+class TestServeCommand:
+    def test_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "9001", "--shards", "2",
+                "--backend", "sqlite", "--db-path", "x.db", "--max-pending", "16",
+                "--worker-threads", "4", "--checkpoint-every", "64",
+            ]
+        )
+        assert (args.host, args.port, args.shards) == ("0.0.0.0", 9001, 2)
+        assert (args.backend, args.db_path) == ("sqlite", "x.db")
+        assert (args.max_pending, args.worker_threads, args.checkpoint_every) == (16, 4, 64)
+
+    def test_serve_db_path_requires_sqlite(self, capsys):
+        assert main(["serve", "--db-path", "x.db"]) == 1
+        assert "--backend sqlite" in capsys.readouterr().out
+
+    def test_serve_invalid_knobs_rejected(self, capsys):
+        assert main(["serve", "--shards", "0"]) == 1
+        assert main(["serve", "--checkpoint-every", "0"]) == 1
+        assert main(["serve", "--max-pending", "0"]) == 1
+        assert main(["serve", "--port", "-1"]) == 1
+
+    def test_serve_unopenable_db_path_fails_cleanly(self, capsys, tmp_path):
+        missing = tmp_path / "no_such_dir" / "x.db"
+        assert main(["serve", "--backend", "sqlite", "--db-path", str(missing)]) == 1
+        assert "cannot build the service tier" in capsys.readouterr().out
+
+    def test_serve_help_documents_gateway_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--max-pending", "--checkpoint-every", "--backend", "--port"):
+            assert flag in out
 
 
 class TestRecoverCommand:

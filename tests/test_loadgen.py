@@ -178,6 +178,36 @@ class TestDriver:
         assert len(report.outcomes) == 2
         assert report.outcomes[idle.video.video_id].final_dots == 0
 
+    def test_http_transport_is_byte_identical_to_inproc(
+        self, fitted_initializer, small_workload
+    ):
+        """The tentpole acceptance bar: the same workload driven over the
+        wire must persist byte-identical red dots and highlight records."""
+        inproc = run_load(
+            SMALL, fitted_initializer, shards=2, workers=2, workload=small_workload
+        )
+        wire = run_load(
+            SMALL, fitted_initializer, shards=2, workers=2, workload=small_workload,
+            transport="http",
+        )
+        assert wire.transport == "http" and inproc.transport == "inproc"
+        assert wire.oracle_checked and wire.divergences == []
+        assert {v: o.fingerprint for v, o in wire.outcomes.items()} == {
+            v: o.fingerprint for v, o in inproc.outcomes.items()
+        }
+        assert "transport http" in wire.describe()
+        assert wire.to_dict()["transport"] == "http"
+
+    def test_unknown_transport_rejected(self, fitted_initializer, small_workload):
+        service = ShardedLightorService.create(1, fitted_initializer)
+        try:
+            with pytest.raises(ValidationError, match="transport"):
+                LoadGenerator(small_workload, workers=1).drive(
+                    service, transport="telnet"
+                )
+        finally:
+            service.close()
+
     def test_sqlite_backend_run(self, fitted_initializer, small_workload, tmp_path):
         report = run_load(
             SMALL,

@@ -216,3 +216,55 @@ class TestWebServiceAndExtension:
     def test_url_parsing(self):
         assert BrowserExtension.extract_video_id("https://t.tv/videos/dota2-0001") == "dota2-0001"
         assert BrowserExtension.extract_video_id("https://t.tv/channels/foo") is None
+
+
+class TestServiceShutdown:
+    @pytest.fixture()
+    def live_service(self, fitted_initializer, dota2_dataset):
+        api = SimulatedStreamingAPI(seeds=SeedSequenceFactory(2020), videos_per_channel=2)
+        store = InMemoryStore()
+        crawler = ChatCrawler(api=api, store=store)
+        service = LightorWebService(
+            store=store, crawler=crawler, initializer=fitted_initializer, live_k=3
+        )
+        targets = list(dota2_dataset[2:4])
+        for target in targets:
+            service.start_live(target.video)
+            service.ingest_chat_batch(
+                target.video.video_id, list(target.chat_log.messages[:200])
+            )
+        return service, [target.video.video_id for target in targets]
+
+    def test_shutdown_finalizes_every_session_and_closes_the_store(self, live_service):
+        service, video_ids = live_service
+        closed = []
+        original_close = service.store.close
+        service.store.close = lambda: (closed.append(True), original_close())
+        service.shutdown()
+        assert closed == [True]
+        for video_id in video_ids:
+            assert service.store.has_red_dots(video_id)
+        assert not service.streaming.open_video_ids()
+
+    def test_failing_end_live_still_closes_store_and_other_sessions(self, live_service):
+        """Regression: ``shutdown()`` used to abort on the first ``end_live``
+        error — never reaching ``store.close()`` and skipping the remaining
+        sessions' finalization."""
+        service, video_ids = live_service
+        doomed = video_ids[0]
+        closed = []
+        original_close = service.store.close
+        service.store.close = lambda: (closed.append(True), original_close())
+        original_end = service.end_live
+
+        def end_live(video_id, duration=None):
+            if video_id == doomed:
+                raise RuntimeError(f"finalize failed for {video_id}")
+            return original_end(video_id, duration)
+
+        service.end_live = end_live
+        with pytest.raises(RuntimeError, match=doomed):
+            service.shutdown()
+        # The store was closed anyway, and the healthy session persisted.
+        assert closed == [True]
+        assert service.store.has_red_dots(video_ids[1])

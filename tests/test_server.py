@@ -1,0 +1,375 @@
+"""Tests for the asyncio HTTP gateway and its client.
+
+Four properties matter:
+
+* **wire parity** — a workload driven through the gateway persists (and
+  returns) byte-identical state to the same workload driven in-process;
+  the JSON wire format must be round-trip exact end to end;
+* **validation** — malformed requests and service-level
+  ``ValidationError``\\ s map to ``400`` with the service's message intact
+  (the client re-raises the same exception type callers already handle);
+* **backpressure** — past the ``max_pending`` admission budget the gateway
+  answers ``503`` immediately while ``/healthz`` stays reachable;
+* **recoverability** — a killed server's durable state alone must carry
+  ``repro recover`` to the byte-identical end state of an uninterrupted
+  run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.platform import codecs
+from repro.platform.backends import SQLiteStore
+from repro.platform.client import GatewayError, GatewayOverloadedError, LightorClient
+from repro.platform.server import GatewayThread, LightorGateway
+from repro.platform.sharding import ShardedLightorService, shard_db_path
+from repro.utils.validation import ValidationError
+
+K = 4
+CHUNK = 64
+
+
+@pytest.fixture()
+def tier(fitted_initializer):
+    """A 2-shard in-memory service tier (closed by the ``served`` fixture)."""
+    return ShardedLightorService.create(
+        2, fitted_initializer, live_k=K, max_live_sessions=8
+    )
+
+
+@pytest.fixture()
+def served(tier):
+    """The tier behind a loopback gateway, with a connected client."""
+    gateway = GatewayThread(tier)
+    host, port = gateway.start()
+    client = LightorClient(host, port)
+    yield client, tier
+    client.close()
+    gateway.stop()
+    tier.close()
+
+
+def _chunks(items, size=CHUNK):
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class TestWireParity:
+    def test_live_run_matches_inproc_byte_for_byte(
+        self, served, fitted_initializer, dota2_dataset, crowd
+    ):
+        client, tier = served
+        oracle = ShardedLightorService.create(1, fitted_initializer, live_k=K)
+        try:
+            for target in dota2_dataset[2:4]:
+                video_id = target.video.video_id
+                client.start_live(target.video)
+                oracle.start_live(target.video)
+                wire_events, oracle_events = [], []
+                for chunk in _chunks(list(target.chat_log.messages[:400])):
+                    wire_events.extend(client.ingest_chat_batch(video_id, chunk))
+                    oracle_events.extend(oracle.ingest_chat_batch(video_id, chunk))
+                plays = crowd.collect_round(
+                    target.video, codecs.red_dot_from_dict(
+                        {"position": target.video.duration / 2}
+                    ), 0,
+                )
+                wire_events.extend(client.ingest_plays_batch(video_id, plays))
+                oracle_events.extend(oracle.ingest_plays_batch(video_id, plays))
+                # The decoded wire events are the orchestrator's own value
+                # objects, float-for-float.
+                assert wire_events == oracle_events
+                assert client.live_red_dots(video_id) == oracle.live_red_dots(video_id)
+                wire_dots = client.end_live(video_id, target.video.duration)
+                oracle_dots = oracle.end_live(video_id, target.video.duration)
+                assert [codecs.red_dot_to_dict(d) for d in wire_dots] == [
+                    codecs.red_dot_to_dict(d) for d in oracle_dots
+                ]
+                assert tier.get_red_dots(video_id) == oracle.get_red_dots(video_id)
+        finally:
+            oracle.close()
+
+    def test_batch_surface_round_trips(self, served, dota2_dataset, crowd):
+        client, tier = served
+        target = dota2_dataset[4]
+        video_id = target.video.video_id
+        client.register_video(target.video)
+        # The crawler serves this id only for live channels; store the chat
+        # directly so request_red_dots finds it, as a pre-crawled video would.
+        tier.store_for(video_id).put_chat(video_id, list(target.chat_log.messages))
+        dots = client.request_red_dots(video_id, k=3)
+        assert dots == tier.request_red_dots(video_id, k=3)
+        if dots:
+            plays = []
+            for round_index in range(3):
+                plays.extend(crowd.collect_round(target.video, dots[0], round_index))
+            total = client.log_interactions(video_id, plays)
+            assert total == len(plays)
+            assert tier.store_for(video_id).get_interactions(video_id) == plays
+            updated = client.refine_video(video_id)
+            assert updated == 0 or tier.latest_highlights(video_id)
+
+    def test_healthz_and_metrics(self, served):
+        client, tier = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["shards"] == tier.n_shards
+        text = client.metrics()
+        assert "lightor_gateway_uptime_seconds" in text
+        assert 'lightor_gateway_requests_total{route="healthz"}' in text
+
+
+class TestValidation:
+    def test_unknown_live_session_is_a_400(self, served, dota2_dataset):
+        client, _ = served
+        messages = list(dota2_dataset[2].chat_log.messages[:3])
+        with pytest.raises(ValidationError, match="no live session"):
+            client.ingest_chat_batch("ghost", messages)
+
+    def test_interactions_for_unknown_video_is_a_400(self, served):
+        client, _ = served
+        with pytest.raises(ValidationError, match="unknown video"):
+            client.log_interactions("ghost", [])
+
+    def test_body_path_video_mismatch_is_a_400(self, served, dota2_dataset):
+        client, _ = served
+        video = dota2_dataset[2].video
+        with pytest.raises(ValidationError, match="path names channel"):
+            client._request(
+                "POST", "/live/other/start", codecs.video_to_dict(video)
+            )
+
+    def test_non_list_messages_is_a_400(self, served, dota2_dataset):
+        client, _ = served
+        target = dota2_dataset[2]
+        client.start_live(target.video)
+        with pytest.raises(ValidationError, match="'messages' as a JSON list"):
+            client._request(
+                "POST", f"/live/{target.video.video_id}/chat", {"messages": "hello"}
+            )
+        client.end_live(target.video.video_id, target.video.duration)
+
+    def test_non_integer_k_is_a_400(self, served):
+        client, _ = served
+        with pytest.raises(ValidationError, match="not an integer"):
+            client._request("GET", "/videos/v/red-dots?k=abc")
+
+    def test_malformed_json_body_is_a_400(self, served):
+        client, _ = served
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            connection.request("POST", "/videos", body=b"{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"not valid JSON" in response.read()
+        finally:
+            connection.close()
+
+    def test_unknown_route_is_a_404(self, served):
+        client, _ = served
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_a_405(self, served):
+        client, _ = served
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("GET", "/videos/v/refine")
+        assert excinfo.value.status == 405
+
+
+class _BlockingService:
+    """A stub front door whose one endpoint blocks until released."""
+
+    n_shards = 1
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def live_red_dots(self, video_id):
+        self.entered.set()
+        assert self.release.wait(timeout=30)
+        return []
+
+
+class TestOverload:
+    def test_admission_budget_returns_503(self):
+        service = _BlockingService()
+        gateway = GatewayThread(service, max_pending=1, worker_threads=2)
+        host, port = gateway.start()
+        blocked = LightorClient(host, port)
+        probe = LightorClient(host, port)
+        try:
+            worker = threading.Thread(
+                target=blocked.live_red_dots, args=("v",), daemon=True
+            )
+            worker.start()
+            assert service.entered.wait(timeout=30)
+            # The budget is exhausted: admission is refused immediately …
+            with pytest.raises(GatewayOverloadedError) as excinfo:
+                probe.live_red_dots("v")
+            assert excinfo.value.status == 503
+            # … while health stays reachable and reports the saturation.
+            assert probe.healthz()["in_flight"] == 1
+            service.release.set()
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            # With the slot free again the same request is served.
+            assert probe.live_red_dots("v") == []
+        finally:
+            service.release.set()
+            blocked.close()
+            probe.close()
+            gateway.stop()
+
+    def test_invalid_gateway_knobs_rejected(self):
+        with pytest.raises(ValidationError):
+            LightorGateway(_BlockingService(), max_pending=0)
+        with pytest.raises(ValidationError):
+            LightorGateway(_BlockingService(), worker_threads=0)
+
+
+class TestConcurrentIngest:
+    def test_multi_channel_wire_smoke(self, served, dota2_dataset):
+        """Several clients hammer different channels concurrently; the final
+        state must match a sequential wire-driven run of the same batches."""
+        client, tier = served
+        targets = list(dota2_dataset[2:5])
+        for target in targets:
+            client.start_live(target.video)
+
+        def drive(target):
+            own = LightorClient(client.host, client.port)
+            try:
+                for chunk in _chunks(list(target.chat_log.messages[:300])):
+                    own.ingest_chat_batch(target.video.video_id, chunk)
+            finally:
+                own.close()
+
+        threads = [
+            threading.Thread(target=drive, args=(target,), daemon=True)
+            for target in targets
+        ]
+        errors: list[BaseException] = []
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        finals = {
+            t.video.video_id: client.end_live(t.video.video_id, t.video.duration)
+            for t in targets
+        }
+        # Sequential oracle over the same per-channel batch sequences.
+        oracle = ShardedLightorService.create(
+            1, tier.shards[0].initializer, live_k=K
+        )
+        try:
+            for target in targets:
+                oracle.start_live(target.video)
+                for chunk in _chunks(list(target.chat_log.messages[:300])):
+                    oracle.ingest_chat_batch(target.video.video_id, chunk)
+            for target in targets:
+                expected = oracle.end_live(target.video.video_id, target.video.duration)
+                assert finals[target.video.video_id] == expected
+        finally:
+            oracle.close()
+
+
+class TestKillRecover:
+    def test_killed_server_recovers_byte_exactly(
+        self, fitted_initializer, dota2_dataset, tmp_path
+    ):
+        """Hard-kill the gateway mid-stream; ``repro recover --end`` must land
+        on the byte-identical dots of an uninterrupted run."""
+        db = tmp_path / "gateway.db"
+        target = dota2_dataset[2]
+        video_id = target.video.video_id
+        messages = list(target.chat_log.messages)
+        prefix = messages[: (len(messages) // 2)]
+
+        service = ShardedLightorService.create(
+            1, fitted_initializer, backend="sqlite", db_path=db,
+            live_k=K, checkpoint_every=100,
+        )
+        gateway = GatewayThread(service)
+        host, port = gateway.start()
+        client = LightorClient(host, port)
+        client.start_live(target.video)
+        for chunk in _chunks(prefix):
+            client.ingest_chat_batch(video_id, chunk, persist=True)
+        client.close()
+        gateway.stop(drain=False)  # the kill: no drain, no checkpoint sweep
+        for shard in service.shards:
+            shard.store.close()  # release the file handles, finalize nothing
+
+        # `repro recover` rebuilds and `--end` finalizes at the stored
+        # duration (the CLI retrains the same seed-2020 model).
+        assert main(["recover", "--db-path", str(db)]) == 0
+        assert main(["recover", "--db-path", str(db), "--end"]) == 0
+
+        # The uninterrupted oracle: same prefix, ended at the same duration.
+        oracle = ShardedLightorService.create(1, fitted_initializer, live_k=K)
+        oracle.start_live(target.video)
+        for chunk in _chunks(prefix):
+            oracle.ingest_chat_batch(video_id, chunk)
+        expected = oracle.end_live(video_id, target.video.duration)
+        oracle.close()
+
+        reopened = SQLiteStore(shard_db_path(db, 0))
+        try:
+            recovered = reopened.get_red_dots(video_id)
+            assert [codecs.red_dot_to_dict(d) for d in recovered] == [
+                codecs.red_dot_to_dict(d) for d in expected
+            ]
+            assert reopened.get_session_snapshots() == {}
+        finally:
+            reopened.close()
+
+    def test_drained_server_suspends_open_sessions(
+        self, fitted_initializer, dota2_dataset, tmp_path
+    ):
+        """The SIGTERM path: drain + suspend leaves every open session
+        checkpointed, and a fresh tier resumes it byte-exactly."""
+        db = tmp_path / "drained.db"
+        target = dota2_dataset[3]
+        video_id = target.video.video_id
+        messages = list(target.chat_log.messages)
+
+        service = ShardedLightorService.create(
+            2, fitted_initializer, backend="sqlite", db_path=db,
+            live_k=K, checkpoint_every=100,
+        )
+        gateway = GatewayThread(service)
+        host, port = gateway.start()
+        with LightorClient(host, port) as client:
+            client.start_live(target.video)
+            for chunk in _chunks(messages[:300]):
+                client.ingest_chat_batch(video_id, chunk, persist=True)
+        gateway.stop()  # graceful drain …
+        assert service.suspend() == 1  # … then checkpoint-and-release
+
+        resumed = ShardedLightorService.create(
+            2, fitted_initializer, backend="sqlite", db_path=db,
+            live_k=K, checkpoint_every=100,
+        )
+        reports = resumed.recover_live_sessions()
+        assert [r.video_id for r in reports] == [video_id]
+        assert reports[0].messages_ingested == 300
+        resumed.ingest_chat_batch(video_id, messages[300:], persist=True)
+        final = resumed.end_live(video_id, target.video.duration)
+        resumed.close()
+
+        oracle = ShardedLightorService.create(1, fitted_initializer, live_k=K)
+        oracle.start_live(target.video)
+        oracle.ingest_chat_batch(video_id, messages)
+        expected = oracle.end_live(video_id, target.video.duration)
+        oracle.close()
+        assert [codecs.red_dot_to_dict(d) for d in final] == [
+            codecs.red_dot_to_dict(d) for d in expected
+        ]

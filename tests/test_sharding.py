@@ -14,6 +14,7 @@ Two properties matter:
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import pytest
 
@@ -236,6 +237,88 @@ class TestShardedShutdown:
             assert reopened.has_red_dots(video_id)
             assert reopened.get_red_dots(video_id)
             reopened.close()
+
+
+class TestShardedCloseBestEffort:
+    def test_one_failing_shard_does_not_leak_the_rest(self, fitted_initializer, workload):
+        """Regression: ``close()`` used to stop at the first shard whose
+        ``shutdown()`` raised, leaking every remaining shard's store and
+        skipping their session finalization."""
+        logs, _ = workload
+        service = ShardedLightorService.create(3, fitted_initializer, live_k=K)
+        for log in logs.values():
+            service.start_live(log.video)
+        shut_down: list[int] = []
+        boom = RuntimeError("shard 0 exploded")
+
+        def wrap(index: int, original):
+            def wrapped():
+                shut_down.append(index)
+                if index == 0:
+                    raise boom
+                return original()
+
+            return wrapped
+
+        for index, shard in enumerate(service.shards):
+            shard.shutdown = wrap(index, shard.shutdown)
+
+        with pytest.raises(RuntimeError, match="shard 0 exploded"):
+            service.close()
+        # Every shard was still asked to shut down — the healthy ones
+        # finalized their sessions and persisted the results.
+        assert shut_down == [0, 1, 2]
+        for log in logs.values():
+            video_id = log.video.video_id
+            if service.shard_index(video_id) != 0:
+                assert service.store_for(video_id).has_red_dots(video_id)
+
+    def test_first_of_several_errors_wins(self, fitted_initializer):
+        service = ShardedLightorService.create(3, fitted_initializer)
+        for index, shard in enumerate(service.shards):
+            shard.shutdown = (
+                lambda index=index: (_ for _ in ()).throw(RuntimeError(f"shard {index}"))
+            )
+        with pytest.raises(RuntimeError, match="shard 0"):
+            service.close()
+
+
+class TestDbPathHandling:
+    """``str`` and ``Path`` database paths must behave identically."""
+
+    def test_shard_suffixing_identical_for_str_and_path(self):
+        assert shard_db_path("x/data.db", 1) == shard_db_path(Path("x/data.db"), 1)
+        assert shard_db_path("data.db", 0) == "data.shard0.db"
+
+    def test_suffixless_path_gains_only_the_shard_part(self):
+        assert shard_db_path("highlights", 0) == "highlights.shard0"
+        assert shard_db_path(Path("highlights"), 2) == "highlights.shard2"
+
+    def test_memory_path_is_never_suffixed(self):
+        # Suffixing ``:memory:`` would silently create a stray *file*
+        # literally named ``:memory:.shard0``.
+        assert shard_db_path(":memory:", 0) == ":memory:"
+        assert shard_db_path(Path(":memory:"), 3) == ":memory:"
+
+    def test_memory_db_path_tier_leaves_no_files(
+        self, fitted_initializer, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        for path in (":memory:", Path(":memory:")):
+            service = ShardedLightorService.create(
+                2, fitted_initializer, backend="sqlite", db_path=path
+            )
+            assert service.db_paths() == []
+            service.close()
+            assert list(tmp_path.iterdir()) == []
+
+    def test_db_paths_filters_memory_for_str_and_path(self, fitted_initializer, tmp_path):
+        service = ShardedLightorService.create(
+            2, fitted_initializer, backend="sqlite", db_path=tmp_path / "real.db"
+        )
+        assert len(service.db_paths()) == 2
+        assert all(".shard" in path for path in service.db_paths())
+        service.close()
 
 
 class TestShardMarker:
