@@ -165,3 +165,102 @@ def test_bench_load_oracle_spot_check(fitted_initializer, workload):
     _save({"oracle": {"channels": len(report.outcomes), "divergences": report.divergences}})
     assert report.oracle_checked
     assert report.divergences == [], f"oracle divergences: {report.divergences}"
+
+
+# ---------------------------------------------------------------------------
+# Cluster (multi-process) scaling
+# ---------------------------------------------------------------------------
+
+# The whole point of the process cluster is escaping the GIL, so the scaling
+# gate is conditional on the hardware actually having cores to scale onto:
+# on fewer than 4 usable CPUs a 4-worker fleet time-slices one core and the
+# honest measurement is recorded without asserting a speedup it cannot show.
+CPUS = len(os.sched_getaffinity(0))
+CLUSTER_BATCH = 512
+CLUSTER_SPEEDUP_GATE = 2.0
+
+
+def test_bench_cluster_scaling(fitted_initializer, workload):
+    """Shard *processes* vs one process, same workload, batch 512.
+
+    Records the ``transport="cluster"`` grid (and the host's usable CPU
+    count) in ``BENCH_load.json``.  The ≥2x gate applies at full size on
+    hosts with at least 4 usable cores — exactly the configurations where
+    the flat in-process shard curve was the bug being fixed.
+    """
+    print()
+    grid: dict[str, dict] = {}
+    throughput: dict[int, float] = {}
+    for n_shards in SHARD_COUNTS:
+        report = run_load(
+            workload.spec,
+            fitted_initializer,
+            shards=n_shards,
+            workers=WORKERS,
+            backend="memory",
+            oracle=False,
+            workload=workload.rebatched(CLUSTER_BATCH),
+            transport="cluster",
+        )
+        throughput[n_shards] = report.events_per_sec
+        grid[str(n_shards)] = report.to_dict()
+        print(
+            f"  cluster shards={n_shards} batch={CLUSTER_BATCH} "
+            f"{report.events_per_sec:>12,.0f} events/s"
+        )
+    speedup = throughput[SHARD_COUNTS[-1]] / throughput[SHARD_COUNTS[0]]
+    print(
+        f"  cluster {SHARD_COUNTS[-1]} vs {SHARD_COUNTS[0]} process(es): "
+        f"{speedup:.2f}x on {CPUS} usable CPU(s)"
+    )
+    _save(
+        {
+            "cluster": {
+                "batch_size": CLUSTER_BATCH,
+                "grid": grid,
+                "speedup_4_vs_1": round(speedup, 2),
+                "cpus": CPUS,
+                "gated": FULL_SIZE and CPUS >= 4,
+            }
+        }
+    )
+    if FULL_SIZE and CPUS >= 4:
+        assert speedup >= CLUSTER_SPEEDUP_GATE, (
+            f"process-shard speedup {speedup:.2f}x at batch {CLUSTER_BATCH} fell "
+            f"below the {CLUSTER_SPEEDUP_GATE}x gate on {CPUS} CPUs "
+            f"(throughput: {throughput})"
+        )
+    else:
+        # Still a bug bar even unscaled: a fleet must never be pathologically
+        # slower than one worker (routing overhead is per-batch, not per-event).
+        assert speedup > 0.5, (
+            f"cluster fleet collapsed: {speedup:.2f}x vs one worker "
+            f"(throughput: {throughput})"
+        )
+
+
+def test_bench_cluster_oracle_spot_check(fitted_initializer, workload):
+    """The concurrent multi-process run must match the sequential oracle —
+    the same byte-equivalence bar the in-process tier is held to."""
+    report = run_load(
+        workload.spec,
+        fitted_initializer,
+        shards=SHARD_COUNTS[-1],
+        workers=WORKERS,
+        backend="memory",
+        oracle=True,
+        workload=workload.rebatched(64),
+        transport="cluster",
+    )
+    print()
+    print(report.describe())
+    _save(
+        {
+            "cluster_oracle": {
+                "channels": len(report.outcomes),
+                "divergences": report.divergences,
+            }
+        }
+    )
+    assert report.oracle_checked and report.transport == "cluster"
+    assert report.divergences == [], f"oracle divergences: {report.divergences}"

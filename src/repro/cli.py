@@ -25,6 +25,10 @@ Sub-commands:
   validation, bounded admission control and a graceful SIGTERM drain that
   checkpoints every open live session (``lightor recover`` resumes a
   drained durable deployment byte-exactly).
+* ``lightor cluster`` — run N shard *worker processes* (each one a
+  ``serve --shards 1`` gateway on its own port and database) under a
+  supervisor: boot is health-checked, a worker dying fails the deployment,
+  and SIGTERM drains the whole fleet so durable shards stay recoverable.
 """
 
 from __future__ import annotations
@@ -171,7 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="threads executing service calls behind the event loop (default: 8)",
     )
     serve_parser.add_argument(
-        "--k", type=int, default=5, help="provisional top-k per live channel"
+        "--k", type=int, default=None,
+        help="provisional top-k per live channel (default: the engine default, "
+        "matching in-process runs)",
     )
     serve_parser.add_argument(
         "--max-live-sessions", type=int, default=64,
@@ -180,6 +186,64 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--seed", type=int, default=2020,
         help="dataset seed the serving model is trained from (default: 2020)",
+    )
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="run N shard worker processes (one `serve --shards 1` each) "
+        "under a supervisor",
+    )
+    cluster_parser.add_argument(
+        "--shards", type=int, default=2,
+        help="shard worker processes to spawn (default: 2)",
+    )
+    cluster_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    cluster_parser.add_argument(
+        "--base-port", type=int, default=8765,
+        help="worker K binds base-port + K; 0 gives every worker an "
+        "ephemeral port (default: 8765)",
+    )
+    cluster_parser.add_argument(
+        "--backend", default="memory", choices=("memory", "sqlite"),
+        help="storage backend behind each worker (default: memory)",
+    )
+    cluster_parser.add_argument(
+        "--db-path", default=None,
+        help="base SQLite path (sqlite backend); worker K uses "
+        "base.shardK.db. Omit for in-memory databases.",
+    )
+    cluster_parser.add_argument(
+        "--seed", type=int, default=2020,
+        help="dataset seed every worker trains its serving model from "
+        "(default: 2020)",
+    )
+    cluster_parser.add_argument(
+        "--k", type=int, default=None,
+        help="provisional top-k per live channel (default: the engine default)",
+    )
+    cluster_parser.add_argument(
+        "--max-live-sessions", type=int, default=64,
+        help="LRU budget of concurrently open live sessions per worker "
+        "(default: 64)",
+    )
+    cluster_parser.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="durable session-checkpoint cadence in persisted events "
+        "(default: 500 on the sqlite backend, disabled on memory)",
+    )
+    cluster_parser.add_argument(
+        "--max-pending", type=int, default=64,
+        help="per-worker gateway admission budget (default: 64)",
+    )
+    cluster_parser.add_argument(
+        "--worker-threads", type=int, default=8,
+        help="service threads per worker gateway (default: 8)",
+    )
+    cluster_parser.add_argument(
+        "--boot-timeout", type=float, default=60.0,
+        help="seconds the whole cluster gets to become healthy (default: 60)",
     )
 
     load_parser = subparsers.add_parser(
@@ -218,9 +282,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4, help="driver worker threads (default: 4)"
     )
     load_parser.add_argument(
-        "--transport", default="inproc", choices=("inproc", "http"),
-        help="how the drivers reach the tier: direct calls, or over the wire "
-        "through an in-process HTTP gateway (default: inproc)",
+        "--transport", default="inproc", choices=("inproc", "http", "cluster"),
+        help="how the drivers reach the tier: direct calls, over the wire "
+        "through an in-process HTTP gateway, or through a supervised fleet "
+        "of shard worker processes (default: inproc)",
     )
     load_parser.add_argument(
         "--zipf", type=float, default=1.0,
@@ -657,6 +722,10 @@ def _command_serve(args) -> int:
                 loop.add_signal_handler(signum, stop.set)
             except NotImplementedError:  # pragma: no cover - non-posix loops
                 pass
+        # Machine-readable readiness line, printed after the bind (so a
+        # --port 0 ephemeral port is resolved) and before anything else: the
+        # cluster supervisor and scripted callers parse exactly this.
+        print(f"listening on {gateway.host}:{gateway.port}", flush=True)
         print(
             f"serving {args.shards} shard(s) on {gateway.address} "
             f"({args.backend} backend; SIGTERM drains gracefully)",
@@ -691,6 +760,90 @@ def _command_serve(args) -> int:
         # results at least persist through the eviction callbacks.
         service.close()
         print("drained; live sessions finalized (memory backend)", flush=True)
+    return 0
+
+
+def _command_cluster(args) -> int:
+    import signal
+    import threading
+
+    from repro.platform.cluster import ShardClusterSupervisor
+    from repro.utils.validation import ValidationError
+
+    if args.shards < 1:
+        print("--shards must be at least 1", flush=True)
+        return 1
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("--checkpoint-every must be at least 1", flush=True)
+        return 1
+    try:
+        supervisor = ShardClusterSupervisor(
+            args.shards,
+            backend=args.backend,
+            db_path=args.db_path,
+            host=args.host,
+            base_port=args.base_port,
+            seed=args.seed,
+            live_k=args.k,
+            max_live_sessions=args.max_live_sessions,
+            checkpoint_every=args.checkpoint_every,
+            max_pending=args.max_pending,
+            worker_threads=args.worker_threads,
+            boot_timeout=args.boot_timeout,
+        )
+    except ValidationError as error:
+        print(f"invalid cluster: {error}", flush=True)
+        return 1
+    try:
+        supervisor.start()
+    except (ValidationError, RuntimeError, OSError) as error:
+        print(f"cluster failed to boot: {error}", flush=True)
+        return 1
+
+    for worker in supervisor.workers:
+        # One machine-readable line per worker, mirroring `serve`'s own.
+        print(f"shard {worker.index} listening on {worker.host}:{worker.port}", flush=True)
+    print(
+        f"cluster up: {args.shards} shard worker(s) "
+        f"({args.backend} backend; SIGTERM stops the fleet gracefully)",
+        flush=True,
+    )
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            pass
+
+    # Supervise: a worker dying underneath the front door fails the
+    # deployment — stop the survivors and exit non-zero.
+    while not stop.wait(0.5):
+        dead = supervisor.dead_shards()
+        if dead:
+            print(
+                "shard worker(s) died: " + ", ".join(str(index) for index in dead),
+                flush=True,
+            )
+            for index in dead:
+                print(supervisor.workers[index].log_tail(), flush=True)
+            supervisor.stop()
+            return 1
+
+    print("stopping cluster; draining shard workers ...", flush=True)
+    codes = supervisor.stop()
+    if args.backend == "sqlite" and args.db_path is not None:
+        base = str(args.db_path)
+        print(
+            "workers drained and checkpointed — resume shard K with: "
+            f"repro recover --db-path <{base} shard-suffixed for K> --shards 1 "
+            f"--seed {args.seed}",
+            flush=True,
+        )
+    if any(code != 0 for code in codes):
+        print(f"worker exit codes: {codes}", flush=True)
+        return 1
+    print("cluster stopped; all workers exited cleanly", flush=True)
     return 0
 
 
@@ -796,6 +949,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_load(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "cluster":
+        return _command_cluster(args)
     if args.command == "recover":
         return _command_recover(
             db_path=args.db_path, shards=args.shards, seed=args.seed, end=args.end

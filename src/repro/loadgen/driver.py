@@ -29,6 +29,12 @@ open and close crosses a real HTTP boundary.  The fingerprints still read
 the backing stores directly — they are the ground truth the wire must not
 perturb — so the oracle spot-check now also proves the gateway's JSON wire
 format is byte-exact end to end.
+
+With ``transport="cluster"`` the tier is a fleet of shard worker
+*processes* (:mod:`repro.platform.cluster`): the front door
+consistent-hash-routes every call over the wire to the owning worker, and
+the oracle bar still does not move — a multi-process run must be
+byte-identical to the sequential single-shard replay.
 """
 
 from __future__ import annotations
@@ -178,12 +184,22 @@ class LoadGenerator:
         :class:`~repro.platform.client.LightorClient`, so the whole run —
         opens, ingest batches, closes — crosses a real HTTP boundary while
         the fingerprints keep reading the backing stores directly.
+
+        ``transport="cluster"`` expects ``service`` to be a
+        :class:`~repro.platform.cluster.ClusterFrontDoor` over an
+        already-running :class:`~repro.platform.cluster.ShardClusterSupervisor`
+        fleet; every worker gets its own clone (one kept-alive connection
+        per shard per worker), and the fingerprints read the shard
+        *processes*' persisted state over the same wire.  The supervisor's
+        lifecycle stays with the caller — closing the front door here only
+        releases its sockets.
         """
-        if transport not in ("inproc", "http"):
+        if transport not in ("inproc", "http", "cluster"):
             # The contract holds on every exit: the driven service is closed.
             service.close()
             raise ValidationError(
-                f"unknown transport {transport!r} (expected 'inproc' or 'http')"
+                f"unknown transport {transport!r} "
+                "(expected 'inproc', 'http' or 'cluster')"
             )
         gateway = None
         clients: list = []
@@ -206,6 +222,15 @@ class LoadGenerator:
                 raise
             clients = [LightorClient(host, port) for _ in range(self.workers)]
             frontends: list = list(clients)
+        elif transport == "cluster":
+            # One front-door clone per worker: clones share the ring but own
+            # their sockets, exactly like the per-worker clients above.
+            try:
+                clients = [service.clone() for _ in range(self.workers)]
+            except BaseException:
+                service.close()
+                raise
+            frontends = list(clients)
         else:
             frontends = [service] * self.workers
 
@@ -602,6 +627,7 @@ def run_load(
     live_k: int | None = None,
     workload: LoadWorkload | None = None,
     transport: str = "inproc",
+    cluster_seed: int = 2020,
 ) -> LoadReport:
     """Build the workload, the service tier and the harness; run once.
 
@@ -616,17 +642,18 @@ def run_load(
     ``transport="http"`` drives the identical workload through an
     in-process HTTP gateway instead of direct calls — the oracle bar does
     not move: the wire must be byte-exact too.
+
+    ``transport="cluster"`` boots a
+    :class:`~repro.platform.cluster.ShardClusterSupervisor` fleet of
+    ``shards`` worker *processes* for the duration of the run and drives
+    their :class:`~repro.platform.cluster.ClusterFrontDoor`.  Each worker
+    trains its serving model deterministically from ``cluster_seed``; for
+    the oracle to hold, ``initializer`` must be the same deterministic
+    model (the default ``cluster_seed=2020`` matches how ``repro load``
+    builds it).  The fleet is SIGTERM-stopped before the report returns.
     """
     if workload is None:
         workload = LoadWorkload.from_spec(spec)
-    service = ShardedLightorService.create(
-        shards,
-        initializer,
-        backend=backend,
-        db_path=db_path,
-        max_live_sessions=max(spec.channels, 1),
-        live_k=live_k,
-    )
     generator = LoadGenerator(workload, workers=workers)
 
     def oracle_factory() -> ShardedLightorService:
@@ -635,6 +662,35 @@ def run_load(
             max_live_sessions=max(spec.channels, 1), live_k=live_k,
         )
 
+    if transport == "cluster":
+        from repro.platform.cluster import ShardClusterSupervisor
+
+        supervisor = ShardClusterSupervisor(
+            shards,
+            backend=backend,
+            db_path=db_path,
+            seed=cluster_seed,
+            live_k=live_k,
+            max_live_sessions=max(spec.channels, 1),
+        )
+        supervisor.start()
+        try:
+            return generator.drive(
+                supervisor.front_door(),
+                oracle_factory=oracle_factory if oracle else None,
+                transport="cluster",
+            )
+        finally:
+            supervisor.stop()
+
+    service = ShardedLightorService.create(
+        shards,
+        initializer,
+        backend=backend,
+        db_path=db_path,
+        max_live_sessions=max(spec.channels, 1),
+        live_k=live_k,
+    )
     return generator.drive(
         service,
         oracle_factory=oracle_factory if oracle else None,

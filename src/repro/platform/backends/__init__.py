@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro.platform.backends.base import HighlightRecord, StorageBackend
 from repro.platform.backends.memory import InMemoryStore
-from repro.platform.backends.sqlite import SQLiteStore
+from repro.platform.backends.sqlite import SQLiteBusyError, SQLiteStore
 from repro.utils.validation import ValidationError
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "MEMORY_DB_PATH",
     "HighlightRecord",
     "InMemoryStore",
+    "SQLiteBusyError",
     "SQLiteStore",
     "StorageBackend",
     "create_backend",

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable
 
@@ -26,7 +27,27 @@ from repro.platform import codecs
 from repro.platform.backends.base import HighlightRecord, StorageBackend
 from repro.utils.validation import ValidationError
 
-__all__ = ["SQLiteStore"]
+__all__ = ["SQLiteBusyError", "SQLiteStore"]
+
+
+class SQLiteBusyError(sqlite3.OperationalError):
+    """A write lost the cross-process race even after the busy timeout.
+
+    Raw ``sqlite3.OperationalError: database is locked`` says nothing about
+    *which* database, which is useless the moment several shard processes
+    each own several files.  This subclass names the path and the timeout
+    that was exhausted; being an ``OperationalError`` subclass, existing
+    ``except sqlite3.OperationalError`` handlers keep working.
+    """
+
+    def __init__(self, path: str, timeout_ms: int, cause: Exception) -> None:
+        super().__init__(
+            f"database {path!r} is still locked after the {timeout_ms}ms busy "
+            f"timeout ({cause}); another process is holding a long write — "
+            "check that two shard workers were not pointed at the same db path"
+        )
+        self.path = path
+        self.timeout_ms = timeout_ms
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS videos (
@@ -84,23 +105,44 @@ class SQLiteStore(StorageBackend):
     path:
         Database file path, or ``":memory:"`` (the default) for an
         in-process throwaway store with the same semantics.
+    busy_timeout_ms:
+        How long a connection spins waiting for a cross-process write lock
+        before giving up.  Every connection gets the pragma — in-process
+        callers never see it (the ``RLock`` serializes them), but a second
+        *process* on the same file contends for real.  When the timeout is
+        still exhausted the failure surfaces as :class:`SQLiteBusyError`
+        naming the db path.
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(self, path: str | Path = ":memory:", *, busy_timeout_ms: int = 5000) -> None:
+        if busy_timeout_ms < 0:
+            raise ValidationError("busy_timeout_ms must be >= 0")
         self.path = str(path)
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self._lock = threading.RLock()
         self._connection = sqlite3.connect(self.path, check_same_thread=False)
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.execute("PRAGMA synchronous=NORMAL")
-            self._connection.execute("PRAGMA busy_timeout=5000")
+            self._connection.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             self._connection.executescript(_SCHEMA)
+
+    @contextmanager
+    def _guard(self):
+        """Map a post-timeout ``database is locked`` to :class:`SQLiteBusyError`."""
+        try:
+            yield
+        except sqlite3.OperationalError as error:
+            message = str(error).lower()
+            if "locked" in message or "busy" in message:
+                raise SQLiteBusyError(self.path, self.busy_timeout_ms, error) from error
+            raise
 
     # ---------------------------------------------------------------- videos
     def put_video(self, video: Video) -> None:
         """Insert or replace video metadata."""
         payload = json.dumps(codecs.video_to_dict(video))
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             self._connection.execute(
                 "INSERT OR REPLACE INTO videos (video_id, payload) VALUES (?, ?)",
                 (video.video_id, payload),
@@ -141,7 +183,7 @@ class SQLiteStore(StorageBackend):
             (video_id, seq, json.dumps(codecs.chat_message_to_dict(message)))
             for seq, message in enumerate(stored)
         ]
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             self._connection.execute(
                 "DELETE FROM chat_messages WHERE video_id = ?", (video_id,)
             )
@@ -164,7 +206,7 @@ class SQLiteStore(StorageBackend):
         payloads = [
             json.dumps(codecs.chat_message_to_dict(message)) for message in messages
         ]
-        with self._lock:
+        with self._lock, self._guard():
             self._connection.execute("BEGIN IMMEDIATE")
             try:
                 base = self._connection.execute(
@@ -227,7 +269,7 @@ class SQLiteStore(StorageBackend):
             (video_id, json.dumps(codecs.interaction_to_dict(interaction)))
             for interaction in interactions
         ]
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             self._connection.executemany(
                 "INSERT INTO interactions (video_id, payload) VALUES (?, ?)", rows
             )
@@ -279,7 +321,7 @@ class SQLiteStore(StorageBackend):
             (video_id, seq, json.dumps(codecs.red_dot_to_dict(dot)))
             for seq, dot in enumerate(stored)
         ]
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             self._connection.execute("DELETE FROM red_dots WHERE video_id = ?", (video_id,))
             self._connection.executemany(
                 "INSERT INTO red_dots (video_id, seq, payload) VALUES (?, ?, ?)", rows
@@ -314,7 +356,7 @@ class SQLiteStore(StorageBackend):
     ) -> HighlightRecord:
         """Append a refined highlight result; versions increase monotonically."""
         self._require_known_video(video_id, "store highlights")
-        with self._lock:
+        with self._lock, self._guard():
             # Take the write lock *before* reading MAX(version): a deferred
             # transaction would let another handle on the same file read the
             # same version and collide on the primary key.
@@ -363,7 +405,7 @@ class SQLiteStore(StorageBackend):
         """
         self._require_known_video(video_id, "store a session snapshot")
         text = json.dumps(payload, allow_nan=False)
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             self._connection.execute(
                 "INSERT OR REPLACE INTO session_snapshots (video_id, payload) "
                 "VALUES (?, ?)",
@@ -380,7 +422,7 @@ class SQLiteStore(StorageBackend):
 
     def delete_session_snapshot(self, video_id: str) -> bool:
         """Drop a session checkpoint; returns whether one existed."""
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             cursor = self._connection.execute(
                 "DELETE FROM session_snapshots WHERE video_id = ?", (video_id,)
             )
@@ -424,7 +466,7 @@ class SQLiteStore(StorageBackend):
 
     def set_meta(self, key: str, value: str) -> None:
         """Write a database-level metadata value (insert-or-replace)."""
-        with self._lock, self._connection:
+        with self._lock, self._guard(), self._connection:
             self._connection.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
             )

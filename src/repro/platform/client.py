@@ -29,12 +29,18 @@ import json
 from typing import Sequence
 from urllib.parse import quote
 
-from repro.core.types import ChatMessage, Interaction, RedDot, Video
+from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
 from repro.platform import codecs
+from repro.platform.backends.base import HighlightRecord
 from repro.streaming.events import StreamEvent
 from repro.utils.validation import ValidationError
 
-__all__ = ["GatewayError", "GatewayOverloadedError", "LightorClient"]
+__all__ = [
+    "GatewayError",
+    "GatewayOverloadedError",
+    "GatewayTimeoutError",
+    "LightorClient",
+]
 
 
 class GatewayError(RuntimeError):
@@ -47,6 +53,24 @@ class GatewayError(RuntimeError):
 
 class GatewayOverloadedError(GatewayError):
     """The gateway refused admission (overloaded or draining) — retry later."""
+
+
+class GatewayTimeoutError(GatewayError):
+    """The gateway did not answer within the client's timeout.
+
+    A hung or half-dead shard must surface as a typed, catchable error, not
+    block the caller forever (the pre-timeout behaviour) and not masquerade
+    as a retryable connection hiccup: the request may have been *received*
+    and be executing slowly, so the client never replays it — the caller
+    decides, exactly like the non-idempotent-retry rule in
+    :meth:`LightorClient._request`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        super().__init__(504, f"no response from {host}:{port} within {timeout:g}s")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
 
 
 class LightorClient:
@@ -67,9 +91,15 @@ class LightorClient:
         return self._connection
 
     def _drop_connection(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        # Detach before closing: if close() itself raises (a socket already
+        # reset under us), the stale connection must not stay cached — that
+        # is exactly the fd leak the retry path used to hit.
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
 
     def _request(self, method: str, path: str, payload: dict | None = None):
         body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -88,6 +118,13 @@ class LightorClient:
                 response = connection.getresponse()
                 data = response.read()
                 break
+            except TimeoutError as error:
+                # TimeoutError is an OSError subclass — catch it first.  A
+                # timed-out request may be executing slowly on the far side,
+                # so it is never retried (even a GET: the point is to bound
+                # the caller's wait, not to double it).
+                self._drop_connection()
+                raise GatewayTimeoutError(self.host, self.port, self.timeout) from error
             except (http.client.HTTPException, ConnectionError, OSError):
                 self._drop_connection()
                 if attempt:
@@ -143,6 +180,32 @@ class LightorClient:
     def refine_video(self, video_id: str) -> int:
         """Run one Extractor refinement pass on the video's home shard."""
         return self._request("POST", self._video_path(video_id, "refine"), {})["updated"]
+
+    # --------------------------------------------------- stored-state surface
+    # Read-only views of what the home shard has *persisted* — the raw store
+    # rows, not the model-ranked answers ``request_red_dots`` serves.  These
+    # power the cluster front door's remote ``store_for`` view, so parity
+    # fingerprints read cross-process state over the same wire as traffic.
+    def get_red_dots(self, video_id: str) -> list[RedDot]:
+        """The persisted red dots for a video, in stored order."""
+        return self._decode_dots(
+            self._request("GET", self._video_path(video_id, "stored-dots"))
+        )
+
+    def latest_highlights(self, video_id: str) -> list[Highlight]:
+        """The newest persisted highlight version for a video."""
+        payload = self._request("GET", self._video_path(video_id, "latest-highlights"))
+        return [codecs.highlight_from_dict(item) for item in payload["highlights"]]
+
+    def highlight_history(self, video_id: str) -> list[HighlightRecord]:
+        """Every persisted highlight version for a video, oldest first."""
+        payload = self._request("GET", self._video_path(video_id, "highlights"))
+        return [codecs.highlight_record_from_dict(item) for item in payload["highlights"]]
+
+    def get_interactions(self, video_id: str) -> list[Interaction]:
+        """The persisted viewer interactions for a video, in stored order."""
+        payload = self._request("GET", self._video_path(video_id, "interactions"))
+        return [codecs.interaction_from_dict(item) for item in payload["interactions"]]
 
     # ----------------------------------------------------------- live surface
     def start_live(self, video: Video) -> None:

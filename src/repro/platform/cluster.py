@@ -1,0 +1,604 @@
+"""Multi-process shard cluster: a supervisor and a wire-routing front door.
+
+:class:`~repro.platform.sharding.ShardedLightorService` buys per-channel
+isolation, but its shards share one Python process — per-shard worker
+threads serialize on the GIL, so adding shards adds no throughput (the flat
+curve in ``BENCH_load.json``).  This module runs each shard as its **own OS
+process**:
+
+* :class:`ShardClusterSupervisor` spawns ``N`` child workers — each one a
+  ``repro serve --shards 1`` gateway bound to its own port over its own
+  database file — supervises their boot (a child that dies while the
+  cluster is coming up tears the rest down), reports children that die
+  mid-run, and stops them with SIGTERM so durable deployments drain,
+  checkpoint and stay resumable via ``repro recover``.
+* :class:`ClusterFrontDoor` consistent-hash-routes every service-surface
+  call to the owning shard over :class:`~repro.platform.client.LightorClient`.
+  It mirrors the in-process front door method for method, and the ring is
+  the *same* deterministic ring (:class:`~repro.platform.sharding.ConsistentHashRing`
+  over the same digest), so a video id lands on shard ``k`` of the cluster
+  exactly when it lands on shard ``k`` in process — which is what lets the
+  load harness drive either one and compare fingerprints byte for byte.
+
+The child protocol is deliberately thin: the worker prints one
+machine-readable ``listening on host:port`` line on stdout *before* the
+human-readable banner (so ``--port 0`` ephemeral binds are race-free), and
+``/healthz`` answering 200 is the readiness barrier.  Every line a child
+writes is retained in a bounded per-worker log so a boot failure can show
+the culprit's last words.
+
+Lifecycle calls that only make sense next to the database files —
+``suspend``, ``recover_live_sessions`` — stay with the *worker processes*:
+SIGTERM (``stop()``) makes each child drain and checkpoint its own shard,
+and ``repro recover --db-path <base>.shardK.db --shards 1`` resumes it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
+from repro.platform.backends import is_memory_path
+from repro.platform.backends.base import HighlightRecord
+from repro.platform.client import LightorClient
+from repro.platform.sharding import ConsistentHashRing, shard_db_path
+from repro.streaming.events import StreamEvent
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError, require_positive
+
+__all__ = ["ClusterFrontDoor", "ShardClusterSupervisor", "ShardWorker"]
+
+_LOGGER = get_logger("platform.cluster")
+
+# The machine-readable readiness line `repro serve` prints before accepting
+# traffic.  Anchored and strict: the human-readable banner must never match.
+_LISTENING = re.compile(r"^listening on (\S+):(\d+)\s*$")
+
+# Lines of child output retained per worker for failure forensics.
+_LOG_LINES = 100
+
+
+class ShardWorker:
+    """One supervised shard subprocess and what the supervisor knows of it."""
+
+    def __init__(self, index: int, command: list[str], db_path: str | None) -> None:
+        self.index = index
+        self.command = command
+        self.db_path = db_path
+        self.process: subprocess.Popen | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self.log: deque[str] = deque(maxlen=_LOG_LINES)
+        self.ready = threading.Event()
+        self._pump: threading.Thread | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    def spawn(self, env: dict[str, str]) -> None:
+        """Start the subprocess and the stdout pump thread."""
+        self.process = subprocess.Popen(
+            self.command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self._pump = threading.Thread(
+            target=self._pump_stdout, name=f"shard-{self.index}-stdout", daemon=True
+        )
+        self._pump.start()
+
+    def _pump_stdout(self) -> None:
+        """Drain child stdout forever: parse readiness, retain the tail.
+
+        The pipe must be drained for the child's whole life (a full pipe
+        buffer would wedge its prints); EOF doubles as the death signal, so
+        ``ready`` is always set eventually and boot never waits on a corpse.
+        """
+        stream = self.process.stdout
+        try:
+            for line in stream:
+                line = line.rstrip("\n")
+                self.log.append(line)
+                if not self.ready.is_set():
+                    match = _LISTENING.match(line)
+                    if match:
+                        self.host = match.group(1)
+                        self.port = int(match.group(2))
+                        self.ready.set()
+        finally:
+            self.ready.set()
+            stream.close()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the subprocess is currently running."""
+        return self.process is not None and self.process.poll() is None
+
+    def log_tail(self, lines: int = 10) -> str:
+        """The child's last few output lines, indented for error messages."""
+        tail = list(self.log)[-lines:]
+        return "\n".join(f"    [shard {self.index}] {line}" for line in tail) or (
+            f"    [shard {self.index}] (no output)"
+        )
+
+    def join_pump(self, timeout: float = 5.0) -> None:
+        """Wait for the stdout pump to observe EOF (call after the child died)."""
+        if self._pump is not None:
+            self._pump.join(timeout=timeout)
+
+
+class ShardClusterSupervisor:
+    """Spawn, watch and stop ``N`` single-shard ``repro serve`` workers.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker processes.  Worker ``k`` owns ring bucket ``k`` — the same
+        bucket the in-process front door would route to.
+    backend / db_path:
+        Storage behind each worker.  With ``backend="sqlite"`` and a file
+        path, worker ``k`` is pointed at ``shard_db_path(db_path, k)``
+        (``base.db`` → ``base.shardK.db``); the worker's own single-shard
+        service suffixes once more, so its file on disk is
+        ``base.shardK.shard0.db`` and ``repro recover --db-path
+        base.shardK.db --shards 1`` finds it.
+    host / base_port:
+        Bind address per worker.  ``base_port=0`` (default) gives every
+        worker an ephemeral port — the readiness line reports the real one;
+        otherwise worker ``k`` binds ``base_port + k``.
+    seed / live_k / max_live_sessions / checkpoint_every:
+        Forwarded to each worker's ``repro serve`` so the cluster's engine
+        state is parameter-identical to an in-process tier built with the
+        same values (``seed`` trains the same model deterministically in
+        every child).
+    max_pending / worker_threads:
+        Per-worker gateway admission budget and service thread pool.
+    boot_timeout:
+        Deadline for *all* workers to print readiness and answer
+        ``/healthz``.
+    client_timeout:
+        Socket timeout for the supervisor's own health probes and for
+        front doors built via :meth:`front_door`.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        backend: str = "memory",
+        db_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        seed: int = 2020,
+        live_k: int | None = None,
+        max_live_sessions: int = 64,
+        checkpoint_every: int | None = None,
+        max_pending: int = 64,
+        worker_threads: int = 8,
+        boot_timeout: float = 60.0,
+        client_timeout: float = 60.0,
+        replicas: int = 64,
+    ) -> None:
+        require_positive(n_shards, "n_shards")
+        require_positive(max_live_sessions, "max_live_sessions")
+        if db_path is not None and backend != "sqlite":
+            raise ValidationError("db_path requires the sqlite backend")
+        if backend == "sqlite" and db_path is not None and is_memory_path(db_path):
+            raise ValidationError(
+                "a cluster cannot share ':memory:' databases across processes; "
+                "pass a file path or use backend='memory'"
+            )
+        if base_port < 0:
+            raise ValidationError("base_port must be >= 0")
+        self.n_shards = n_shards
+        self.backend = backend
+        self.db_path = None if db_path is None else str(db_path)
+        self.host = host
+        self.base_port = base_port
+        self.seed = seed
+        self.live_k = live_k
+        self.max_live_sessions = max_live_sessions
+        self.checkpoint_every = checkpoint_every
+        self.max_pending = max_pending
+        self.worker_threads = worker_threads
+        self.boot_timeout = boot_timeout
+        self.client_timeout = client_timeout
+        self.replicas = replicas
+        self.workers: list[ShardWorker] = []
+        self._exit_codes: list[int] | None = None
+        self._started = False
+
+    # ----------------------------------------------------------- construction
+    def _worker_command(self, index: int) -> tuple[list[str], str | None]:
+        port = 0 if self.base_port == 0 else self.base_port + index
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            str(port),
+            "--shards",
+            "1",
+            "--backend",
+            self.backend,
+            "--seed",
+            str(self.seed),
+            "--max-live-sessions",
+            str(self.max_live_sessions),
+            "--max-pending",
+            str(self.max_pending),
+            "--worker-threads",
+            str(self.worker_threads),
+        ]
+        db_path: str | None = None
+        if self.db_path is not None:
+            db_path = shard_db_path(self.db_path, index)
+            command += ["--db-path", db_path]
+        if self.checkpoint_every is not None:
+            command += ["--checkpoint-every", str(self.checkpoint_every)]
+        if self.live_k is not None:
+            command += ["--k", str(self.live_k)]
+        return command, db_path
+
+    def _child_env(self) -> dict[str, str]:
+        """The child environment, with ``repro`` guaranteed importable."""
+        env = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_dir if not existing else os.pathsep.join([src_dir, existing])
+        return env
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "ShardClusterSupervisor":
+        """Spawn every worker and wait for the whole cluster to be ready.
+
+        Readiness is two barriers per worker: the ``listening on host:port``
+        stdout line (which resolves ephemeral ports), then ``/healthz``
+        answering over the wire.  Any worker dying — or the
+        ``boot_timeout`` expiring — before both barriers tears the whole
+        cluster down and raises with the failing worker's output tail.
+        """
+        if self._started:
+            raise ValidationError("cluster already started")
+        self._started = True
+        env = self._child_env()
+        deadline = time.monotonic() + self.boot_timeout
+        try:
+            for index in range(self.n_shards):
+                command, db_path = self._worker_command(index)
+                worker = ShardWorker(index, command, db_path)
+                worker.spawn(env)
+                self.workers.append(worker)
+            for worker in self.workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not worker.ready.wait(timeout=remaining):
+                    raise RuntimeError(
+                        f"shard {worker.index} did not report readiness within "
+                        f"{self.boot_timeout:g}s; its output was:\n{worker.log_tail()}"
+                    )
+                if worker.port is None:
+                    # The pump hit EOF before a listening line: the child died
+                    # during boot (bad flags, bound port taken, poisoned db).
+                    worker.process.wait()
+                    raise RuntimeError(
+                        f"shard {worker.index} exited with code "
+                        f"{worker.process.returncode} during boot; its output "
+                        f"was:\n{worker.log_tail()}"
+                    )
+            self._health_barrier(deadline)
+        except BaseException:
+            self._teardown_hard()
+            raise
+        _LOGGER.info(
+            "cluster up: %d shard worker(s) at %s",
+            self.n_shards,
+            ", ".join(f"{w.host}:{w.port}" for w in self.workers),
+        )
+        return self
+
+    def _health_barrier(self, deadline: float) -> None:
+        """Block until every worker's ``/healthz`` answers (or the deadline)."""
+        for worker in self.workers:
+            client = LightorClient(worker.host, worker.port, timeout=self.client_timeout)
+            try:
+                while True:
+                    if not worker.alive:
+                        worker.process.wait()
+                        raise RuntimeError(
+                            f"shard {worker.index} exited with code "
+                            f"{worker.process.returncode} before /healthz answered; "
+                            f"its output was:\n{worker.log_tail()}"
+                        )
+                    try:
+                        payload = client.healthz()
+                        if payload.get("status") == "ok":
+                            break
+                    except OSError:
+                        pass
+                    if time.monotonic() >= deadline:
+                        raise RuntimeError(
+                            f"shard {worker.index} at {worker.host}:{worker.port} "
+                            f"did not answer /healthz within {self.boot_timeout:g}s"
+                        )
+                    time.sleep(0.05)
+            finally:
+                client.close()
+
+    def _teardown_hard(self) -> None:
+        """Boot-failure cleanup: no drain, just make every child gone."""
+        for worker in self.workers:
+            if worker.alive:
+                worker.process.terminate()
+        for worker in self.workers:
+            if worker.process is None:
+                continue
+            try:
+                worker.process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                worker.process.kill()
+                worker.process.wait()
+            worker.join_pump()
+
+    def dead_shards(self) -> list[int]:
+        """Indices of workers that have exited (empty on a healthy cluster).
+
+        The mid-run supervision hook: ``repro cluster`` polls it and fails
+        the deployment when a worker dies underneath the front door.
+        """
+        if self._exit_codes is not None:
+            return []
+        return [worker.index for worker in self.workers if not worker.alive]
+
+    def stop(self, timeout: float = 30.0) -> list[int]:
+        """SIGTERM every worker and wait; returns their exit codes.
+
+        SIGTERM is the graceful path: each worker drains its gateway and —
+        on a durable backend — suspends its sessions (checkpoint and
+        release), so the cluster's databases resume byte-exactly via
+        ``repro recover``.  A worker that ignores the deadline is killed
+        (exit code < 0).  Idempotent: the first result is cached, and a
+        worker that already exited just contributes its code.
+        """
+        if self._exit_codes is not None:
+            return self._exit_codes
+        codes: list[int] = []
+        for worker in self.workers:
+            if worker.alive:
+                worker.process.terminate()
+        for worker in self.workers:
+            if worker.process is None:
+                codes.append(-1)
+                continue
+            try:
+                worker.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                _LOGGER.warning(
+                    "shard %d ignored SIGTERM for %gs; killing", worker.index, timeout
+                )
+                worker.process.kill()
+                worker.process.wait()
+            worker.join_pump()
+            codes.append(worker.process.returncode)
+        self._exit_codes = codes
+        return codes
+
+    # ---------------------------------------------------------------- routing
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        """``(host, port)`` per worker, in shard order (after :meth:`start`)."""
+        return [(worker.host, worker.port) for worker in self.workers]
+
+    def front_door(self) -> "ClusterFrontDoor":
+        """A new :class:`ClusterFrontDoor` over this cluster's workers.
+
+        Each call builds an independent front door (own sockets, own
+        placement memo) — hand one to each thread that needs the cluster.
+        """
+        return ClusterFrontDoor(
+            self.addresses, replicas=self.replicas, timeout=self.client_timeout
+        )
+
+    def __enter__(self) -> "ShardClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class _RemoteStoreView:
+    """Read-only facade over one shard's persisted state, via its gateway.
+
+    Quacks like the slice of :class:`~repro.platform.backends.base.StorageBackend`
+    the load harness's fingerprint reads, so
+    ``ClusterFrontDoor.store_for(video_id)`` drops into code written against
+    the in-process front door — but every read crosses the wire, which is
+    the point: parity checks must see exactly what the shard *process*
+    persisted, not some local replica.
+    """
+
+    def __init__(self, client: LightorClient) -> None:
+        self._client = client
+
+    def get_red_dots(self, video_id: str) -> list[RedDot]:
+        return self._client.get_red_dots(video_id)
+
+    def latest_highlights(self, video_id: str) -> list[Highlight]:
+        return self._client.latest_highlights(video_id)
+
+    def highlight_history(self, video_id: str) -> list[HighlightRecord]:
+        return self._client.highlight_history(video_id)
+
+    def get_interactions(self, video_id: str) -> list[Interaction]:
+        return self._client.get_interactions(video_id)
+
+
+class ClusterFrontDoor:
+    """Route the service surface to shard processes by consistent hash.
+
+    The wire twin of :class:`~repro.platform.sharding.ShardedLightorService`:
+    same ring, same placement, same method surface — callers written against
+    the in-process front door (the load generator above all) drive a
+    process cluster unchanged.  One kept-alive
+    :class:`~repro.platform.client.LightorClient` per shard; like the
+    client itself, a front door is **not** thread-safe — build one per
+    thread via :meth:`clone` (or
+    :meth:`ShardClusterSupervisor.front_door`).
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        *,
+        replicas: int = 64,
+        timeout: float = 60.0,
+    ) -> None:
+        if not addresses:
+            raise ValidationError("a cluster front door needs at least one shard address")
+        self.addresses = [(str(host), int(port)) for host, port in addresses]
+        self._replicas = replicas
+        self._timeout = timeout
+        self._ring = ConsistentHashRing(len(self.addresses), replicas=replicas)
+        self._clients = [
+            LightorClient(host, port, timeout=timeout) for host, port in self.addresses
+        ]
+        # Same memoization contract as the in-process front door: the ring is
+        # immutable, so per-id lookups are cached with a bounded clear-on-full
+        # dict (placements are pure recomputation).
+        self._placements: dict[str, int] = {}
+        self._placements_max = 4096
+
+    # ----------------------------------------------------------------- routing
+    @property
+    def n_shards(self) -> int:
+        """Number of shard processes behind the front door."""
+        return len(self._clients)
+
+    def shard_index(self, video_id: str) -> int:
+        """The shard that owns ``video_id`` (identical to the in-process ring)."""
+        index = self._placements.get(video_id)
+        if index is None:
+            index = self._ring.shard_for(video_id)
+            if len(self._placements) >= self._placements_max:
+                self._placements.clear()
+            self._placements[video_id] = index
+        return index
+
+    def client_for(self, video_id: str) -> LightorClient:
+        """The wire client of the shard owning ``video_id``."""
+        return self._clients[self.shard_index(video_id)]
+
+    def store_for(self, video_id: str) -> _RemoteStoreView:
+        """A read-only view of the owning shard's persisted state."""
+        return _RemoteStoreView(self.client_for(video_id))
+
+    def clone(self) -> "ClusterFrontDoor":
+        """An independent front door over the same shards (for another thread)."""
+        return ClusterFrontDoor(
+            self.addresses, replicas=self._replicas, timeout=self._timeout
+        )
+
+    # ------------------------------------------------------------ batch surface
+    def register_video(self, video: Video) -> None:
+        """Store video metadata on its home shard (no live session opened)."""
+        self.client_for(video.video_id).register_video(video)
+
+    def request_red_dots(self, video_id: str, k: int | None = None) -> list[RedDot]:
+        """Red dots for a recorded video, computed by its home shard."""
+        return self.client_for(video_id).request_red_dots(video_id, k=k)
+
+    def log_interactions(self, video_id: str, interactions: Sequence[Interaction]) -> int:
+        """Persist viewer interactions on the video's home shard."""
+        return self.client_for(video_id).log_interactions(video_id, interactions)
+
+    def refine_video(self, video_id: str) -> int:
+        """Run one Extractor refinement pass on the video's home shard."""
+        return self.client_for(video_id).refine_video(video_id)
+
+    def get_red_dots(self, video_id: str) -> list[RedDot]:
+        """The stored red dots for a video (its home shard's backend)."""
+        return self.client_for(video_id).get_red_dots(video_id)
+
+    def latest_highlights(self, video_id: str) -> list[Highlight]:
+        """The most recent stored highlight per area for a video."""
+        return self.client_for(video_id).latest_highlights(video_id)
+
+    def highlight_history(self, video_id: str) -> list[HighlightRecord]:
+        """Every stored highlight record for a video, in version order."""
+        return self.client_for(video_id).highlight_history(video_id)
+
+    def get_interactions(self, video_id: str) -> list[Interaction]:
+        """The stored viewer interactions for a video, in insertion order."""
+        return self.client_for(video_id).get_interactions(video_id)
+
+    # ------------------------------------------------------------- live surface
+    def start_live(self, video: Video) -> None:
+        """Register a live channel and open its session on its home shard."""
+        self.client_for(video.video_id).start_live(video)
+
+    def ingest_live_chat(
+        self, video_id: str, messages: Sequence[ChatMessage]
+    ) -> list[StreamEvent]:
+        """Push live chat to the channel's home shard."""
+        return self.client_for(video_id).ingest_live_chat(video_id, messages)
+
+    def ingest_chat_batch(
+        self, video_id: str, messages: Sequence[ChatMessage], persist: bool = False
+    ) -> list[StreamEvent]:
+        """Push a chat batch to the channel's home shard (one request per batch)."""
+        return self.client_for(video_id).ingest_chat_batch(
+            video_id, messages, persist=persist
+        )
+
+    def ingest_live_interactions(
+        self, video_id: str, interactions: Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Push live viewer interactions to the channel's home shard."""
+        return self.client_for(video_id).ingest_live_interactions(video_id, interactions)
+
+    def ingest_plays_batch(
+        self, video_id: str, interactions: Sequence[Interaction]
+    ) -> list[StreamEvent]:
+        """Push a viewer-interaction batch to the channel's home shard."""
+        return self.client_for(video_id).ingest_plays_batch(video_id, interactions)
+
+    def live_red_dots(self, video_id: str) -> list[RedDot]:
+        """The dots to render right now for a channel (live or persisted)."""
+        return self.client_for(video_id).live_red_dots(video_id)
+
+    def end_live(self, video_id: str, duration: float | None = None) -> list[RedDot]:
+        """Close a live channel on its home shard; final dots are persisted."""
+        return self.client_for(video_id).end_live(video_id, duration)
+
+    # ----------------------------------------------------------- observability
+    def healthz(self) -> list[dict]:
+        """Every shard's health payload, in shard order."""
+        return [client.healthz() for client in self._clients]
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release every kept-alive connection.
+
+        Closes only the front door's sockets — the shard *processes* belong
+        to the supervisor (``stop()`` drains and checkpoints them).  Safe to
+        call more than once, matching the in-process front door's contract
+        that the load harness may close the service it drove.
+        """
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "ClusterFrontDoor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

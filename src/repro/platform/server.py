@@ -388,13 +388,36 @@ class LightorGateway:
                     return "red_dots", None
                 return "red_dots", lambda body, query: self._h_red_dots(video_id, query)
             if leaf == "interactions":
-                if method != "POST":
-                    return "interactions", None
-                return "interactions", lambda body, query: self._h_interactions(video_id, body)
+                if method == "POST":
+                    return (
+                        "interactions",
+                        lambda body, query: self._h_interactions(video_id, body),
+                    )
+                if method == "GET":
+                    return (
+                        "interactions_read",
+                        lambda body, query: self._h_get_interactions(video_id),
+                    )
+                return "interactions", None
             if leaf == "refine":
                 if method != "POST":
                     return "refine", None
                 return "refine", lambda body, query: self._h_refine(video_id)
+            if leaf == "stored-dots":
+                if method != "GET":
+                    return "stored_dots", None
+                return "stored_dots", lambda body, query: self._h_stored_dots(video_id)
+            if leaf == "highlights":
+                if method != "GET":
+                    return "highlights", None
+                return "highlights", lambda body, query: self._h_highlight_history(video_id)
+            if leaf == "latest-highlights":
+                if method != "GET":
+                    return "latest_highlights", None
+                return (
+                    "latest_highlights",
+                    lambda body, query: self._h_latest_highlights(video_id),
+                )
         if len(parts) == 3 and parts[0] == "live":
             video_id, leaf = parts[1], parts[2]
             if leaf == "start":
@@ -443,6 +466,22 @@ class LightorGateway:
 
     def _h_refine(self, video_id: str) -> dict:
         return {"updated": self.service.refine_video(video_id)}
+
+    def _h_stored_dots(self, video_id: str) -> dict:
+        dots = self.service.get_red_dots(video_id)
+        return {"red_dots": [codecs.red_dot_to_dict(dot) for dot in dots]}
+
+    def _h_highlight_history(self, video_id: str) -> dict:
+        records = self.service.highlight_history(video_id)
+        return {"highlights": [codecs.highlight_record_to_dict(r) for r in records]}
+
+    def _h_latest_highlights(self, video_id: str) -> dict:
+        highlights = self.service.latest_highlights(video_id)
+        return {"highlights": [codecs.highlight_to_dict(h) for h in highlights]}
+
+    def _h_get_interactions(self, video_id: str) -> dict:
+        interactions = self.service.get_interactions(video_id)
+        return {"interactions": [codecs.interaction_to_dict(i) for i in interactions]}
 
     def _h_start_live(self, video_id: str, body: dict) -> dict:
         video = codecs.video_from_dict(body)
@@ -556,6 +595,16 @@ class GatewayThread:
         if self._startup_error is not None:
             raise self._startup_error
         return self.gateway.host, self.gateway.port
+
+    @property
+    def host(self) -> str:
+        """The gateway's bind host."""
+        return self.gateway.host
+
+    @property
+    def port(self) -> int:
+        """The gateway's port — the *bound* one once :meth:`start` returned."""
+        return self.gateway.port
 
     def _run(self) -> None:
         loop = asyncio.new_event_loop()

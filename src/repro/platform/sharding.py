@@ -293,6 +293,12 @@ class ShardedLightorService:
         with lock:
             return shard.store.highlight_history(video_id)
 
+    def get_interactions(self, video_id: str) -> list[Interaction]:
+        """The stored viewer interactions for a video, in insertion order."""
+        lock, shard = self._route(video_id)
+        with lock:
+            return shard.store.get_interactions(video_id)
+
     # ------------------------------------------------------------- live surface
     def start_live(self, video: Video) -> None:
         """Register a live channel and open its session on its home shard."""

@@ -10,11 +10,14 @@ WAL mode) is tested separately below.
 
 from __future__ import annotations
 
+import sqlite3
+
 import pytest
 
 from repro.core.types import ChatMessage, Highlight, Interaction, InteractionKind, RedDot, Video
 from repro.platform.backends import (
     InMemoryStore,
+    SQLiteBusyError,
     SQLiteStore,
     StorageBackend,
     create_backend,
@@ -416,3 +419,54 @@ class TestBackendFactory:
 
         assert LegacyStore is InMemoryStore
         assert issubclass(LegacyStore, LegacyBackend)
+
+
+class TestBusyContention:
+    """Cross-process lock contention surfaces as a typed, named error."""
+
+    def test_busy_writer_raises_typed_error_naming_the_path(self, tmp_path):
+        db = tmp_path / "contended.db"
+        victim = SQLiteStore(db, busy_timeout_ms=100)
+        blocker = sqlite3.connect(db)
+        try:
+            # A second connection holding the write lock is exactly what two
+            # shard workers misconfigured onto one database file look like.
+            blocker.execute("BEGIN IMMEDIATE")
+            with pytest.raises(SQLiteBusyError) as excinfo:
+                victim.put_video(_video())
+            error = excinfo.value
+            assert str(db) in str(error)
+            assert "100" in str(error)
+            assert error.path == str(db)
+            assert error.timeout_ms == 100
+            # Still a sqlite3.OperationalError: existing handlers keep working.
+            assert isinstance(error, sqlite3.OperationalError)
+        finally:
+            blocker.rollback()
+            blocker.close()
+            victim.close()
+
+    def test_writes_succeed_once_the_lock_clears(self, tmp_path):
+        db = tmp_path / "contended.db"
+        victim = SQLiteStore(db, busy_timeout_ms=5000)
+        blocker = sqlite3.connect(db)
+        try:
+            blocker.execute("BEGIN IMMEDIATE")
+            blocker.rollback()  # release before the victim's timeout
+            victim.put_video(_video())
+            assert victim.has_video("v1")
+        finally:
+            blocker.close()
+            victim.close()
+
+    def test_negative_busy_timeout_rejected(self):
+        with pytest.raises(ValidationError):
+            SQLiteStore(busy_timeout_ms=-1)
+
+    def test_every_connection_sets_busy_timeout(self, tmp_path):
+        store = SQLiteStore(tmp_path / "t.db")
+        try:
+            (value,) = store._connection.execute("PRAGMA busy_timeout").fetchone()
+            assert value == store.busy_timeout_ms == 5000
+        finally:
+            store.close()

@@ -18,14 +18,21 @@ Four properties matter:
 from __future__ import annotations
 
 import http.client
+import socket
 import threading
+import time
 
 import pytest
 
 from repro.cli import main
 from repro.platform import codecs
 from repro.platform.backends import SQLiteStore
-from repro.platform.client import GatewayError, GatewayOverloadedError, LightorClient
+from repro.platform.client import (
+    GatewayError,
+    GatewayOverloadedError,
+    GatewayTimeoutError,
+    LightorClient,
+)
 from repro.platform.server import GatewayThread, LightorGateway
 from repro.platform.sharding import ShardedLightorService, shard_db_path
 from repro.utils.validation import ValidationError
@@ -373,3 +380,62 @@ class TestKillRecover:
         assert [codecs.red_dot_to_dict(d) for d in final] == [
             codecs.red_dot_to_dict(d) for d in expected
         ]
+
+
+class TestStoredStateReads:
+    def test_stored_state_reads_round_trip(self, served, dota2_dataset):
+        """The GET read surface (stored dots, highlight history, latest
+        highlights, interactions) must decode to the exact objects the
+        shard's backend holds — it is what cluster parity checks read."""
+        client, tier = served
+        target = dota2_dataset[5]
+        video_id = target.video.video_id
+        client.start_live(target.video)
+        for chunk in _chunks(list(target.chat_log.messages[:300])):
+            client.ingest_chat_batch(video_id, chunk)
+        client.end_live(video_id, target.video.duration)
+        store = tier.store_for(video_id)
+        assert client.get_red_dots(video_id) == store.get_red_dots(video_id)
+        assert client.highlight_history(video_id) == store.highlight_history(video_id)
+        assert client.latest_highlights(video_id) == store.latest_highlights(video_id)
+        assert client.get_interactions(video_id) == store.get_interactions(video_id)
+        assert client.get_interactions(video_id) == tier.get_interactions(video_id)
+
+
+class TestClientTimeout:
+    def test_unresponsive_server_raises_typed_timeout(self):
+        """A server that accepts but never answers must surface as
+        :class:`GatewayTimeoutError` (a 504 ``GatewayError``), not a bare
+        socket timeout — and must NOT be retried: the request may have
+        reached the service and be executing."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()
+        client = LightorClient(host, port, timeout=0.3)
+        try:
+            started = time.monotonic()
+            with pytest.raises(GatewayTimeoutError) as excinfo:
+                client.healthz()
+            elapsed = time.monotonic() - started
+            # One timeout's worth of waiting, not a retry loop's.
+            assert 0.2 <= elapsed < 2.0
+            error = excinfo.value
+            assert isinstance(error, GatewayError) and error.status == 504
+            assert f"{host}:{port}" in str(error) and "0.3" in str(error)
+            # The wedged connection was dropped: a later call redials
+            # rather than reusing a socket with a half-sent request on it.
+            assert client._connection is None
+        finally:
+            client.close()
+            listener.close()
+
+
+class TestGatewayThreadAddress:
+    def test_host_and_port_properties_expose_bound_address(self, tier):
+        gateway = GatewayThread(tier)
+        try:
+            host, port = gateway.start()
+            assert (gateway.host, gateway.port) == (host, port)
+            assert port > 0
+        finally:
+            gateway.stop()
+            tier.close()
