@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -34,6 +35,7 @@ from repro.core.config import LightorConfig
 from repro.core.initializer.initializer import HighlightInitializer
 from repro.datasets import DatasetSpec, build_dataset
 from repro.loadgen import LoadWorkload, WorkloadSpec, run_load
+from repro.platform import codecs, wire
 
 CHANNELS = int(os.environ.get("LIGHTOR_BENCH_LOAD_CHANNELS", "12"))
 VIEWERS = int(os.environ.get("LIGHTOR_BENCH_LOAD_VIEWERS", "1200"))
@@ -237,6 +239,188 @@ def test_bench_cluster_scaling(fitted_initializer, workload):
             f"cluster fleet collapsed: {speedup:.2f}x vs one worker "
             f"(throughput: {throughput})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Wire codec axis (JSON vs binary frames)
+# ---------------------------------------------------------------------------
+
+CODEC_BATCH = 512
+# Binary frames trade CPU for bytes; the size win only needs real 512-event
+# batches, but the events/sec win additionally needs cores that aren't
+# already saturated time-slicing the shard fleet — same honesty rule as the
+# cluster gate above.
+BYTES_GATE = 0.5
+CODEC_SPEEDUP_GATE = 1.3
+
+
+def _codec_payloads(workload: LoadWorkload) -> list[dict]:
+    """The exact request bodies the wire carries at batch ``CODEC_BATCH``."""
+    payloads = []
+    for batch in workload.rebatched(CODEC_BATCH).batches():
+        if batch.kind == "chat":
+            payloads.append(
+                {
+                    "messages": [codecs.chat_message_to_dict(m) for m in batch.events],
+                    "persist": False,
+                }
+            )
+        else:
+            payloads.append(
+                {"interactions": [codecs.interaction_to_dict(i) for i in batch.events]}
+            )
+    return payloads
+
+
+def test_bench_codec_bytes_and_cpu(workload):
+    """Micro-bench both codecs over the real wire payloads: bytes/event and
+    encode/decode CPU seconds, recorded per codec in ``BENCH_load.json``.
+
+    The ≤0.5x bytes/event gate arms at full size (tiny smoke fleets produce
+    under-filled batches that compress worse); any size still has to beat
+    plain JSON or the codec is pointless.
+    """
+    payloads = _codec_payloads(workload)
+    events = sum(
+        len(p.get("messages") or p.get("interactions")) for p in payloads
+    )
+    assert events > 0
+    stats: dict[str, dict] = {}
+    for codec in wire.WIRE_CODECS:
+        if codec == "binary":
+            encode = wire.encode_frame
+            decode = wire.decode_frame
+        else:
+            encode = lambda value: json.dumps(value).encode("utf-8")
+            decode = lambda blob: json.loads(blob.decode("utf-8"))
+        t0 = time.process_time()
+        blobs = [encode(p) for p in payloads]
+        encode_cpu = time.process_time() - t0
+        t0 = time.process_time()
+        decoded = [decode(b) for b in blobs]
+        decode_cpu = time.process_time() - t0
+        assert decoded == [json.loads(json.dumps(p)) for p in payloads]
+        total = sum(len(b) for b in blobs)
+        stats[codec] = {
+            "bytes_total": total,
+            "bytes_per_event": round(total / events, 2),
+            "encode_cpu_s": round(encode_cpu, 4),
+            "decode_cpu_s": round(decode_cpu, 4),
+        }
+    ratio = stats["binary"]["bytes_per_event"] / stats["json"]["bytes_per_event"]
+    print()
+    for codec, row in stats.items():
+        print(
+            f"  codec={codec:<6s} {row['bytes_per_event']:>8,.1f} bytes/event "
+            f"(encode {row['encode_cpu_s']:.3f}s, decode {row['decode_cpu_s']:.3f}s "
+            f"over {events:,} events)"
+        )
+    print(f"  binary/json size ratio {ratio:.3f}x (gate ≤{BYTES_GATE}x at full size)")
+    _save(
+        {
+            "codec_micro": {
+                "batch_size": CODEC_BATCH,
+                "events": events,
+                "per_codec": stats,
+                "bytes_ratio": round(ratio, 4),
+                "gated": FULL_SIZE,
+            }
+        }
+    )
+    if FULL_SIZE:
+        assert ratio <= BYTES_GATE, (
+            f"binary frames are {ratio:.3f}x the JSON bytes/event — "
+            f"over the {BYTES_GATE}x gate ({stats})"
+        )
+    else:
+        assert ratio < 1.0, (
+            f"binary frames are no smaller than JSON ({ratio:.3f}x) even at "
+            f"smoke size ({stats})"
+        )
+
+
+def test_bench_codec_wire_throughput(fitted_initializer, workload):
+    """End-to-end events/sec over HTTP at batch 512, JSON vs binary.
+
+    Fingerprint equality across codecs is asserted by the tier-1 suites;
+    this bench records the throughput axis. The ≥1.3x gate arms at full
+    size on ≥4 usable cores (below that the wire run is CPU-starved and the
+    codec swap can't show its win); the honest measurement and the
+    ``gated`` flag are recorded either way.
+    """
+    print()
+    throughput: dict[str, float] = {}
+    grid: dict[str, dict] = {}
+    for codec in wire.WIRE_CODECS:
+        report = run_load(
+            workload.spec,
+            fitted_initializer,
+            shards=SHARD_COUNTS[-1],
+            workers=WORKERS,
+            backend="memory",
+            oracle=False,
+            workload=workload.rebatched(CODEC_BATCH),
+            transport="http",
+            wire_codec=codec,
+        )
+        throughput[codec] = report.events_per_sec
+        grid[codec] = report.to_dict()
+        print(
+            f"  http codec={codec:<6s} batch={CODEC_BATCH} "
+            f"{report.events_per_sec:>12,.0f} events/s"
+        )
+    speedup = throughput["binary"] / throughput["json"]
+    gated = FULL_SIZE and CPUS >= 4
+    print(f"  binary vs json over http: {speedup:.2f}x on {CPUS} usable CPU(s)")
+    _save(
+        {
+            "codec_wire": {
+                "batch_size": CODEC_BATCH,
+                "transport": "http",
+                "grid": grid,
+                "speedup_binary_vs_json": round(speedup, 2),
+                "cpus": CPUS,
+                "gated": gated,
+            }
+        }
+    )
+    if gated:
+        assert speedup >= CODEC_SPEEDUP_GATE, (
+            f"binary wire speedup {speedup:.2f}x at batch {CODEC_BATCH} fell "
+            f"below the {CODEC_SPEEDUP_GATE}x gate on {CPUS} CPUs "
+            f"(throughput: {throughput})"
+        )
+    else:
+        assert speedup > 0.5, (
+            f"binary wire collapsed: {speedup:.2f}x vs JSON "
+            f"(throughput: {throughput})"
+        )
+
+
+def test_bench_entries_record_honest_gating():
+    """PR-6 follow-on: every core-gated BENCH entry must record the CPU
+    count it actually measured on and whether its gate armed — a 1-CPU CI
+    box must never write ``gated: true``."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("no BENCH_load.json yet")
+    signature = (
+        f"channels{CHANNELS}-viewers{VIEWERS}-duration{int(DURATION)}-workers{WORKERS}"
+    )
+    entry = json.loads(RESULTS_PATH.read_text())["load_scaling"].get(signature)
+    if entry is None:
+        pytest.skip("no entry for this size signature yet")
+    core_gated = FULL_SIZE and CPUS >= 4
+    for key, expect_gated in (
+        ("cluster", core_gated),
+        ("codec_wire", core_gated),
+        ("codec_micro", FULL_SIZE),
+    ):
+        section = entry.get(key)
+        if section is None:
+            continue
+        if "cpus" in section:
+            assert section["cpus"] == CPUS, (key, section["cpus"], CPUS)
+        assert section["gated"] == expect_gated, (key, section["gated"], expect_gated)
 
 
 def test_bench_cluster_oracle_spot_check(fitted_initializer, workload):

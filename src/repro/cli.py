@@ -187,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2020,
         help="dataset seed the serving model is trained from (default: 2020)",
     )
+    serve_parser.add_argument(
+        "--wire-codec", default="json", choices=("json", "binary"),
+        help="response codec for clients that express no Accept preference; "
+        "an explicit Accept header always wins (default: json)",
+    )
 
     cluster_parser = subparsers.add_parser(
         "cluster",
@@ -245,6 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--boot-timeout", type=float, default=60.0,
         help="seconds the whole cluster gets to become healthy (default: 60)",
     )
+    cluster_parser.add_argument(
+        "--wire-codec", default="json", choices=("json", "binary"),
+        help="default response codec of every worker gateway (default: json)",
+    )
 
     load_parser = subparsers.add_parser(
         "load",
@@ -286,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="how the drivers reach the tier: direct calls, over the wire "
         "through an in-process HTTP gateway, or through a supervised fleet "
         "of shard worker processes (default: inproc)",
+    )
+    load_parser.add_argument(
+        "--wire-codec", default="json", choices=("json", "binary"),
+        help="request/response codec on wire transports (http/cluster); "
+        "fingerprints must match the JSON run byte-for-byte (default: json)",
     )
     load_parser.add_argument(
         "--zipf", type=float, default=1.0,
@@ -708,6 +722,7 @@ def _command_serve(args) -> int:
         port=args.port,
         max_pending=args.max_pending,
         worker_threads=args.worker_threads,
+        wire_codec=args.wire_codec,
     )
 
     async def _serve() -> None:
@@ -790,6 +805,7 @@ def _command_cluster(args) -> int:
             max_pending=args.max_pending,
             worker_threads=args.worker_threads,
             boot_timeout=args.boot_timeout,
+            wire_codec=args.wire_codec,
         )
     except ValidationError as error:
         print(f"invalid cluster: {error}", flush=True)
@@ -868,6 +884,9 @@ def _command_load(args) -> int:
         # in-process (see run_kill_recover); a wire hop adds nothing there.
         print("chaos mode supports only --transport inproc", flush=True)
         return 1
+    if args.wire_codec != "json" and args.transport == "inproc":
+        print("--wire-codec applies to wire transports only (http/cluster)", flush=True)
+        return 1
     if args.smoke:
         spec_kwargs = dict(
             channels=3, viewers=60, duration=1200.0, batch_size=64, seed=args.seed
@@ -923,6 +942,7 @@ def _command_load(args) -> int:
             db_path=args.db_path,
             oracle=not args.no_oracle,
             transport=args.transport,
+            wire_codec=args.wire_codec,
         )
     except (ValidationError, sqlite3.Error) as error:
         print(f"load run failed: {error}", flush=True)

@@ -91,6 +91,7 @@ class LoadReport:
     divergences: list[str] = field(default_factory=list)
     oracle_checked: bool = False
     transport: str = "inproc"
+    wire_codec: str = "json"
 
     @property
     def events_per_sec(self) -> float:
@@ -109,6 +110,7 @@ class LoadReport:
             "workers": self.workers,
             "batch_size": self.batch_size,
             "transport": self.transport,
+            "wire_codec": self.wire_codec,
             "channels": self.channels,
             "total_events": self.total_events,
             "wall_seconds": round(self.wall_seconds, 6),
@@ -124,7 +126,7 @@ class LoadReport:
             f"{self.total_events:,} events over {self.channels} channel(s) "
             f"in {self.wall_seconds:.2f}s — {self.events_per_sec:,.0f} events/s "
             f"({self.shards} shard(s), {self.workers} worker(s), batch {self.batch_size}, "
-            f"transport {self.transport})"
+            f"transport {self.transport}, codec {self.wire_codec})"
         ]
         for name, stats in sorted(self.stages.items()):
             lines.append(
@@ -170,6 +172,7 @@ class LoadGenerator:
         service: ShardedLightorService,
         oracle_factory=None,
         transport: str = "inproc",
+        wire_codec: str = "json",
     ) -> LoadReport:
         """Run the workload against ``service`` and (optionally) oracle-check.
 
@@ -193,13 +196,35 @@ class LoadGenerator:
         *processes*' persisted state over the same wire.  The supervisor's
         lifecycle stays with the caller — closing the front door here only
         releases its sockets.
+
+        ``wire_codec`` picks the request/response encoding on wire
+        transports (``"json"`` or ``"binary"`` — see
+        :mod:`repro.platform.wire`); the fingerprints are codec-blind, so a
+        binary run must land byte-identical state to a JSON run.  For
+        ``transport="cluster"`` pass the same codec the front door was
+        built with (``run_load`` wires both ends).  Meaningless for
+        ``inproc`` (there is no wire) — anything but ``"json"`` is
+        rejected there.
         """
+        from repro.platform import wire
+
         if transport not in ("inproc", "http", "cluster"):
             # The contract holds on every exit: the driven service is closed.
             service.close()
             raise ValidationError(
                 f"unknown transport {transport!r} "
                 "(expected 'inproc', 'http' or 'cluster')"
+            )
+        if wire_codec not in wire.WIRE_CODECS:
+            service.close()
+            raise ValidationError(
+                f"unknown wire codec {wire_codec!r} (expected one of {wire.WIRE_CODECS})"
+            )
+        if transport == "inproc" and wire_codec != "json":
+            service.close()
+            raise ValidationError(
+                "wire_codec applies to wire transports only; "
+                "transport='inproc' has no wire to encode"
             )
         gateway = None
         clients: list = []
@@ -220,7 +245,10 @@ class LoadGenerator:
             except BaseException:
                 service.close()
                 raise
-            clients = [LightorClient(host, port) for _ in range(self.workers)]
+            clients = [
+                LightorClient(host, port, wire_codec=wire_codec)
+                for _ in range(self.workers)
+            ]
             frontends: list = list(clients)
         elif transport == "cluster":
             # One front-door clone per worker: clones share the ring but own
@@ -296,6 +324,7 @@ class LoadGenerator:
             divergences=divergences,
             oracle_checked=oracle_checked,
             transport=transport,
+            wire_codec=wire_codec,
         )
 
     # ---------------------------------------------------------------- internals
@@ -628,6 +657,7 @@ def run_load(
     workload: LoadWorkload | None = None,
     transport: str = "inproc",
     cluster_seed: int = 2020,
+    wire_codec: str = "json",
 ) -> LoadReport:
     """Build the workload, the service tier and the harness; run once.
 
@@ -672,6 +702,7 @@ def run_load(
             seed=cluster_seed,
             live_k=live_k,
             max_live_sessions=max(spec.channels, 1),
+            wire_codec=wire_codec,
         )
         supervisor.start()
         try:
@@ -679,6 +710,7 @@ def run_load(
                 supervisor.front_door(),
                 oracle_factory=oracle_factory if oracle else None,
                 transport="cluster",
+                wire_codec=wire_codec,
             )
         finally:
             supervisor.stop()
@@ -695,4 +727,5 @@ def run_load(
         service,
         oracle_factory=oracle_factory if oracle else None,
         transport=transport,
+        wire_codec=wire_codec,
     )

@@ -7,6 +7,17 @@ everything that goes in comes back out round-trip exact.  File-backed stores
 survive process restarts; the default ``:memory:`` path gives a throwaway
 store with identical semantics for tests.
 
+Chat and session snapshots — the firehose tables — additionally support the
+framed binary codec of :mod:`repro.platform.wire` (``storage_codec``, the
+default): a chat batch lands as **one** compressed blob row in
+``chat_batches`` instead of N JSON text rows, cutting both bytes/event and
+per-batch transaction work.  The format is migration-free by construction:
+new writes use the configured codec, reads dispatch on the stored value's
+type (``bytes`` → binary frame, ``str`` → JSON text), so a database written
+by any earlier version keeps reading — and both row shapes may coexist for
+one video (legacy per-message rows followed by batch rows share a single
+dense ``seq`` space).
+
 Concurrency: one connection guarded by an ``RLock`` (created with
 ``check_same_thread=False`` so the sharded service tier can call in from
 worker threads).  File-backed databases run in WAL mode so an eventual
@@ -23,7 +34,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
-from repro.platform import codecs
+from repro.platform import codecs, wire
 from repro.platform.backends.base import HighlightRecord, StorageBackend
 from repro.utils.validation import ValidationError
 
@@ -59,6 +70,13 @@ CREATE TABLE IF NOT EXISTS chat_messages (
     seq      INTEGER NOT NULL,
     payload  TEXT NOT NULL,
     PRIMARY KEY (video_id, seq)
+);
+CREATE TABLE IF NOT EXISTS chat_batches (
+    video_id  TEXT NOT NULL,
+    first_seq INTEGER NOT NULL,
+    n         INTEGER NOT NULL,
+    payload   BLOB NOT NULL,
+    PRIMARY KEY (video_id, first_seq)
 );
 CREATE TABLE IF NOT EXISTS interactions (
     rowid    INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -112,13 +130,37 @@ class SQLiteStore(StorageBackend):
         *process* on the same file contends for real.  When the timeout is
         still exhausted the failure surfaces as :class:`SQLiteBusyError`
         naming the db path.
+    storage_codec:
+        Row format for *new* chat-batch and snapshot writes: ``"binary"``
+        (the default — framed, compressed blobs) or ``"json"`` (the
+        pre-codec text rows).  Reads are codec-blind either way — they
+        dispatch on the stored value's type, so the knob never strands
+        existing data.
     """
 
-    def __init__(self, path: str | Path = ":memory:", *, busy_timeout_ms: int = 5000) -> None:
+    # Bumped when the *write* format grows a shape old readers cannot parse.
+    # v2 = chat_batches blob rows + binary snapshot frames (reads of every
+    # older shape keep working, so there is no migration step to run).
+    STORAGE_FORMAT_KEY = "storage_format_version"
+    STORAGE_FORMAT_VERSION = "2"
+
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        *,
+        busy_timeout_ms: int = 5000,
+        storage_codec: str = "binary",
+    ) -> None:
         if busy_timeout_ms < 0:
             raise ValidationError("busy_timeout_ms must be >= 0")
+        if storage_codec not in wire.WIRE_CODECS:
+            raise ValidationError(
+                f"unknown storage codec {storage_codec!r} "
+                f"(expected one of {wire.WIRE_CODECS})"
+            )
         self.path = str(path)
         self.busy_timeout_ms = int(busy_timeout_ms)
+        self.storage_codec = storage_codec
         self._lock = threading.RLock()
         self._connection = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock, self._guard(), self._connection:
@@ -126,6 +168,30 @@ class SQLiteStore(StorageBackend):
             self._connection.execute("PRAGMA synchronous=NORMAL")
             self._connection.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             self._connection.executescript(_SCHEMA)
+            self._connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (self.STORAGE_FORMAT_KEY, self.STORAGE_FORMAT_VERSION),
+            )
+
+    # ------------------------------------------------------- codec dispatch
+    def _encode_payload(self, value) -> bytes | str:
+        """Encode a value tree in the configured storage codec.
+
+        Both branches enforce the same strictness (``allow_nan=False`` /
+        the frame codec's non-finite rejection) and the binary frame decodes
+        to exactly what a strict JSON round-trip would give — so what codec
+        a row was *written* with is unobservable to readers.
+        """
+        if self.storage_codec == "binary":
+            return wire.encode_frame(value)
+        return json.dumps(value, allow_nan=False)
+
+    @staticmethod
+    def _decode_payload(payload: bytes | str):
+        """Decode a stored value by its type — blobs are frames, text is JSON."""
+        if isinstance(payload, bytes):
+            return wire.decode_frame(payload)
+        return json.loads(payload)
 
     @contextmanager
     def _guard(self):
@@ -175,91 +241,132 @@ class SQLiteStore(StorageBackend):
         return [codecs.video_from_dict(json.loads(row[0])) for row in rows]
 
     # ------------------------------------------------------------------ chat
+    # Chat lives in two tables sharing one dense seq space: legacy
+    # ``chat_messages`` (one JSON text row per message, what pre-codec
+    # versions wrote) and ``chat_batches`` (one blob row per ingest batch,
+    # covering seqs [first_seq, first_seq + n)).  Writers only add batches;
+    # readers merge both so any mix of generations reads back in order.
+    _NEXT_SEQ_SQL = (
+        "SELECT MAX("
+        " (SELECT COALESCE(MAX(seq), -1) FROM chat_messages WHERE video_id = ?),"
+        " (SELECT COALESCE(MAX(first_seq + n), 0) - 1 FROM chat_batches"
+        "  WHERE video_id = ?)"
+        ") + 1"
+    )
+
     def put_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
         """Store chat for a video (idempotent: replaces any previous crawl)."""
         self._require_known_video(video_id, "store chat")
         stored = sorted(messages, key=lambda m: m.timestamp)
-        rows = [
-            (video_id, seq, json.dumps(codecs.chat_message_to_dict(message)))
-            for seq, message in enumerate(stored)
-        ]
+        payload = self._encode_payload(
+            [codecs.chat_message_to_dict(message) for message in stored]
+        )
         with self._lock, self._guard(), self._connection:
             self._connection.execute(
                 "DELETE FROM chat_messages WHERE video_id = ?", (video_id,)
             )
-            self._connection.executemany(
-                "INSERT INTO chat_messages (video_id, seq, payload) VALUES (?, ?, ?)",
-                rows,
+            self._connection.execute(
+                "DELETE FROM chat_batches WHERE video_id = ?", (video_id,)
             )
-        return len(rows)
+            if stored:
+                self._connection.execute(
+                    "INSERT INTO chat_batches (video_id, first_seq, n, payload) "
+                    "VALUES (?, 0, ?, ?)",
+                    (video_id, len(stored), payload),
+                )
+        return len(stored)
 
     def append_chat(self, video_id: str, messages: Iterable[ChatMessage]) -> int:
         """Append live-ingested chat in arrival order; returns the new size.
 
-        The whole batch commits as **one** ``BEGIN IMMEDIATE`` transaction —
-        one ``executemany`` and one fsync per batch, which is what makes the
-        per-message cost of a chat firehose amortisable.  The write lock is
-        taken before reading ``MAX(seq)`` so two handles on the same file
-        cannot allocate colliding sequence numbers.
+        The whole batch commits as **one** blob row in **one** ``BEGIN
+        IMMEDIATE`` transaction — one insert and one fsync per batch
+        whatever the batch size, which is what makes the per-message cost
+        of a chat firehose amortisable.  The write lock is taken before
+        reading the next sequence number so two handles on the same file
+        cannot allocate colliding ranges.
         """
         self._require_known_video(video_id, "append chat")
-        payloads = [
-            json.dumps(codecs.chat_message_to_dict(message)) for message in messages
-        ]
+        rows = [codecs.chat_message_to_dict(message) for message in messages]
+        payload = self._encode_payload(rows)
         with self._lock, self._guard():
             self._connection.execute("BEGIN IMMEDIATE")
             try:
-                base = self._connection.execute(
-                    "SELECT COALESCE(MAX(seq), -1) FROM chat_messages WHERE video_id = ?",
-                    (video_id,),
+                first_seq = self._connection.execute(
+                    self._NEXT_SEQ_SQL, (video_id, video_id)
                 ).fetchone()[0]
-                self._connection.executemany(
-                    "INSERT INTO chat_messages (video_id, seq, payload) VALUES (?, ?, ?)",
-                    (
-                        (video_id, base + 1 + offset, payload)
-                        for offset, payload in enumerate(payloads)
-                    ),
-                )
+                if rows:
+                    self._connection.execute(
+                        "INSERT INTO chat_batches (video_id, first_seq, n, payload) "
+                        "VALUES (?, ?, ?, ?)",
+                        (video_id, first_seq, len(rows), payload),
+                    )
             except BaseException:
                 self._connection.execute("ROLLBACK")
                 raise
             self._connection.execute("COMMIT")
-        return int(base) + 1 + len(payloads)
+        return int(first_seq) + len(rows)
 
     def has_chat(self, video_id: str) -> bool:
         """Whether chat has been crawled for the video."""
         with self._lock:
             row = self._connection.execute(
-                "SELECT 1 FROM chat_messages WHERE video_id = ? LIMIT 1", (video_id,)
+                "SELECT 1 FROM chat_messages WHERE video_id = ? "
+                "UNION ALL SELECT 1 FROM chat_batches WHERE video_id = ? LIMIT 1",
+                (video_id, video_id),
             ).fetchone()
         return row is not None
 
+    def _chat_dicts_since(self, video_id: str, offset: int) -> list[dict]:
+        """Codec dicts for seqs ``>= offset``, merged across both row shapes.
+
+        Seqs are dense from 0 (``put_chat`` restarts them, ``append_chat``
+        continues them), so a count offset *is* a seq bound — legacy rows
+        filter in SQL, and only batches overlapping the suffix are decoded.
+        """
+        with self._lock:
+            legacy = self._connection.execute(
+                "SELECT seq, payload FROM chat_messages "
+                "WHERE video_id = ? AND seq >= ? ORDER BY seq",
+                (video_id, offset),
+            ).fetchall()
+            batches = self._connection.execute(
+                "SELECT first_seq, payload FROM chat_batches "
+                "WHERE video_id = ? AND first_seq + n > ? ORDER BY first_seq",
+                (video_id, offset),
+            ).fetchall()
+        entries = [(seq, json.loads(payload)) for seq, payload in legacy]
+        for first_seq, payload in batches:
+            for index, item in enumerate(self._decode_payload(payload)):
+                seq = first_seq + index
+                if seq >= offset:
+                    entries.append((seq, item))
+        entries.sort(key=lambda entry: entry[0])
+        return [item for _seq, item in entries]
+
     def get_chat(self, video_id: str) -> list[ChatMessage]:
         """Return the crawled chat messages (empty list when not crawled)."""
-        with self._lock:
-            rows = self._connection.execute(
-                "SELECT payload FROM chat_messages WHERE video_id = ? ORDER BY seq",
-                (video_id,),
-            ).fetchall()
-        return [codecs.chat_message_from_dict(json.loads(row[0])) for row in rows]
+        return [
+            codecs.chat_message_from_dict(item)
+            for item in self._chat_dicts_since(video_id, 0)
+        ]
 
     def count_chat(self, video_id: str) -> int:
-        """Number of stored chat messages (COUNT(*), no payload decode)."""
+        """Number of stored chat messages (row counts only, no payload decode)."""
         with self._lock:
             row = self._connection.execute(
-                "SELECT COUNT(*) FROM chat_messages WHERE video_id = ?", (video_id,)
+                "SELECT (SELECT COUNT(*) FROM chat_messages WHERE video_id = ?) + "
+                "(SELECT COALESCE(SUM(n), 0) FROM chat_batches WHERE video_id = ?)",
+                (video_id, video_id),
             ).fetchone()
         return int(row[0])
 
     def get_chat_since(self, video_id: str, offset: int) -> list[ChatMessage]:
-        """Chat rows from ``offset`` on — O(suffix) rows read and decoded."""
-        with self._lock:
-            rows = self._connection.execute(
-                "SELECT payload FROM chat_messages WHERE video_id = ? "
-                "ORDER BY seq LIMIT -1 OFFSET ?",
-                (video_id, offset),
-            ).fetchall()
-        return [codecs.chat_message_from_dict(json.loads(row[0])) for row in rows]
+        """Chat from ``offset`` on — O(suffix) rows read and decoded."""
+        return [
+            codecs.chat_message_from_dict(item)
+            for item in self._chat_dicts_since(video_id, offset)
+        ]
 
     # ---------------------------------------------------------- interactions
     def log_interactions(self, video_id: str, interactions: Iterable[Interaction]) -> int:
@@ -400,16 +507,18 @@ class SQLiteStore(StorageBackend):
 
         One ``INSERT OR REPLACE`` in one implicit transaction: a crash during
         the write leaves the previous checkpoint intact, never a torn one.
-        ``allow_nan=False`` rejects any payload that would not survive a
-        strict JSON parse at recovery time.
+        Both codecs reject any payload that would not survive a strict JSON
+        parse at recovery time (``allow_nan=False`` / the frame codec's
+        non-finite rejection), and encoding happens *before* the write so a
+        rejected payload stores nothing.
         """
         self._require_known_video(video_id, "store a session snapshot")
-        text = json.dumps(payload, allow_nan=False)
+        encoded = self._encode_payload(payload)
         with self._lock, self._guard(), self._connection:
             self._connection.execute(
                 "INSERT OR REPLACE INTO session_snapshots (video_id, payload) "
                 "VALUES (?, ?)",
-                (video_id, text),
+                (video_id, encoded),
             )
 
     def get_session_snapshots(self) -> dict[str, dict]:
@@ -418,7 +527,7 @@ class SQLiteStore(StorageBackend):
             rows = self._connection.execute(
                 "SELECT video_id, payload FROM session_snapshots ORDER BY video_id"
             ).fetchall()
-        return {row[0]: json.loads(row[1]) for row in rows}
+        return {row[0]: self._decode_payload(row[1]) for row in rows}
 
     def delete_session_snapshot(self, video_id: str) -> bool:
         """Drop a session checkpoint; returns whether one existed."""
@@ -435,7 +544,7 @@ class SQLiteStore(StorageBackend):
                 "SELECT payload FROM session_snapshots WHERE video_id = ?",
                 (video_id,),
             ).fetchone()
-        return None if row is None else json.loads(row[0])
+        return None if row is None else self._decode_payload(row[0])
 
     # --------------------------------------------------------------- summary
     def stats(self) -> dict[str, int]:
@@ -443,8 +552,14 @@ class SQLiteStore(StorageBackend):
         with self._lock:
             counts = {
                 "videos": "SELECT COUNT(*) FROM videos",
-                "videos_with_chat": "SELECT COUNT(DISTINCT video_id) FROM chat_messages",
-                "chat_messages": "SELECT COUNT(*) FROM chat_messages",
+                "videos_with_chat": (
+                    "SELECT COUNT(*) FROM (SELECT video_id FROM chat_messages "
+                    "UNION SELECT video_id FROM chat_batches)"
+                ),
+                "chat_messages": (
+                    "SELECT (SELECT COUNT(*) FROM chat_messages) + "
+                    "(SELECT COALESCE(SUM(n), 0) FROM chat_batches)"
+                ),
                 "interactions": "SELECT COUNT(*) FROM interactions",
                 "red_dots": "SELECT COUNT(*) FROM red_dots",
                 "highlight_records": "SELECT COUNT(*) FROM highlight_records",

@@ -30,7 +30,7 @@ from typing import Sequence
 from urllib.parse import quote
 
 from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
-from repro.platform import codecs
+from repro.platform import codecs, wire
 from repro.platform.backends.base import HighlightRecord
 from repro.streaming.events import StreamEvent
 from repro.utils.validation import ValidationError
@@ -74,12 +74,31 @@ class GatewayTimeoutError(GatewayError):
 
 
 class LightorClient:
-    """Call a :class:`~repro.platform.server.LightorGateway` over HTTP."""
+    """Call a :class:`~repro.platform.server.LightorGateway` over HTTP.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 60.0) -> None:
+    ``wire_codec`` picks the request/response encoding: ``"json"`` (the
+    default — interoperates with any gateway version) or ``"binary"`` (the
+    framed codec of :mod:`repro.platform.wire`, negotiated via
+    ``Content-Type``/``Accept``; decodes to identical value trees, so
+    callers see no difference beyond bytes on the wire).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 60.0,
+        *,
+        wire_codec: str = "json",
+    ) -> None:
+        if wire_codec not in wire.WIRE_CODECS:
+            raise ValidationError(
+                f"unknown wire codec {wire_codec!r} (expected one of {wire.WIRE_CODECS})"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.wire_codec = wire_codec
         self._connection: http.client.HTTPConnection | None = None
 
     # -------------------------------------------------------------- transport
@@ -102,8 +121,16 @@ class LightorClient:
                 pass
 
     def _request(self, method: str, path: str, payload: dict | None = None):
-        body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {} if body is None else {"Content-Type": "application/json"}
+        if self.wire_codec == "binary":
+            body = None if payload is None else wire.encode_frame(payload)
+            headers = {"Accept": wire.WIRE_CONTENT_TYPE}
+            if body is not None:
+                headers["Content-Type"] = wire.WIRE_CONTENT_TYPE
+        else:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"Accept": "application/json"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
         # One retry on a stale kept-alive connection (the server side may
         # have closed it between calls) — but only for GETs: a POST whose
         # response was lost may already have *executed* on the far side
@@ -131,8 +158,10 @@ class LightorClient:
                     raise
         status = response.status
         content_type = (response.getheader("Content-Type") or "").lower()
-        if "json" in content_type:
-            decoded: dict | str = json.loads(data.decode("utf-8"))
+        if wire.WIRE_CONTENT_TYPE in content_type:
+            decoded: dict | str = wire.decode_frame(data)
+        elif "json" in content_type:
+            decoded = json.loads(data.decode("utf-8"))
         else:
             decoded = data.decode("utf-8")
         if status == 200:

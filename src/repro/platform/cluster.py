@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
+from repro.platform import wire
 from repro.platform.backends import is_memory_path
 from repro.platform.backends.base import HighlightRecord
 from repro.platform.client import LightorClient
@@ -186,9 +187,14 @@ class ShardClusterSupervisor:
         boot_timeout: float = 60.0,
         client_timeout: float = 60.0,
         replicas: int = 64,
+        wire_codec: str = "json",
     ) -> None:
         require_positive(n_shards, "n_shards")
         require_positive(max_live_sessions, "max_live_sessions")
+        if wire_codec not in wire.WIRE_CODECS:
+            raise ValidationError(
+                f"unknown wire codec {wire_codec!r} (expected one of {wire.WIRE_CODECS})"
+            )
         if db_path is not None and backend != "sqlite":
             raise ValidationError("db_path requires the sqlite backend")
         if backend == "sqlite" and db_path is not None and is_memory_path(db_path):
@@ -212,6 +218,7 @@ class ShardClusterSupervisor:
         self.boot_timeout = boot_timeout
         self.client_timeout = client_timeout
         self.replicas = replicas
+        self.wire_codec = wire_codec
         self.workers: list[ShardWorker] = []
         self._exit_codes: list[int] | None = None
         self._started = False
@@ -240,6 +247,8 @@ class ShardClusterSupervisor:
             str(self.max_pending),
             "--worker-threads",
             str(self.worker_threads),
+            "--wire-codec",
+            self.wire_codec,
         ]
         db_path: str | None = None
         if self.db_path is not None:
@@ -406,7 +415,10 @@ class ShardClusterSupervisor:
         placement memo) — hand one to each thread that needs the cluster.
         """
         return ClusterFrontDoor(
-            self.addresses, replicas=self.replicas, timeout=self.client_timeout
+            self.addresses,
+            replicas=self.replicas,
+            timeout=self.client_timeout,
+            wire_codec=self.wire_codec,
         )
 
     def __enter__(self) -> "ShardClusterSupervisor":
@@ -462,15 +474,18 @@ class ClusterFrontDoor:
         *,
         replicas: int = 64,
         timeout: float = 60.0,
+        wire_codec: str = "json",
     ) -> None:
         if not addresses:
             raise ValidationError("a cluster front door needs at least one shard address")
         self.addresses = [(str(host), int(port)) for host, port in addresses]
         self._replicas = replicas
         self._timeout = timeout
+        self.wire_codec = wire_codec
         self._ring = ConsistentHashRing(len(self.addresses), replicas=replicas)
         self._clients = [
-            LightorClient(host, port, timeout=timeout) for host, port in self.addresses
+            LightorClient(host, port, timeout=timeout, wire_codec=wire_codec)
+            for host, port in self.addresses
         ]
         # Same memoization contract as the in-process front door: the ring is
         # immutable, so per-id lookups are cached with a bounded clear-on-full
@@ -505,7 +520,10 @@ class ClusterFrontDoor:
     def clone(self) -> "ClusterFrontDoor":
         """An independent front door over the same shards (for another thread)."""
         return ClusterFrontDoor(
-            self.addresses, replicas=self._replicas, timeout=self._timeout
+            self.addresses,
+            replicas=self._replicas,
+            timeout=self._timeout,
+            wire_codec=self.wire_codec,
         )
 
     # ------------------------------------------------------------ batch surface

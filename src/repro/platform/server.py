@@ -25,6 +25,17 @@ Design points:
   ``503`` immediately instead of queueing unboundedly — backpressure the
   caller can see.  ``/healthz`` and ``/metrics`` bypass admission so the
   gateway stays observable while saturated.
+* **Negotiated wire codec.**  Request bodies are decoded by their
+  ``Content-Type`` and responses encoded by the request's ``Accept``:
+  ``application/json`` (the default — old clients keep working unchanged)
+  or the framed binary codec of :mod:`repro.platform.wire`
+  (``application/x-repro-binary``), which cuts bytes/event on batch-heavy
+  routes.  Both codecs decode to identical value trees, so handlers are
+  codec-blind.  The payload cap is enforced on the *decoded entity* for
+  both: the Content-Length check bounds what is read, and a binary
+  frame's declared uncompressed size is checked against the same cap
+  before decompression (``413``) — a compressed frame cannot smuggle an
+  over-cap entity.
 * **Graceful drain.**  :meth:`LightorGateway.drain` stops accepting, lets
   the in-flight requests finish and refuses late requests with ``503``;
   the ``repro serve`` command then calls
@@ -49,7 +60,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from repro.platform import codecs
+from repro.platform import codecs, wire
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError, require_positive
 
@@ -106,6 +117,11 @@ class LightorGateway:
         Threads executing service calls.  The shards serialize per-channel
         work under their own locks; the pool just keeps the event loop off
         that path.
+    wire_codec:
+        Response codec for requests that express **no** preference (no
+        ``Accept`` header, or ``*/*``).  An explicit ``Accept`` always
+        wins, so JSON clients keep getting JSON whatever this is set to —
+        the knob only moves the default (``repro serve --wire-codec``).
     """
 
     def __init__(
@@ -116,9 +132,15 @@ class LightorGateway:
         *,
         max_pending: int = 64,
         worker_threads: int = 8,
+        wire_codec: str = "json",
     ) -> None:
         require_positive(max_pending, "max_pending")
         require_positive(worker_threads, "worker_threads")
+        if wire_codec not in wire.WIRE_CODECS:
+            raise ValidationError(
+                f"unknown wire codec {wire_codec!r} (expected one of {wire.WIRE_CODECS})"
+            )
+        self.wire_codec = wire_codec
         self.service = service
         self.host = host
         self.port = port
@@ -134,7 +156,10 @@ class LightorGateway:
         self._requests: Counter = Counter()
         self._responses: Counter = Counter()
         self._events_ingested: Counter = Counter()
+        self._content_types: Counter = Counter()
         self._rejected = 0
+        self._bytes_in = 0
+        self._bytes_out = 0
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -265,6 +290,12 @@ class LightorGateway:
         query = parse_qs(split.query)
         route, handler = self._resolve(method, unquote(split.path))
         self._requests[route] += 1
+        content_type = (
+            (headers.get("content-type") or "").split(";")[0].strip().lower() or "none"
+        )
+        self._content_types[content_type] += 1
+        self._bytes_in += len(body)
+        codec = self._response_codec(headers)
 
         if handler is None:
             status: int
@@ -298,27 +329,66 @@ class LightorGateway:
             self._in_flight += 1
             try:
                 status, payload = await asyncio.get_running_loop().run_in_executor(
-                    self._pool, self._execute, handler, body, query
+                    self._pool, self._execute, handler, body, content_type, query
                 )
                 if status == 200:
                     ingested = payload.get("ingested")
                     if isinstance(ingested, int):
                         self._events_ingested[route] += ingested
                 self._responses[str(status)] += 1
-                await self._write_json(writer, status, payload, keep_alive=keep_alive)
+                await self._write_payload(writer, status, payload, codec, keep_alive=keep_alive)
             finally:
                 self._in_flight -= 1
             return keep_alive
         self._responses[str(status)] += 1
-        await self._write_json(writer, status, payload, keep_alive=keep_alive)
+        await self._write_payload(writer, status, payload, codec, keep_alive=keep_alive)
         return keep_alive
 
+    def _response_codec(self, headers: dict) -> str:
+        """The response codec the request's ``Accept`` header asks for.
+
+        An explicit preference always wins; no preference (no ``Accept``,
+        or ``*/*``) falls back to the gateway's configured default; an
+        Accept naming neither codec falls back to JSON — the one answer
+        every client can parse.
+        """
+        accept = (headers.get("accept") or "").strip().lower()
+        if wire.WIRE_CONTENT_TYPE in accept:
+            return "binary"
+        if "json" in accept:
+            return "json"
+        if accept in ("", "*/*"):
+            return self.wire_codec
+        return "json"
+
+    def _decode_body(self, body: bytes, content_type: str):
+        """Decode a request body by its declared content type.
+
+        Both codecs enforce the same decoded-entity cap: JSON bodies *are*
+        their decoded entity (bounded by the Content-Length check), and a
+        binary frame's declared uncompressed size is checked against the
+        identical cap before any decompression.
+        """
+        if not body:
+            return {}
+        if content_type == wire.WIRE_CONTENT_TYPE:
+            return wire.decode_frame(body, max_raw_bytes=_MAX_BODY_BYTES)
+        return json.loads(body.decode("utf-8"))
+
     def _execute(
-        self, handler: Callable[[dict, dict], dict], body: bytes, query: dict
+        self,
+        handler: Callable[[dict, dict], dict],
+        body: bytes,
+        content_type: str,
+        query: dict,
     ) -> tuple[int, dict]:
         """Run one service call on the worker pool, mapping errors to statuses."""
         try:
-            decoded = json.loads(body.decode("utf-8")) if body else {}
+            decoded = self._decode_body(body, content_type)
+        except wire.CodecTooLargeError as error:
+            return 413, {"error": str(error)}
+        except wire.CodecError as error:
+            return 400, {"error": f"request body is not a valid binary frame: {error}"}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             return 400, {"error": f"request body is not valid JSON: {error}"}
         if not isinstance(decoded, dict):
@@ -333,6 +403,22 @@ class LightorGateway:
             _LOGGER.exception("request handler failed")
             return 500, {"error": f"internal error: {error}"}
 
+    async def _write_payload(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        codec: str,
+        *,
+        keep_alive: bool,
+    ) -> None:
+        """Write a response payload in the negotiated codec."""
+        if codec == "binary":
+            body = wire.encode_frame(payload)
+            await self._write_raw(writer, status, wire.WIRE_CONTENT_TYPE, body, keep_alive)
+            return
+        await self._write_json(writer, status, payload, keep_alive=keep_alive)
+
     async def _write_json(
         self, writer: asyncio.StreamWriter, status: int, payload: dict, *, keep_alive: bool
     ) -> None:
@@ -346,8 +432,8 @@ class LightorGateway:
             writer, status, "text/plain; charset=utf-8", text.encode("utf-8"), keep_alive
         )
 
-    @staticmethod
     async def _write_raw(
+        self,
         writer: asyncio.StreamWriter,
         status: int,
         content_type: str,
@@ -362,6 +448,7 @@ class LightorGateway:
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
+        self._bytes_out += len(body)
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
@@ -557,9 +644,15 @@ class LightorGateway:
             f"lightor_gateway_draining {int(self._draining)}",
             f"lightor_gateway_rejected_total {self._rejected}",
             f"lightor_gateway_shards {getattr(self.service, 'n_shards', 1)}",
+            f"lightor_gateway_bytes_in_total {self._bytes_in}",
+            f"lightor_gateway_bytes_out_total {self._bytes_out}",
         ]
         for route, count in sorted(self._requests.items()):
             lines.append(f'lightor_gateway_requests_total{{route="{route}"}} {count}')
+        for ctype, count in sorted(self._content_types.items()):
+            lines.append(
+                f'lightor_gateway_requests_by_content_type_total{{content_type="{ctype}"}} {count}'
+            )
         for status, count in sorted(self._responses.items()):
             lines.append(f'lightor_gateway_responses_total{{status="{status}"}} {count}')
         for route, count in sorted(self._events_ingested.items()):

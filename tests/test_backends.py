@@ -470,3 +470,153 @@ class TestBusyContention:
             assert value == store.busy_timeout_ms == 5000
         finally:
             store.close()
+
+
+class TestStorageCodec:
+    """The blob row format: binary batches, legacy interop, corruption."""
+
+    def test_append_chat_writes_one_blob_row_per_batch(self, tmp_path):
+        store = SQLiteStore(tmp_path / "blob.db")
+        store.put_video(_video())
+        batch = [ChatMessage(float(i), f"u{i % 3}", f"msg {i}") for i in range(100)]
+        assert store.append_chat("v1", batch) == 100
+        assert store.append_chat("v1", batch[:7]) == 107
+        rows = store._connection.execute(
+            "SELECT first_seq, n, payload FROM chat_batches ORDER BY first_seq"
+        ).fetchall()
+        assert [(r[0], r[1]) for r in rows] == [(0, 100), (100, 7)]
+        assert all(isinstance(r[2], bytes) for r in rows)
+        assert store._connection.execute(
+            "SELECT COUNT(*) FROM chat_messages"
+        ).fetchone()[0] == 0
+        assert store.get_chat("v1") == batch + batch[:7]
+        assert store.count_chat("v1") == 107
+        assert store.get_chat_since("v1", 98) == batch[98:] + batch[:7]
+        store.close()
+
+    def test_json_storage_codec_writes_text_rows(self, tmp_path):
+        store = SQLiteStore(tmp_path / "jsontext.db", storage_codec="json")
+        store.put_video(_video())
+        store.append_chat("v1", [ChatMessage(1.0, "a", "x")])
+        store.put_session_snapshot("v1", {"version": 1})
+        payloads = [
+            store._connection.execute("SELECT payload FROM chat_batches").fetchone()[0],
+            store._connection.execute("SELECT payload FROM session_snapshots").fetchone()[0],
+        ]
+        assert all(isinstance(p, str) for p in payloads)
+        assert store.get_chat("v1") == [ChatMessage(1.0, "a", "x")]
+        assert store.get_session_snapshot("v1") == {"version": 1}
+        store.close()
+
+    def test_binary_and_json_codecs_read_back_identically(self, tmp_path):
+        batch = [ChatMessage(float(i) + 0.5, f"user{i}", f"text {i} Pog") for i in range(50)]
+        snapshot = {"version": 3, "windows": [{"start": 1.5, "counts": [1, 2, 3]}]}
+        results = {}
+        for codec in ("json", "binary"):
+            store = SQLiteStore(tmp_path / f"{codec}.db", storage_codec=codec)
+            store.put_video(_video())
+            store.append_chat("v1", batch)
+            store.put_session_snapshot("v1", snapshot)
+            results[codec] = (store.get_chat("v1"), store.get_session_snapshot("v1"))
+            store.close()
+        assert results["json"] == results["binary"]
+
+    def test_legacy_text_rows_interoperate_with_blob_batches(self, tmp_path):
+        # A database written by a pre-codec version holds per-message text
+        # rows; new appends must continue its seq space and reads must merge.
+        import json as jsonlib
+
+        from repro.platform import codecs as plat_codecs
+
+        path = tmp_path / "legacy.db"
+        store = SQLiteStore(path)
+        store.put_video(_video())
+        legacy = [ChatMessage(float(i), "old", f"legacy {i}") for i in range(5)]
+        with store._connection:
+            store._connection.executemany(
+                "INSERT INTO chat_messages (video_id, seq, payload) VALUES (?, ?, ?)",
+                [
+                    (
+                        "v1",
+                        seq,
+                        jsonlib.dumps(plat_codecs.chat_message_to_dict(message)),
+                    )
+                    for seq, message in enumerate(legacy)
+                ],
+            )
+        fresh = [ChatMessage(10.0 + i, "new", f"fresh {i}") for i in range(3)]
+        assert store.append_chat("v1", fresh) == 8
+        assert store.get_chat("v1") == legacy + fresh
+        assert store.count_chat("v1") == 8
+        assert store.get_chat_since("v1", 4) == legacy[4:] + fresh
+        assert store.has_chat("v1")
+        assert store.stats()["chat_messages"] == 8
+        assert store.stats()["videos_with_chat"] == 1
+        store.close()
+
+    def test_legacy_json_snapshot_reads_back(self, tmp_path):
+        import json as jsonlib
+
+        store = SQLiteStore(tmp_path / "legacysnap.db")
+        store.put_video(_video())
+        with store._connection:
+            store._connection.execute(
+                "INSERT INTO session_snapshots (video_id, payload) VALUES (?, ?)",
+                ("v1", jsonlib.dumps({"version": 1, "chat_persisted": 7})),
+            )
+        assert store.get_session_snapshot("v1") == {"version": 1, "chat_persisted": 7}
+        assert store.get_session_snapshots()["v1"]["chat_persisted"] == 7
+        store.close()
+
+    def test_corrupt_blob_raises_typed_error_not_garbage(self, tmp_path):
+        from repro.platform import wire
+
+        store = SQLiteStore(tmp_path / "corrupt.db")
+        store.put_video(_video())
+        store.append_chat("v1", [ChatMessage(1.0, "a", "x"), ChatMessage(2.0, "b", "y")])
+        with store._connection:
+            row = store._connection.execute(
+                "SELECT payload FROM chat_batches WHERE video_id = 'v1'"
+            ).fetchone()
+            damaged = bytearray(row[0])
+            damaged[len(damaged) // 2] ^= 0xFF
+            store._connection.execute(
+                "UPDATE chat_batches SET payload = ? WHERE video_id = 'v1'",
+                (bytes(damaged),),
+            )
+        with pytest.raises(wire.CodecError):
+            store.get_chat("v1")
+        store.close()
+
+    def test_put_chat_replaces_both_row_shapes(self, tmp_path):
+        store = SQLiteStore(tmp_path / "replace.db")
+        store.put_video(_video())
+        store.append_chat("v1", [ChatMessage(1.0, "a", "old")])
+        replacement = [ChatMessage(2.0, "b", "new"), ChatMessage(3.0, "c", "er")]
+        assert store.put_chat("v1", replacement) == 2
+        assert store.get_chat("v1") == replacement
+        assert store.count_chat("v1") == 2
+        # And appends continue cleanly after the replace.
+        assert store.append_chat("v1", [ChatMessage(4.0, "d", "more")]) == 3
+        store.close()
+
+    def test_snapshot_rejects_non_finite_on_both_codecs(self, tmp_path):
+        for codec in ("json", "binary"):
+            store = SQLiteStore(tmp_path / f"nan-{codec}.db", storage_codec=codec)
+            store.put_video(_video())
+            with pytest.raises(ValueError):
+                store.put_session_snapshot("v1", {"x": float("nan")})
+            # The rejected write stored nothing.
+            assert store.get_session_snapshot("v1") is None
+            store.close()
+
+    def test_storage_format_version_stamped(self, tmp_path):
+        store = SQLiteStore(tmp_path / "meta.db")
+        assert store.get_meta(SQLiteStore.STORAGE_FORMAT_KEY) == (
+            SQLiteStore.STORAGE_FORMAT_VERSION
+        )
+        store.close()
+
+    def test_unknown_storage_codec_rejected(self):
+        with pytest.raises(ValidationError, match="unknown storage codec"):
+            SQLiteStore(storage_codec="pickle")

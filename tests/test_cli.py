@@ -148,6 +148,24 @@ class TestLoadCommand:
         assert "transport http" in out
         assert "0 divergences" in out
 
+    def test_load_wire_codec_parsed_and_validated(self):
+        args = build_parser().parse_args(["load", "--wire-codec", "binary"])
+        assert args.wire_codec == "binary"
+        assert build_parser().parse_args(["load"]).wire_codec == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--wire-codec", "msgpack"])
+
+    def test_load_wire_codec_rejects_inproc_transport(self, capsys):
+        assert main(["load", "--smoke", "--wire-codec", "binary"]) == 1
+        assert "wire transports" in capsys.readouterr().out
+
+    def test_load_binary_http_smoke_end_to_end(self, capsys):
+        argv = ["load", "--smoke", "--transport", "http", "--wire-codec", "binary"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "codec binary" in out
+        assert "0 divergences" in out
+
     def test_chaos_mode_rejects_http_transport(self, capsys):
         argv = [
             "load", "--kill-after", "5", "--recover", "--backend", "sqlite",
@@ -210,8 +228,20 @@ class TestServeCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--help"])
         out = capsys.readouterr().out
-        for flag in ("--max-pending", "--checkpoint-every", "--backend", "--port"):
+        for flag in (
+            "--max-pending", "--checkpoint-every", "--backend", "--port",
+            "--wire-codec",
+        ):
             assert flag in out
+
+    def test_serve_wire_codec_parsed_and_validated(self):
+        args = build_parser().parse_args(["serve", "--wire-codec", "binary"])
+        assert args.wire_codec == "binary"
+        assert build_parser().parse_args(["serve"]).wire_codec == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--wire-codec", "msgpack"])
+        args = build_parser().parse_args(["cluster", "--wire-codec", "binary"])
+        assert args.wire_codec == "binary"
 
 
 class TestRecoverCommand:

@@ -91,6 +91,8 @@ class TestSupervisorLifecycle:
             ShardClusterSupervisor(2, db_path=tmp_path / "x.db")
         with pytest.raises(ValidationError, match="memory"):
             ShardClusterSupervisor(2, backend="sqlite", db_path=":memory:")
+        with pytest.raises(ValidationError, match="wire codec"):
+            ShardClusterSupervisor(2, wire_codec="msgpack")
         supervisor = ShardClusterSupervisor(1)
         supervisor._started = True
         with pytest.raises(ValidationError, match="already started"):
@@ -144,6 +146,27 @@ class TestClusterParity:
         }
         assert "transport cluster" in cluster.describe()
         assert cluster.to_dict()["transport"] == "cluster"
+
+    def test_binary_cluster_run_is_byte_identical_to_inproc(
+        self, fitted_initializer
+    ):
+        """The binary codec across process boundaries must not change a
+        persisted byte: worker gateways default to binary responses and
+        the front door's clients speak binary frames both ways."""
+        workload = LoadWorkload.from_spec(SMALL)
+        inproc = run_load(
+            SMALL, fitted_initializer, shards=2, workers=2, workload=workload
+        )
+        binary = run_load(
+            SMALL, fitted_initializer, shards=2, workers=2, workload=workload,
+            transport="cluster", wire_codec="binary",
+        )
+        assert binary.transport == "cluster" and binary.wire_codec == "binary"
+        assert binary.oracle_checked and binary.divergences == []
+        assert {v: o.fingerprint for v, o in binary.outcomes.items()} == {
+            v: o.fingerprint for v, o in inproc.outcomes.items()
+        }
+        assert "codec binary" in binary.describe()
 
 
 class TestClusterFailure:

@@ -198,12 +198,49 @@ class TestDriver:
         assert "transport http" in wire.describe()
         assert wire.to_dict()["transport"] == "http"
 
+    def test_binary_wire_codec_is_byte_identical_to_json(
+        self, fitted_initializer, small_workload
+    ):
+        """The codec acceptance bar: switching the wire encoding must not
+        change a single persisted byte — fingerprints are the oracle."""
+        json_run = run_load(
+            SMALL, fitted_initializer, shards=2, workers=2, workload=small_workload,
+            transport="http",
+        )
+        binary = run_load(
+            SMALL, fitted_initializer, shards=2, workers=2, workload=small_workload,
+            transport="http", wire_codec="binary",
+        )
+        assert binary.wire_codec == "binary" and json_run.wire_codec == "json"
+        assert binary.oracle_checked and binary.divergences == []
+        assert {v: o.fingerprint for v, o in binary.outcomes.items()} == {
+            v: o.fingerprint for v, o in json_run.outcomes.items()
+        }
+        assert "codec binary" in binary.describe()
+        assert binary.to_dict()["wire_codec"] == "binary"
+
     def test_unknown_transport_rejected(self, fitted_initializer, small_workload):
         service = ShardedLightorService.create(1, fitted_initializer)
         try:
             with pytest.raises(ValidationError, match="transport"):
                 LoadGenerator(small_workload, workers=1).drive(
                     service, transport="telnet"
+                )
+        finally:
+            service.close()
+
+    def test_wire_codec_rejected_on_inproc_transport(
+        self, fitted_initializer, small_workload
+    ):
+        service = ShardedLightorService.create(1, fitted_initializer)
+        try:
+            with pytest.raises(ValidationError, match="wire"):
+                LoadGenerator(small_workload, workers=1).drive(
+                    service, wire_codec="binary"
+                )
+            with pytest.raises(ValidationError, match="wire codec"):
+                LoadGenerator(small_workload, workers=1).drive(
+                    service, transport="http", wire_codec="msgpack"
                 )
         finally:
             service.close()

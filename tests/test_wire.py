@@ -1,0 +1,352 @@
+"""Property and corruption tests for the framed binary wire codec.
+
+The codec's contract is JSON-parity: ``decode_frame(encode_frame(x))`` must
+equal ``json.loads(json.dumps(x))`` for every JSON-encodable value — the
+gateway, client and SQLite blob rows all rely on a binary round trip being
+*indistinguishable* from the JSON text path.  Hypothesis drives arbitrary
+value trees plus the real record shapes the platform ships (chat batches,
+play batches, stream events, red-dot responses, session snapshots); the
+corruption suite then proves a damaged frame can never decode silently
+wrong — every flipped byte, truncation and trailer lands in a typed
+:class:`~repro.platform.wire.CodecError`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import ChatMessage, Interaction, InteractionKind, RedDot
+from repro.platform import codecs, wire
+from repro.utils.validation import ValidationError
+
+# ---------------------------------------------------------------- strategies
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    finite_floats,
+    st.text(max_size=32),
+)
+json_keys = st.one_of(st.text(max_size=16), st.integers(), st.booleans(), st.none())
+json_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(json_keys, children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+timestamps = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+names = st.text(max_size=24)
+
+
+@st.composite
+def chat_message_dicts(draw):
+    message = ChatMessage(timestamp=draw(timestamps), user=draw(names), text=draw(names))
+    return codecs.chat_message_to_dict(message)
+
+
+@st.composite
+def interaction_dicts(draw):
+    kind = draw(st.sampled_from(list(InteractionKind)))
+    seeks = (InteractionKind.SEEK_FORWARD, InteractionKind.SEEK_BACKWARD)
+    target = draw(timestamps) if kind in seeks or draw(st.booleans()) else None
+    interaction = Interaction(
+        timestamp=draw(timestamps), kind=kind, user=draw(names), target=target
+    )
+    return codecs.interaction_to_dict(interaction)
+
+
+@st.composite
+def red_dot_dicts(draw):
+    window = None
+    if draw(st.booleans()):
+        left = draw(timestamps)
+        window = (left, left + draw(st.floats(min_value=0.0, max_value=1e4, allow_nan=False)))
+    dot = RedDot(
+        position=draw(timestamps),
+        score=draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)),
+        window=window,
+        video_id=draw(names),
+    )
+    return codecs.red_dot_to_dict(dot)
+
+
+@st.composite
+def stream_event_dicts(draw):
+    kind = draw(st.sampled_from(["emit", "retract", "refine"]))
+    return {
+        "type": kind,
+        "dot": draw(red_dot_dicts()),
+        "at": draw(timestamps),
+    }
+
+
+@st.composite
+def snapshot_dicts(draw):
+    # The shape of a session checkpoint: nested dicts of scalars and
+    # homogeneous numeric lists (ring buffers, sealed windows).
+    return {
+        "video_id": draw(names),
+        "windows": [
+            {
+                "start": draw(timestamps),
+                "counts": draw(st.lists(st.integers(0, 1000), max_size=8)),
+                "scores": draw(st.lists(finite_floats, max_size=8)),
+            }
+            for _ in range(draw(st.integers(0, 3)))
+        ],
+        "open": draw(st.dictionaries(names, st.lists(finite_floats, max_size=4), max_size=3)),
+    }
+
+
+def json_parity(value):
+    """What the JSON path would hand a decoder for ``value``."""
+    return json.loads(json.dumps(value))
+
+
+# ------------------------------------------------------------- round trips
+class TestRoundTripProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(json_values)
+    def test_arbitrary_trees(self, value):
+        assert wire.decode_frame(wire.encode_frame(value)) == json_parity(value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(chat_message_dicts(), max_size=20))
+    def test_chat_batches(self, batch):
+        assert wire.decode_frame(wire.encode_frame(batch)) == json_parity(batch)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(interaction_dicts(), max_size=20))
+    def test_play_batches(self, batch):
+        assert wire.decode_frame(wire.encode_frame(batch)) == json_parity(batch)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(stream_event_dicts(), max_size=10))
+    def test_stream_events(self, events):
+        payload = {"events": events, "ingested": len(events)}
+        assert wire.decode_frame(wire.encode_frame(payload)) == json_parity(payload)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(red_dot_dicts(), max_size=10))
+    def test_red_dot_responses(self, dots):
+        payload = {"red_dots": dots}
+        assert wire.decode_frame(wire.encode_frame(payload)) == json_parity(payload)
+
+    @settings(max_examples=60, deadline=None)
+    @given(snapshot_dicts())
+    def test_session_snapshots(self, snapshot):
+        assert wire.decode_frame(wire.encode_frame(snapshot)) == json_parity(snapshot)
+
+    def test_type_preservation(self):
+        # type() not isinstance: bools, ints and floats must come back as
+        # themselves even inside columnar batches (1 vs 1.0 vs True).
+        rows = [
+            {"a": 1, "b": 1.0, "c": True, "d": "1"},
+            {"a": 0, "b": -0.5, "c": False, "d": ""},
+            {"a": 2**70, "b": 3.14, "c": True, "d": "x"},
+        ]
+        decoded = wire.decode_frame(wire.encode_frame(rows))
+        for got, want in zip(decoded, rows):
+            for key in want:
+                assert got[key] == want[key]
+                assert type(got[key]) is type(want[key])
+
+    def test_key_coercion_matches_json(self):
+        value = {True: "t", False: "f", None: "n", 3: "i", 2.5: "fl"}
+        assert wire.decode_frame(wire.encode_frame(value)) == json_parity(value)
+
+    def test_tuples_become_lists(self):
+        value = {"window": (1.0, 2.0)}
+        assert wire.decode_frame(wire.encode_frame(value)) == json_parity(value)
+
+
+# ------------------------------------------------------------ encode errors
+class TestEncodeStrictness:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rejected(self, bad):
+        # Mirrors json.dumps(..., allow_nan=False): a ValueError, so the
+        # snapshot write path's contract holds for both codecs.
+        with pytest.raises(ValueError):
+            wire.encode_frame({"x": bad})
+
+    def test_unsupported_type_is_type_error(self):
+        with pytest.raises(TypeError):
+            wire.encode_frame({"x": object()})
+
+    def test_unsupported_key_is_type_error(self):
+        with pytest.raises(TypeError):
+            wire.encode_frame({(1, 2): "x"})
+
+
+# -------------------------------------------------------------- compression
+class TestCompression:
+    def test_large_repetitive_payload_compresses(self):
+        batch = [
+            {"timestamp": float(i), "user": f"user{i % 5}", "text": "PogChamp " * 3}
+            for i in range(512)
+        ]
+        blob = wire.encode_frame(batch)
+        as_json = len(json.dumps(batch).encode())
+        assert len(blob) < as_json / 2
+        assert wire.decode_frame(blob) == json_parity(batch)
+
+    def test_small_payload_stays_uncompressed(self):
+        blob = wire.encode_frame({"ok": True})
+        flags = blob[5]
+        assert not flags & 0x01
+
+    def test_incompressible_payload_stays_uncompressed(self):
+        # Compression is applied only when it actually wins.
+        import random
+
+        rng = random.Random(7)
+        value = ["".join(chr(rng.randrange(0x20, 0x2FFF)) for _ in range(64)) for _ in range(64)]
+        blob = wire.encode_frame(value)
+        assert wire.decode_frame(blob) == json_parity(value)
+
+
+# --------------------------------------------------------------- corruption
+def _frames():
+    """One uncompressed and one compressed frame, with their source values."""
+    small = {"messages": [{"timestamp": 1.5, "user": "u", "text": "hi"}], "persist": False}
+    big = [{"timestamp": float(i), "user": f"u{i % 3}", "text": "spam " * 10} for i in range(64)]
+    return [(small, wire.encode_frame(small)), (big, wire.encode_frame(big))]
+
+
+class TestCorruptionRejection:
+    def test_every_truncation_rejected(self):
+        for value, blob in _frames():
+            for cut in range(len(blob)):
+                with pytest.raises(wire.CodecError):
+                    wire.decode_frame(blob[:cut])
+
+    def test_every_byte_flip_detected(self):
+        # A flipped byte anywhere — header, string table, payload, CRC —
+        # must never decode silently to the wrong value.
+        for value, blob in _frames():
+            expected = json_parity(value)
+            for index in range(len(blob)):
+                damaged = bytearray(blob)
+                damaged[index] ^= 0xFF
+                try:
+                    decoded = wire.decode_frame(bytes(damaged))
+                except wire.CodecError:
+                    continue
+                pytest.fail(
+                    f"byte {index} flip decoded silently"
+                    + (" WRONG" if decoded != expected else " (same value?)")
+                )
+
+    def test_trailing_garbage_rejected(self):
+        _, blob = _frames()[0]
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(blob + b"\x00")
+
+    def test_bad_magic_rejected(self):
+        _, blob = _frames()[0]
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(b"XXXX" + blob[4:])
+
+    def test_unknown_version_rejected(self):
+        _, blob = _frames()[0]
+        damaged = bytearray(blob)
+        damaged[4] = wire.VERSION + 1
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(bytes(damaged))
+
+    def test_unknown_flag_bits_rejected(self):
+        _, blob = _frames()[0]
+        damaged = bytearray(blob)
+        damaged[5] |= 0x80
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(bytes(damaged))
+
+    def test_not_even_a_frame(self):
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(b"")
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(b'{"this": "is json"}')
+
+    def test_codec_error_is_validation_error(self):
+        # The gateway maps ValidationError to 400; CodecError must ride
+        # that mapping.
+        assert issubclass(wire.CodecError, ValidationError)
+        assert issubclass(wire.CodecError, ValueError)
+
+
+# ------------------------------------------------------------- entity caps
+class TestEntityCap:
+    def test_declared_size_over_cap_rejected_before_decompression(self):
+        value = {"x": ["spam"] * 5000}
+        blob = wire.encode_frame(value)
+        assert blob[5] & 0x01  # compressed: the cap must act on raw_len
+        with pytest.raises(wire.CodecTooLargeError):
+            wire.decode_frame(blob, max_raw_bytes=100)
+
+    def test_cap_names_sizes(self):
+        blob = wire.encode_frame({"x": ["spam"] * 5000})
+        with pytest.raises(wire.CodecTooLargeError) as excinfo:
+            wire.decode_frame(blob, max_raw_bytes=100)
+        assert excinfo.value.max_raw_bytes == 100
+        assert excinfo.value.raw_len > 100
+
+    def test_under_cap_decodes(self):
+        value = {"ok": [1, 2, 3]}
+        blob = wire.encode_frame(value)
+        assert wire.decode_frame(blob, max_raw_bytes=1 << 20) == json_parity(value)
+
+    def test_lying_raw_len_rejected(self):
+        # A frame whose header understates its payload to sneak under the
+        # cap fails the CRC / length check instead of decoding.
+        value = {"x": ["spam"] * 500}
+        blob = bytearray(wire.encode_frame(value, compress_threshold=1 << 30))
+        import struct
+
+        struct.pack_into("!I", blob, 6, 10)  # claim raw_len = 10
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(bytes(blob), max_raw_bytes=1 << 20)
+
+    def test_zip_bomb_lying_small_never_inflates_past_declared_size(self):
+        # A hand-crafted frame that declares a tiny raw_len but whose zlib
+        # stream inflates enormously must be rejected by the *bounded*
+        # inflate — well before materialising the full payload.
+        import struct
+        import zlib
+
+        bomb = zlib.compress(b"\x00" * (64 << 20), 9)  # 64 MiB of zeros
+        header = struct.pack("!4sBBI", wire.MAGIC, wire.VERSION, 0x01, 10)
+        crc = zlib.crc32(bomb, zlib.crc32(header)) & 0xFFFFFFFF
+        blob = header + struct.pack("!I", crc) + bomb
+        with pytest.raises(wire.CodecError, match="declared"):
+            wire.decode_frame(blob, max_raw_bytes=16 << 20)
+
+
+# ------------------------------------------------------------ frame anatomy
+class TestFrameAnatomy:
+    def test_header_layout(self):
+        blob = wire.encode_frame(None)
+        assert blob[:4] == wire.MAGIC
+        assert blob[4] == wire.VERSION
+        assert len(blob) >= wire.HEADER_SIZE
+
+    def test_crc_matches_zlib_crc32(self):
+        blob = wire.encode_frame({"a": 1})
+        import struct
+
+        crc = struct.unpack_from("!I", blob, 10)[0]
+        assert crc == zlib.crc32(blob[:10] + blob[14:]) & 0xFFFFFFFF
+
+    def test_string_table_dedupes_repeated_ids(self):
+        # 200 rows sharing one video id must not store the id 200 times.
+        rows = [{"video_id": "channel-with-a-long-name", "seq": i} for i in range(200)]
+        blob = wire.encode_frame(rows, compress_threshold=1 << 30)
+        assert blob.count(b"channel-with-a-long-name") == 1
