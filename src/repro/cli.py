@@ -175,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="threads executing service calls behind the event loop (default: 8)",
     )
     serve_parser.add_argument(
+        "--max-pending-per-channel", type=int, default=None,
+        help="per-channel admission budget: one channel's requests in flight "
+        "beyond this are refused with 503 while the rest of the global budget "
+        "stays available to other channels (default: disabled)",
+    )
+    serve_parser.add_argument(
         "--k", type=int, default=None,
         help="provisional top-k per live channel (default: the engine default, "
         "matching in-process runs)",
@@ -245,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument(
         "--worker-threads", type=int, default=8,
         help="service threads per worker gateway (default: 8)",
+    )
+    cluster_parser.add_argument(
+        "--max-pending-per-channel", type=int, default=None,
+        help="per-channel admission budget of every worker gateway "
+        "(default: disabled)",
     )
     cluster_parser.add_argument(
         "--boot-timeout", type=float, default=60.0,
@@ -332,6 +343,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=256,
         help="durable session-checkpoint cadence in persisted events for the "
         "chaos mode (default: 256)",
+    )
+    load_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="drive an adversarial scenario instead of the steady fleet: "
+        "flash-crowd, chat-flood, reconnect-storm or fairness; each ships "
+        "with its own oracle (non-zero exit on any divergence)",
+    )
+    load_parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="record the driven workload (every batch, every event, the "
+        "run's end-state fingerprints) to a versioned trace file",
+    )
+    load_parser.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a recorded trace byte-exactly instead of synthesising a "
+        "workload; the replayed fingerprints must equal the recording's on "
+        "any transport, codec, shard and worker count (non-zero exit "
+        "otherwise)",
+    )
+    load_parser.add_argument(
+        "--max-pending-per-channel", type=int, default=None,
+        help="per-channel gateway admission budget on wire transports "
+        "(http/cluster) — the fairness scenario's subject (default: disabled)",
     )
     return parser
 
@@ -690,6 +724,9 @@ def _command_serve(args) -> int:
     if args.max_pending < 1 or args.worker_threads < 1:
         print("--max-pending and --worker-threads must be at least 1", flush=True)
         return 1
+    if args.max_pending_per_channel is not None and args.max_pending_per_channel < 1:
+        print("--max-pending-per-channel must be at least 1", flush=True)
+        return 1
     checkpoint_every = args.checkpoint_every
     if checkpoint_every is None and args.backend == "sqlite":
         # Durable backend → crash-safe by default, same rule as `stream`.
@@ -723,6 +760,7 @@ def _command_serve(args) -> int:
         max_pending=args.max_pending,
         worker_threads=args.worker_threads,
         wire_codec=args.wire_codec,
+        max_pending_per_channel=args.max_pending_per_channel,
     )
 
     async def _serve() -> None:
@@ -804,6 +842,7 @@ def _command_cluster(args) -> int:
             checkpoint_every=args.checkpoint_every,
             max_pending=args.max_pending,
             worker_threads=args.worker_threads,
+            max_pending_per_channel=args.max_pending_per_channel,
             boot_timeout=args.boot_timeout,
             wire_codec=args.wire_codec,
         )
@@ -863,6 +902,28 @@ def _command_cluster(args) -> int:
     return 0
 
 
+def _record_trace(path: str, workload, report) -> None:
+    """Write the driven workload + its run's fingerprints to a trace file."""
+    from repro.loadgen.trace import write_trace
+
+    written = write_trace(
+        path,
+        workload,
+        fingerprints={
+            video_id: outcome.fingerprint
+            for video_id, outcome in report.outcomes.items()
+        },
+        transport=report.transport,
+        wire_codec=report.wire_codec,
+        shards=report.shards,
+    )
+    print(
+        f"recorded trace: {path} ({written:,} bytes, "
+        f"{len(report.outcomes)} channel fingerprint(s))",
+        flush=True,
+    )
+
+
 def _command_load(args) -> int:
     import sqlite3
 
@@ -884,9 +945,33 @@ def _command_load(args) -> int:
         # in-process (see run_kill_recover); a wire hop adds nothing there.
         print("chaos mode supports only --transport inproc", flush=True)
         return 1
+    if chaos and (args.scenario or args.record or args.replay):
+        print(
+            "chaos mode cannot be combined with --scenario/--record/--replay",
+            flush=True,
+        )
+        return 1
+    if args.replay and (args.scenario or args.record):
+        print(
+            "--replay drives a recorded workload; --scenario and --record "
+            "do not apply",
+            flush=True,
+        )
+        return 1
     if args.wire_codec != "json" and args.transport == "inproc":
         print("--wire-codec applies to wire transports only (http/cluster)", flush=True)
         return 1
+    if args.max_pending_per_channel is not None:
+        if args.max_pending_per_channel < 1:
+            print("--max-pending-per-channel must be at least 1", flush=True)
+            return 1
+        if args.transport == "inproc":
+            print(
+                "--max-pending-per-channel applies to wire transports only "
+                "(http/cluster)",
+                flush=True,
+            )
+            return 1
     if args.smoke:
         spec_kwargs = dict(
             channels=3, viewers=60, duration=1200.0, batch_size=64, seed=args.seed
@@ -906,15 +991,58 @@ def _command_load(args) -> int:
     if args.db_path is not None and args.backend != "sqlite":
         print("--db-path requires --backend sqlite", flush=True)
         return 1
+
+    def train(seed: int) -> HighlightInitializer:
+        # The serving model is shared, read-only state; train it exactly as
+        # `serve`/`recover` do — deterministically from the seed.
+        dataset = build_dataset(DatasetSpec.dota2(size=1, seed=seed))
+        initializer = HighlightInitializer(config=LightorConfig())
+        initializer.fit([dataset[0].training_pair])
+        return initializer
+
+    if args.replay:
+        from repro.loadgen.trace import TraceFormatError, read_trace, replay_trace
+
+        try:
+            trace = read_trace(args.replay)
+        except (TraceFormatError, OSError) as error:
+            print(f"cannot read trace {args.replay}: {error}", flush=True)
+            return 1
+        print(
+            f"replaying {args.replay}: {len(trace.batches)} batch(es), "
+            f"{trace.total_events:,} event(s) over {len(trace.plans)} channel(s) "
+            f"(recorded on transport {trace.transport}, codec {trace.wire_codec})",
+            flush=True,
+        )
+        try:
+            # The recording's model is a deterministic function of its spec
+            # seed — retrain from *that*, so replay fingerprints can match
+            # whatever --seed this invocation carries.
+            result = replay_trace(
+                trace,
+                train(trace.spec.seed),
+                shards=shards,
+                workers=workers,
+                backend=args.backend,
+                db_path=args.db_path,
+                oracle=not args.no_oracle,
+                transport=args.transport,
+                wire_codec=args.wire_codec,
+                per_channel_pending=args.max_pending_per_channel,
+            )
+        except (ValidationError, sqlite3.Error) as error:
+            print(f"replay failed: {error}", flush=True)
+            return 1
+        print(result.describe())
+        return 0 if result.ok and not result.report.divergences else 1
+
     try:
         spec = WorkloadSpec(**spec_kwargs)
     except ValidationError as error:
         print(f"invalid workload: {error}", flush=True)
         return 1
 
-    dataset = build_dataset(DatasetSpec.dota2(size=1, seed=args.seed))
-    initializer = HighlightInitializer(config=LightorConfig())
-    initializer.fit([dataset[0].training_pair])
+    initializer = train(args.seed)
 
     if chaos:
         try:
@@ -932,6 +1060,43 @@ def _command_load(args) -> int:
         print(chaos_report.describe())
         return 0 if chaos_report.ok else 1
 
+    if args.scenario is not None:
+        from repro.loadgen.scenarios import SCENARIOS, run_scenario
+
+        if args.scenario not in SCENARIOS:
+            print(
+                f"unknown scenario {args.scenario!r} "
+                f"(expected one of {', '.join(sorted(SCENARIOS))})",
+                flush=True,
+            )
+            return 1
+        try:
+            scenario_report = run_scenario(
+                args.scenario,
+                spec,
+                initializer,
+                shards=shards,
+                workers=workers,
+                backend=args.backend,
+                db_path=args.db_path,
+                oracle=not args.no_oracle,
+                transport=args.transport,
+                wire_codec=args.wire_codec,
+                per_channel_pending=args.max_pending_per_channel,
+            )
+        except (ValidationError, sqlite3.Error) as error:
+            print(f"scenario run failed: {error}", flush=True)
+            return 1
+        if args.record:
+            _record_trace(args.record, scenario_report.workload, scenario_report.report)
+        print(scenario_report.describe())
+        return 0 if scenario_report.ok else 1
+
+    workload = None
+    if args.record:
+        from repro.loadgen import LoadWorkload
+
+        workload = LoadWorkload.from_spec(spec)
     try:
         report = run_load(
             spec,
@@ -941,12 +1106,16 @@ def _command_load(args) -> int:
             backend=args.backend,
             db_path=args.db_path,
             oracle=not args.no_oracle,
+            workload=workload,
             transport=args.transport,
             wire_codec=args.wire_codec,
+            per_channel_pending=args.max_pending_per_channel,
         )
     except (ValidationError, sqlite3.Error) as error:
         print(f"load run failed: {error}", flush=True)
         return 1
+    if args.record:
+        _record_trace(args.record, workload, report)
     print(report.describe())
     return 1 if report.divergences else 0
 

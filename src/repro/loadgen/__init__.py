@@ -19,6 +19,13 @@ instead of assumed:
   byte-equivalence with an uninterrupted run.
 * :mod:`metrics <repro.loadgen.metrics>` — per-stage throughput and latency
   percentile accounting.
+* :mod:`trace <repro.loadgen.trace>` — versioned record/replay: any run can
+  be recorded to a framed binary trace and replayed byte-exactly through
+  any transport and codec, gated by fingerprint equality with the
+  recording (``tests/traces/`` keeps a golden corpus).
+* :mod:`scenarios <repro.loadgen.scenarios>` — adversarial traffic shapes
+  (flash crowds, chat floods, reconnect storms, multi-tenant fairness),
+  each with an explicit oracle and a ``BENCH_load.json`` entry.
 
 Entry points: ``repro load`` on the command line,
 :func:`~repro.loadgen.driver.run_load` from code, and
@@ -36,6 +43,22 @@ from repro.loadgen.driver import (
     run_load,
 )
 from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
+from repro.loadgen.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioReport,
+    build_scenario_workload,
+    run_scenario,
+)
+from repro.loadgen.trace import (
+    LoadTrace,
+    ReplayReport,
+    ReplayWorkload,
+    TraceFormatError,
+    read_trace,
+    replay_trace,
+    write_trace,
+)
 from repro.loadgen.workload import (
     ChannelPlan,
     LoadWorkload,
@@ -45,18 +68,30 @@ from repro.loadgen.workload import (
 )
 
 __all__ = [
+    "SCENARIOS",
     "ChannelOutcome",
     "ChannelPlan",
     "KillRecoverReport",
     "LatencyRecorder",
     "LoadGenerator",
     "LoadReport",
+    "LoadTrace",
     "LoadWorkload",
+    "ReplayReport",
+    "ReplayWorkload",
+    "Scenario",
+    "ScenarioReport",
     "StageStats",
+    "TraceFormatError",
     "WorkBatch",
     "WorkloadSpec",
+    "build_scenario_workload",
     "merge_recorders",
+    "read_trace",
+    "replay_trace",
     "run_kill_recover",
     "run_load",
+    "run_scenario",
+    "write_trace",
     "zipf_weights",
 ]

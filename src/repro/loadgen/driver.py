@@ -173,6 +173,7 @@ class LoadGenerator:
         oracle_factory=None,
         transport: str = "inproc",
         wire_codec: str = "json",
+        per_channel_pending: int | None = None,
     ) -> LoadReport:
         """Run the workload against ``service`` and (optionally) oracle-check.
 
@@ -205,6 +206,16 @@ class LoadGenerator:
         built with (``run_load`` wires both ends).  Meaningless for
         ``inproc`` (there is no wire) — anything but ``"json"`` is
         rejected there.
+
+        ``per_channel_pending`` arms the gateway's per-channel admission
+        budget on ``transport="http"`` (see
+        :class:`~repro.platform.server.LightorGateway`).  The harness keeps
+        at most one request in flight per channel (one worker owns a
+        channel), so any budget ≥ 1 never refuses the drive itself — the
+        knob exists so fairness scenarios exercise the budget code path
+        under load.  Like ``wire_codec`` it is meaningless on ``inproc``;
+        on ``cluster`` the budgets belong to the worker gateways, which are
+        configured when the fleet boots (pass it to :func:`run_load`).
         """
         from repro.platform import wire
 
@@ -226,6 +237,13 @@ class LoadGenerator:
                 "wire_codec applies to wire transports only; "
                 "transport='inproc' has no wire to encode"
             )
+        if per_channel_pending is not None and transport != "http":
+            service.close()
+            raise ValidationError(
+                "per_channel_pending is a gateway admission budget: it applies "
+                "to transport='http' here; cluster worker budgets are set when "
+                "the fleet boots (pass per_channel_pending to run_load)"
+            )
         gateway = None
         clients: list = []
         if transport == "http":
@@ -239,6 +257,7 @@ class LoadGenerator:
                 service,
                 max_pending=max(64, self.workers + 2),
                 worker_threads=min(32, max(8, self.workers)),
+                max_pending_per_channel=per_channel_pending,
             )
             try:
                 host, port = gateway.start()
@@ -658,6 +677,7 @@ def run_load(
     transport: str = "inproc",
     cluster_seed: int = 2020,
     wire_codec: str = "json",
+    per_channel_pending: int | None = None,
 ) -> LoadReport:
     """Build the workload, the service tier and the harness; run once.
 
@@ -681,6 +701,10 @@ def run_load(
     the oracle to hold, ``initializer`` must be the same deterministic
     model (the default ``cluster_seed=2020`` matches how ``repro load``
     builds it).  The fleet is SIGTERM-stopped before the report returns.
+
+    ``per_channel_pending`` arms the per-channel admission budget of the
+    wire gateways (the in-process one on ``http``, every worker gateway on
+    ``cluster``); rejected on ``inproc``, where there is no gateway.
     """
     if workload is None:
         workload = LoadWorkload.from_spec(spec)
@@ -703,6 +727,7 @@ def run_load(
             live_k=live_k,
             max_live_sessions=max(spec.channels, 1),
             wire_codec=wire_codec,
+            max_pending_per_channel=per_channel_pending,
         )
         supervisor.start()
         try:
@@ -728,4 +753,5 @@ def run_load(
         oracle_factory=oracle_factory if oracle else None,
         transport=transport,
         wire_codec=wire_codec,
+        per_channel_pending=per_channel_pending,
     )

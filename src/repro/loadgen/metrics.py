@@ -10,6 +10,7 @@ and shard count.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,13 +40,17 @@ class StageStats:
     def events_per_sec(self) -> float:
         """Events pushed through the stage per in-call second.
 
-        A stage that recorded zero in-call seconds (every call under the
-        clock's resolution — tiny smoke runs do this) reports ``0.0`` rather
-        than ``inf``: the measurement carries no rate information, and
-        ``inf`` is not valid JSON (``BENCH_load.json`` is written with
-        ``allow_nan=False``, which would reject the whole report).
+        A stage whose in-call seconds carry no rate information — zero
+        (every call under the clock's resolution — tiny smoke runs do
+        this) or so small the division overflows — reports ``0.0`` rather
+        than ``inf``: ``inf`` is not valid JSON (``BENCH_load.json`` is
+        written with ``allow_nan=False``, which would reject the whole
+        report).
         """
-        return self.events / self.seconds if self.seconds > 0 else 0.0
+        if self.seconds <= 0:
+            return 0.0
+        rate = self.events / self.seconds
+        return rate if math.isfinite(rate) else 0.0
 
     def to_dict(self) -> dict:
         """JSON-friendly form (used by ``BENCH_load.json``); strictly JSON-safe."""
@@ -97,6 +102,18 @@ def merge_recorders(recorders: list[LatencyRecorder]) -> dict[str, StageStats]:
     stats: dict[str, StageStats] = {}
     for stage, entry in combined.items():
         latencies = np.asarray(entry.latencies, dtype=float)
+        if latencies.size == 0:
+            # A stage with zero recorded calls (an entry created but never
+            # fed — e.g. a merged recorder from a worker that died before
+            # its first call).  np.percentile/max on an empty array would
+            # produce NaN or raise; report honest zeros instead, which stay
+            # JSON-safe (BENCH files are written with allow_nan=False) and
+            # trivially monotonic.
+            stats[stage] = StageStats(
+                calls=0, events=entry.events, seconds=0.0,
+                p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, max_ms=0.0,
+            )
+            continue
         p50, p95, p99 = (
             float(np.percentile(latencies, q)) * 1e3 for q in (50.0, 95.0, 99.0)
         )

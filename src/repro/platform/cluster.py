@@ -162,6 +162,10 @@ class ShardClusterSupervisor:
         every child).
     max_pending / worker_threads:
         Per-worker gateway admission budget and service thread pool.
+    max_pending_per_channel:
+        Optional per-channel admission budget forwarded to every worker
+        gateway (``serve --max-pending-per-channel``) — one hot channel
+        cannot starve a worker's whole global budget.
     boot_timeout:
         Deadline for *all* workers to print readiness and answer
         ``/healthz``.
@@ -184,6 +188,7 @@ class ShardClusterSupervisor:
         checkpoint_every: int | None = None,
         max_pending: int = 64,
         worker_threads: int = 8,
+        max_pending_per_channel: int | None = None,
         boot_timeout: float = 60.0,
         client_timeout: float = 60.0,
         replicas: int = 64,
@@ -215,6 +220,7 @@ class ShardClusterSupervisor:
         self.checkpoint_every = checkpoint_every
         self.max_pending = max_pending
         self.worker_threads = worker_threads
+        self.max_pending_per_channel = max_pending_per_channel
         self.boot_timeout = boot_timeout
         self.client_timeout = client_timeout
         self.replicas = replicas
@@ -254,6 +260,8 @@ class ShardClusterSupervisor:
         if self.db_path is not None:
             db_path = shard_db_path(self.db_path, index)
             command += ["--db-path", db_path]
+        if self.max_pending_per_channel is not None:
+            command += ["--max-pending-per-channel", str(self.max_pending_per_channel)]
         if self.checkpoint_every is not None:
             command += ["--checkpoint-every", str(self.checkpoint_every)]
         if self.live_k is not None:

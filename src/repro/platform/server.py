@@ -113,6 +113,14 @@ class LightorGateway:
     max_pending:
         Admission budget: requests in flight (admitted but not yet
         answered) beyond this are refused with ``503`` instead of queued.
+    max_pending_per_channel:
+        Optional per-channel admission budget.  The global budget alone
+        lets one hot channel occupy every slot and starve the tail; with
+        this set, a channel-addressed request (any ``/videos/{id}/…`` or
+        ``/live/{id}/…`` route) is refused with ``503`` once that channel
+        alone has this many requests in flight — the rest of the global
+        budget stays available to other channels.  ``None`` (the default)
+        keeps the previous single-budget behaviour.
     worker_threads:
         Threads executing service calls.  The shards serialize per-channel
         work under their own locks; the pool just keeps the event loop off
@@ -133,9 +141,12 @@ class LightorGateway:
         max_pending: int = 64,
         worker_threads: int = 8,
         wire_codec: str = "json",
+        max_pending_per_channel: int | None = None,
     ) -> None:
         require_positive(max_pending, "max_pending")
         require_positive(worker_threads, "worker_threads")
+        if max_pending_per_channel is not None:
+            require_positive(max_pending_per_channel, "max_pending_per_channel")
         if wire_codec not in wire.WIRE_CODECS:
             raise ValidationError(
                 f"unknown wire codec {wire_codec!r} (expected one of {wire.WIRE_CODECS})"
@@ -145,6 +156,7 @@ class LightorGateway:
         self.host = host
         self.port = port
         self.max_pending = max_pending
+        self.max_pending_per_channel = max_pending_per_channel
         self._pool = ThreadPoolExecutor(
             max_workers=worker_threads, thread_name_prefix="lightor-gateway"
         )
@@ -158,6 +170,8 @@ class LightorGateway:
         self._events_ingested: Counter = Counter()
         self._content_types: Counter = Counter()
         self._rejected = 0
+        self._channel_in_flight: Counter = Counter()
+        self._channel_rejected: Counter = Counter()
         self._bytes_in = 0
         self._bytes_out = 0
 
@@ -319,6 +333,21 @@ class LightorGateway:
             status, payload = 503, {
                 "error": f"gateway overloaded ({self._in_flight} requests in flight)"
             }
+        elif (
+            self.max_pending_per_channel is not None
+            and (channel := self._channel_of(unquote(split.path))) is not None
+            and self._channel_in_flight[channel] >= self.max_pending_per_channel
+        ):
+            # Per-channel fairness: the hot channel is refused while the
+            # rest of the global budget stays available to the tail.
+            self._rejected += 1
+            self._channel_rejected[channel] += 1
+            status, payload = 503, {
+                "error": (
+                    f"channel {channel} overloaded "
+                    f"({self._channel_in_flight[channel]} requests in flight)"
+                )
+            }
         else:
             # The check and the increment both run on the event-loop thread
             # with no await between them, so admission cannot race.  The
@@ -326,7 +355,14 @@ class LightorGateway:
             # for in-flight to reach zero before cancelling handler tasks,
             # and a request that executed but never answered would break
             # the "in-flight requests finish" drain guarantee.
+            channel = (
+                self._channel_of(unquote(split.path))
+                if self.max_pending_per_channel is not None
+                else None
+            )
             self._in_flight += 1
+            if channel is not None:
+                self._channel_in_flight[channel] += 1
             try:
                 status, payload = await asyncio.get_running_loop().run_in_executor(
                     self._pool, self._execute, handler, body, content_type, query
@@ -339,6 +375,12 @@ class LightorGateway:
                 await self._write_payload(writer, status, payload, codec, keep_alive=keep_alive)
             finally:
                 self._in_flight -= 1
+                if channel is not None:
+                    self._channel_in_flight[channel] -= 1
+                    if self._channel_in_flight[channel] <= 0:
+                        # Keep the counter sparse: a long-running gateway
+                        # must not accumulate a key per channel ever seen.
+                        del self._channel_in_flight[channel]
             return keep_alive
         self._responses[str(status)] += 1
         await self._write_payload(writer, status, payload, codec, keep_alive=keep_alive)
@@ -530,6 +572,19 @@ class LightorGateway:
         return "unknown", None
 
     @staticmethod
+    def _channel_of(path: str) -> str | None:
+        """The channel a path addresses, or ``None`` for channel-less routes.
+
+        Every channel-addressed route has the shape ``/videos/{id}/…`` or
+        ``/live/{id}/…`` — the same shapes :meth:`_resolve` dispatches — so
+        per-channel admission needs no route table of its own.
+        """
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 3 and parts[0] in ("videos", "live"):
+            return parts[1]
+        return None
+
+    @staticmethod
     def _noop(body: dict, query: dict) -> dict:  # pragma: no cover - never executed
         return {}
 
@@ -633,6 +688,8 @@ class LightorGateway:
             "shards": getattr(self.service, "n_shards", 1),
             "in_flight": self._in_flight,
             "max_pending": self.max_pending,
+            "max_pending_per_channel": self.max_pending_per_channel,
+            "channels_in_flight": len(self._channel_in_flight),
         }
 
     def _metrics_text(self) -> str:
@@ -643,6 +700,8 @@ class LightorGateway:
             f"lightor_gateway_in_flight {self._in_flight}",
             f"lightor_gateway_draining {int(self._draining)}",
             f"lightor_gateway_rejected_total {self._rejected}",
+            f"lightor_gateway_max_pending_per_channel "
+            f"{self.max_pending_per_channel or 0}",
             f"lightor_gateway_shards {getattr(self.service, 'n_shards', 1)}",
             f"lightor_gateway_bytes_in_total {self._bytes_in}",
             f"lightor_gateway_bytes_out_total {self._bytes_out}",
@@ -657,6 +716,10 @@ class LightorGateway:
             lines.append(f'lightor_gateway_responses_total{{status="{status}"}} {count}')
         for route, count in sorted(self._events_ingested.items()):
             lines.append(f'lightor_gateway_events_ingested_total{{route="{route}"}} {count}')
+        for channel, count in sorted(self._channel_rejected.items()):
+            lines.append(
+                f'lightor_gateway_channel_rejected_total{{channel="{channel}"}} {count}'
+            )
         return "\n".join(lines) + "\n"
 
 

@@ -196,6 +196,117 @@ class TestLoadCommand:
         assert "byte-identical" in out
 
 
+class TestTraceAndScenarioCLI:
+    SMALL = [
+        "--channels", "2", "--viewers", "10", "--duration", "300",
+        "--batch-size", "16", "--workers", "2",
+    ]
+
+    def test_trace_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "load", "--scenario", "flash-crowd", "--record", "x.trace",
+                "--max-pending-per-channel", "2",
+            ]
+        )
+        assert (args.scenario, args.record) == ("flash-crowd", "x.trace")
+        assert args.max_pending_per_channel == 2
+        args = build_parser().parse_args(["load", "--replay", "y.trace"])
+        assert args.replay == "y.trace"
+        defaults = build_parser().parse_args(["load"])
+        assert (defaults.scenario, defaults.record, defaults.replay) == (
+            None, None, None,
+        )
+        assert defaults.max_pending_per_channel is None
+
+    def test_per_channel_flag_parsed_on_serve_and_cluster(self):
+        for command in ("serve", "cluster"):
+            args = build_parser().parse_args(
+                [command, "--max-pending-per-channel", "4"]
+            )
+            assert args.max_pending_per_channel == 4
+
+    def test_replay_excludes_scenario_and_record(self, capsys):
+        assert main(["load", "--replay", "x.trace", "--record", "y.trace"]) == 1
+        assert "--replay drives a recorded workload" in capsys.readouterr().out
+        assert main(["load", "--replay", "x.trace", "--scenario", "flash-crowd"]) == 1
+        assert "--replay drives a recorded workload" in capsys.readouterr().out
+
+    def test_chaos_excludes_trace_and_scenario_modes(self, capsys):
+        base = [
+            "load", "--kill-after", "5", "--recover", "--backend", "sqlite",
+            "--db-path", "x.db",
+        ]
+        for extra in (
+            ["--scenario", "flash-crowd"], ["--record", "x.trace"],
+            ["--replay", "x.trace"],
+        ):
+            assert main(base + extra) == 1
+            assert "chaos mode cannot be combined" in capsys.readouterr().out
+
+    def test_per_channel_budget_validated(self, capsys):
+        assert main(["load", "--smoke", "--transport", "http",
+                     "--max-pending-per-channel", "0"]) == 1
+        assert "at least 1" in capsys.readouterr().out
+        assert main(["load", "--smoke", "--max-pending-per-channel", "1"]) == 1
+        assert "wire transports" in capsys.readouterr().out
+        assert main(["serve", "--max-pending-per-channel", "0"]) == 1
+        assert "at least 1" in capsys.readouterr().out
+
+    def test_unknown_scenario_lists_the_library(self, capsys):
+        assert main(["load", "--scenario", "meteor-strike"] + self.SMALL) == 1
+        out = capsys.readouterr().out
+        assert "unknown scenario" in out
+        for name in ("flash-crowd", "chat-flood", "reconnect-storm", "fairness"):
+            assert name in out
+
+    def test_unreadable_trace_fails_cleanly(self, capsys, tmp_path):
+        missing = tmp_path / "nope.trace"
+        assert main(["load", "--replay", str(missing)]) == 1
+        assert "cannot read trace" in capsys.readouterr().out
+        garbage = tmp_path / "garbage.trace"
+        garbage.write_bytes(b"NOT A TRACE AT ALL")
+        assert main(["load", "--replay", str(garbage)]) == 1
+        assert "cannot read trace" in capsys.readouterr().out
+
+    def test_record_then_replay_end_to_end(self, capsys, tmp_path):
+        """The tentpole loop: record a run, replay it, gate on fingerprints."""
+        trace = tmp_path / "run.trace"
+        assert main(["load", "--record", str(trace)] + self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "recorded trace:" in out
+        assert "0 divergences" in out
+        assert trace.exists()
+        # Replay on a different topology — and a different --seed, which
+        # must not matter: the model retrains from the recorded spec.
+        argv = ["load", "--replay", str(trace), "--shards", "2", "--seed", "999"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out
+        assert "byte-identical to the recording" in out
+
+    def test_scenario_smoke_with_recording(self, capsys, tmp_path):
+        trace = tmp_path / "surge.trace"
+        argv = [
+            "load", "--scenario", "flash-crowd", "--record", str(trace),
+        ] + self.SMALL
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scenario flash-crowd" in out
+        assert "recorded trace:" in out
+        assert "0 divergences" in out
+        # The recorded scenario replays like any other trace.
+        assert main(["load", "--replay", str(trace)]) == 0
+        assert "byte-identical to the recording" in capsys.readouterr().out
+
+    def test_load_help_documents_trace_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--scenario", "--record", "--replay", "--max-pending-per-channel"):
+            assert flag in out
+
+
 class TestServeCommand:
     def test_serve_flags_parsed(self):
         args = build_parser().parse_args(

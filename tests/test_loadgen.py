@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.loadgen import (
     LatencyRecorder,
@@ -14,6 +18,7 @@ from repro.loadgen import (
     run_load,
     zipf_weights,
 )
+from repro.loadgen.metrics import LadderEntry
 from repro.platform.sharding import ShardedLightorService
 from repro.utils.validation import ValidationError
 
@@ -259,6 +264,66 @@ class TestDriver:
         assert (tmp_path / "load.shard0.db").exists()
 
 
+class TestWorkloadDeterminismProperty:
+    """Property-based pin on the repo's foundational loadgen invariant:
+    the *event stream* a seed produces is a pure function of the spec's
+    traffic knobs — batch size chunks it and workers drive it, but neither
+    may change a single byte of any channel's ordered events."""
+
+    @staticmethod
+    def _streams(workload):
+        return {
+            (plan.video.video_id, kind): tuple(
+                event
+                for batch in workload.batches()
+                if batch.video_id == plan.video.video_id and batch.kind == kind
+                for event in batch.events
+            )
+            for plan in workload.plans
+            for kind in ("chat", "plays")
+        }
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        channels=st.integers(min_value=1, max_value=3),
+        viewers=st.integers(min_value=2, max_value=12),
+        batch_sizes=st.tuples(
+            st.integers(min_value=1, max_value=64),
+            st.integers(min_value=1, max_value=64),
+        ),
+    )
+    def test_same_seed_same_stream_regardless_of_chunking(
+        self, seed, channels, viewers, batch_sizes
+    ):
+        spec = WorkloadSpec(
+            channels=channels,
+            viewers=viewers,
+            duration=300.0,
+            batch_size=batch_sizes[0],
+            seed=seed,
+        )
+        workload = LoadWorkload.from_spec(spec)
+        again = LoadWorkload.from_spec(spec)
+        # Same spec ⇒ byte-identical plans *and* batch stream.
+        assert self._streams(again) == self._streams(workload)
+        assert [
+            (b.kind, b.video_id, b.arrival, b.sequence, b.events)
+            for b in again.batches()
+        ] == [
+            (b.kind, b.video_id, b.arrival, b.sequence, b.events)
+            for b in workload.batches()
+        ]
+        # Re-chunking moves batch boundaries, never events or their order.
+        rebatched = workload.rebatched(batch_sizes[1])
+        assert self._streams(rebatched) == self._streams(workload)
+        # And the streams are exactly the plans, whatever the chunking.
+        for plan in workload.plans:
+            vid = plan.video.video_id
+            assert self._streams(rebatched)[(vid, "chat")] == plan.chat
+            assert self._streams(rebatched)[(vid, "plays")] == plan.plays
+
+
 class TestMetrics:
     def test_merge_recorders_percentiles(self):
         first, second = LatencyRecorder(), LatencyRecorder()
@@ -273,3 +338,59 @@ class TestMetrics:
         assert stats["chat"].events_per_sec == pytest.approx(4000.0)
         assert stats["plays"].p50_ms == pytest.approx(5.0)
         assert stats["chat"].max_ms == pytest.approx(4.0)
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_recorders([]) == {}
+        assert merge_recorders([LatencyRecorder(), LatencyRecorder()]) == {}
+
+    def test_empty_stage_reports_zeros_not_nan(self):
+        """A stage entry with zero recorded calls (a worker died before its
+        first call) must stay JSON-safe — ``BENCH_load.json`` is written
+        with ``allow_nan=False``, so a NaN percentile would reject the
+        whole report."""
+        recorder = LatencyRecorder()
+        recorder.stages()["dead"] = LadderEntry(latencies=[], events=7)
+        stats = merge_recorders([recorder])
+        entry = stats["dead"]
+        assert entry.calls == 0 and entry.events == 7
+        assert (entry.p50_ms, entry.p95_ms, entry.p99_ms, entry.max_ms) == (
+            0.0, 0.0, 0.0, 0.0,
+        )
+        assert entry.events_per_sec == 0.0
+        json.dumps(entry.to_dict(), allow_nan=False)
+
+    def test_single_event_stage_is_degenerate_but_sane(self):
+        recorder = LatencyRecorder()
+        recorder.record("open", 0.002, events=1)
+        entry = merge_recorders([recorder])["open"]
+        assert entry.calls == 1
+        assert entry.p50_ms == entry.p95_ms == entry.p99_ms == entry.max_ms
+        assert entry.p50_ms == pytest.approx(2.0)
+        json.dumps(entry.to_dict(), allow_nan=False)
+
+    def test_zero_duration_stage_reports_zero_rate_not_inf(self):
+        """Calls under the clock's resolution: rate must be 0.0, not inf
+        (inf is not valid JSON either)."""
+        recorder = LatencyRecorder()
+        recorder.record("close", 0.0, events=5)
+        recorder.record("close", 0.0, events=5)
+        entry = merge_recorders([recorder])["close"]
+        assert entry.seconds == 0.0
+        assert entry.events_per_sec == 0.0
+        json.dumps(entry.to_dict(), allow_nan=False)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_percentiles_are_monotone(self, samples):
+        recorder = LatencyRecorder()
+        for value in samples:
+            recorder.record("chat", value)
+        entry = merge_recorders([recorder])["chat"]
+        assert entry.p50_ms <= entry.p95_ms <= entry.p99_ms <= entry.max_ms
+        json.dumps(entry.to_dict(), allow_nan=False)

@@ -239,6 +239,89 @@ class TestOverload:
             LightorGateway(_BlockingService(), max_pending=0)
         with pytest.raises(ValidationError):
             LightorGateway(_BlockingService(), worker_threads=0)
+        with pytest.raises(ValidationError):
+            LightorGateway(_BlockingService(), max_pending_per_channel=0)
+
+
+class _ChannelBlockingService:
+    """A stub front door that blocks only the ``hot`` channel's requests."""
+
+    n_shards = 1
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def live_red_dots(self, video_id):
+        if video_id == "hot":
+            self.entered.set()
+            assert self.release.wait(timeout=30)
+        return []
+
+
+class TestPerChannelAdmission:
+    def test_hot_channel_refused_while_tail_is_served(self):
+        """The fairness property: one saturated channel exhausts only its
+        *own* budget — the global budget stays available for the tail."""
+        service = _ChannelBlockingService()
+        gateway = GatewayThread(
+            service, max_pending=8, max_pending_per_channel=1, worker_threads=4
+        )
+        host, port = gateway.start()
+        blocked = LightorClient(host, port)
+        probe = LightorClient(host, port)
+        try:
+            worker = threading.Thread(
+                target=blocked.live_red_dots, args=("hot",), daemon=True
+            )
+            worker.start()
+            assert service.entered.wait(timeout=30)
+            # The hot channel's budget is spent: its next request is refused …
+            with pytest.raises(GatewayOverloadedError) as excinfo:
+                probe.live_red_dots("hot")
+            assert excinfo.value.status == 503
+            # … while a tail channel sails through on the same gateway —
+            # the whale consumed none of the global budget the tail needs.
+            assert probe.live_red_dots("cold") == []
+            health = probe.healthz()
+            assert health["max_pending_per_channel"] == 1
+            assert health["channels_in_flight"] == 1
+            assert 'lightor_gateway_channel_rejected_total{channel="hot"} 1' in (
+                probe.metrics()
+            )
+            service.release.set()
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            # The slot frees once the in-flight request drains.
+            assert probe.live_red_dots("hot") == []
+            assert probe.healthz()["channels_in_flight"] == 0
+        finally:
+            service.release.set()
+            blocked.close()
+            probe.close()
+            gateway.stop()
+
+    def test_channel_extraction_covers_both_route_families(self):
+        assert LightorGateway._channel_of("/live/abc/chat") == "abc"
+        assert LightorGateway._channel_of("/videos/v-1/red-dots") == "v-1"
+        assert LightorGateway._channel_of("/healthz") is None
+        assert LightorGateway._channel_of("/videos") is None
+        assert LightorGateway._channel_of("/live/abc/chat/extra") is None
+
+    def test_budget_disabled_by_default(self):
+        """Without the knob the gateway must not track channels at all."""
+        service = _ChannelBlockingService()
+        gateway = GatewayThread(service, worker_threads=2)
+        host, port = gateway.start()
+        client = LightorClient(host, port)
+        try:
+            assert client.live_red_dots("cold") == []
+            health = client.healthz()
+            assert health["max_pending_per_channel"] is None
+            assert health["channels_in_flight"] == 0
+        finally:
+            client.close()
+            gateway.stop()
 
 
 class TestConcurrentIngest:
