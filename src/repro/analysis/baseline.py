@@ -1,0 +1,89 @@
+"""Shrink-only baseline for lintor findings.
+
+The baseline (``tools/lintor_baseline.json``) is the set of findings the
+repo has accepted *for now*.  Comparing a fresh run against it yields two
+failure modes, both of which gate CI:
+
+* **new** — a finding not in the baseline: a freshly introduced
+  violation.  Fix it (or pragma it with a reason); never baseline it.
+* **stale** — a baseline entry no fresh finding matches: the debt was
+  paid but the ledger not updated.  Rewrite the baseline (it shrinks).
+
+``write_baseline`` enforces the shrink-only policy mechanically: writing
+a baseline that contains findings absent from the existing committed one
+is refused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.utils.validation import ValidationError
+
+__all__ = ["BaselineDelta", "compare_to_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> list[Finding]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ValidationError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValidationError(
+            f"baseline {path} must be an object with version={BASELINE_VERSION}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValidationError(f"baseline {path} must carry a findings list")
+    return sorted(Finding.from_dict(entry) for entry in entries)
+
+
+@dataclass(frozen=True)
+class BaselineDelta:
+    """The two-sided diff between a fresh run and the committed baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    stale: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def compare_to_baseline(findings: list[Finding], baseline: list[Finding]) -> BaselineDelta:
+    fresh_keys = {f.key() for f in findings}
+    known_keys = {f.key() for f in baseline}
+    return BaselineDelta(
+        new=sorted(f for f in findings if f.key() not in known_keys),
+        stale=sorted(f for f in baseline if f.key() not in fresh_keys),
+    )
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialize ``findings`` as the new baseline — refusing to grow it.
+
+    If ``path`` already exists, every finding written must already be in
+    it: the baseline is a ratchet, not a dumping ground.  New violations
+    are fixed or pragma'd at the source line, never baselined.
+    """
+    if path.exists():
+        known = {f.key() for f in load_baseline(path)}
+        growth = sorted(f for f in findings if f.key() not in known)
+        if growth:
+            listing = "\n".join(f"  {f.render()}" for f in growth)
+            raise ValidationError(
+                "refusing to grow the baseline — fix or pragma these instead:\n"
+                + listing
+            )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    path.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n", encoding="utf-8")

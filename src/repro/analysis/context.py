@@ -1,0 +1,115 @@
+"""Per-module analysis context shared by every lintor rule.
+
+One parse of the file yields everything the rules need: the AST with
+parent back-links, the comment annotations, and an import table so call
+sites can be resolved to canonical dotted names (``time.sleep`` whether
+the module wrote ``import time``, ``import time as t`` or
+``from time import sleep``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.pragmas import FileComments, collect_comments
+
+__all__ = ["ModuleContext", "build_context"]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    comments: FileComments
+    #: child node -> parent node, for lexical-scope questions
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: local alias -> canonical dotted prefix (``import time as t`` -> {"t": "time"})
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> canonical dotted name (``from time import sleep`` -> {"sleep": "time.sleep"})
+    from_imports: dict[str, str] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST):
+        """Yield ancestors from the immediate parent up to the module."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Resolve a call's function expression to a canonical dotted name.
+
+        ``Name`` nodes map through the import tables (falling back to the
+        bare name, which is how builtins like ``open`` resolve).
+        ``Attribute`` chains rooted at an imported module resolve to the
+        canonical module path; chains rooted elsewhere (``self.x.y``)
+        return ``None`` — rules that care about those match the AST shape
+        directly.
+        """
+        if isinstance(func, ast.Name):
+            if func.id in self.from_imports:
+                return self.from_imports[func.id]
+            if func.id in self.import_aliases:
+                return self.import_aliases[func.id]
+            return func.id
+        if isinstance(func, ast.Attribute):
+            parts: list[str] = [func.attr]
+            node: ast.expr = func.value
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if not isinstance(node, ast.Name):
+                return None
+            root = node.id
+            if root in self.import_aliases:
+                root = self.import_aliases[root]
+            elif root in self.from_imports:
+                root = self.from_imports[root]
+            else:
+                return None
+            parts.append(root)
+            return ".".join(reversed(parts))
+        return None
+
+
+def build_context(source: str, relpath: str) -> ModuleContext:
+    """Parse ``source`` and assemble the shared analysis context.
+
+    Raises :class:`SyntaxError` when the file does not parse; the engine
+    converts that into an R000 finding.
+    """
+    tree = ast.parse(source)
+    ctx = ModuleContext(
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        comments=collect_comments(source),
+    )
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            ctx.parents[child] = node
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                ctx.import_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                ctx.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return ctx

@@ -1,0 +1,86 @@
+"""The lintor engine: walk files, run rules, apply pragmas.
+
+The engine is deliberately small — all repo knowledge lives in
+:mod:`~repro.analysis.rules`; all annotation syntax lives in
+:mod:`~repro.analysis.pragmas`.  What remains here is plumbing:
+file discovery, the parse, suppression, and stable ordering.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.context import build_context
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES
+
+__all__ = ["analyze_source", "analyze_paths", "iter_python_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".hypothesis"}
+
+
+def analyze_source(source: str, relpath: str) -> list[Finding]:
+    """Analyze one module's source, returning suppressed+sorted findings."""
+    try:
+        ctx = build_context(source, relpath)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=relpath,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule="R000",
+                message=f"file does not parse: {error.msg}",
+                fixit="fix the syntax error; lintor cannot analyze what Python cannot parse",
+            )
+        ]
+    findings: list[Finding] = []
+    for check in RULES.values():
+        findings.extend(check(ctx))
+    findings = [
+        f
+        for f in findings
+        if f.rule not in ctx.comments.disables.get(f.line, set())
+    ]
+    for line, message in ctx.comments.malformed:
+        findings.append(
+            Finding(
+                path=relpath,
+                line=line,
+                col=0,
+                rule="R000",
+                message=message,
+                fixit="write `# lintor: disable=RXXX reason=<why this exception is sound>`",
+            )
+        )
+    return sorted(findings)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+                for filename in filenames:
+                    if filename.endswith(".py"):
+                        files.add(Path(root) / filename)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def analyze_paths(paths: list[Path], root: Path) -> list[Finding]:
+    """Analyze every ``.py`` file under ``paths``.
+
+    Finding paths are reported relative to ``root`` (posix separators) so
+    the committed baseline is machine-independent.
+    """
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        relpath = os.path.relpath(file_path, root).replace(os.sep, "/")
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, relpath))
+    return sorted(findings)

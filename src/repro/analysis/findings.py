@@ -1,0 +1,70 @@
+"""Finding model for the lintor static analyzer.
+
+A finding is one rule violation at one source location.  Findings are
+value objects: hashable, ordered by location, and round-trippable through
+JSON so the committed baseline (``tools/lintor_baseline.json``) can store
+them verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``fixit`` is advisory prose (how to repair the violation) and is
+    deliberately excluded from the identity used for baseline matching —
+    rewording a fix-it must not invalidate a committed baseline.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    fixit: str = field(default="", compare=False)
+
+    def key(self) -> tuple[str, int, str, str]:
+        """Baseline identity: column excluded so cosmetic reindents
+        inside a line do not churn the baseline."""
+        return (self.path, self.line, self.rule, self.message)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.fixit:
+            text += f" [fix: {self.fixit}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "Finding":
+        if not isinstance(payload, dict):
+            raise ValidationError(f"baseline finding must be an object, got {type(payload).__name__}")
+        try:
+            rule = payload["rule"]
+            path = payload["path"]
+            line = payload["line"]
+            message = payload["message"]
+        except KeyError as error:
+            raise ValidationError(f"baseline finding is missing key {error.args[0]!r}") from error
+        col = payload.get("col", 0)
+        if not isinstance(rule, str) or not isinstance(path, str) or not isinstance(message, str):
+            raise ValidationError("baseline finding fields rule/path/message must be strings")
+        if not isinstance(line, int) or not isinstance(col, int):
+            raise ValidationError("baseline finding fields line/col must be integers")
+        return cls(path=path, line=line, col=col, rule=rule, message=message)

@@ -351,6 +351,26 @@ def build_parser() -> argparse.ArgumentParser:
         "with its own oracle (non-zero exit on any divergence)",
     )
     load_parser.add_argument(
+        "--scenario-surge-factor", type=int, default=None, metavar="N",
+        help="flash-crowd severity: head-channel viewership multiplier "
+        "(default: 20; requires --scenario)",
+    )
+    load_parser.add_argument(
+        "--scenario-flood-factor", type=int, default=None, metavar="N",
+        help="chat-flood severity: spam messages per organic chat message "
+        "(default: 4; requires --scenario)",
+    )
+    load_parser.add_argument(
+        "--scenario-outage-start", type=float, default=None, metavar="FRAC",
+        help="reconnect-storm: outage window start as a fraction of the run "
+        "(default: 0.35; requires --scenario)",
+    )
+    load_parser.add_argument(
+        "--scenario-outage-length", type=float, default=None, metavar="FRAC",
+        help="reconnect-storm: outage window length as a fraction of the run "
+        "(default: 0.25; requires --scenario)",
+    )
+    load_parser.add_argument(
         "--record", default=None, metavar="PATH",
         help="record the driven workload (every batch, every event, the "
         "run's end-state fingerprints) to a versioned trace file",
@@ -366,6 +386,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending-per-channel", type=int, default=None,
         help="per-channel gateway admission budget on wire transports "
         "(http/cluster) — the fairness scenario's subject (default: disabled)",
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run lintor, the repo-aware static analyzer (rules R001-R006)",
+        description="Statically check the repo's concurrency, wire and "
+        "error contracts: event-loop blocking (R001), guarded-by lock "
+        "discipline (R002), strict JSON (R003), typed errors (R004), "
+        "resource safety (R005) and frame versioning (R006). "
+        "docs/static_analysis.md documents the catalogue.",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against a committed baseline: any finding not in it "
+        "fails the run (new violation), any entry it carries that no longer "
+        "reproduces fails the run (stale baseline)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the findings as the new baseline; refuses to *grow* an "
+        "existing baseline (fix or pragma new findings instead)",
+    )
+    lint_parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogue and exit",
     )
     return parser
 
@@ -972,6 +1021,28 @@ def _command_load(args) -> int:
                 flush=True,
             )
             return 1
+    knob_overrides = {
+        name: value
+        for name, value in (
+            ("surge_factor", args.scenario_surge_factor),
+            ("flood_factor", args.scenario_flood_factor),
+            ("outage_start_frac", args.scenario_outage_start),
+            ("outage_length_frac", args.scenario_outage_length),
+        )
+        if value is not None
+    }
+    if knob_overrides and args.scenario is None:
+        print("--scenario-* severity flags require --scenario", flush=True)
+        return 1
+    knobs = None
+    if knob_overrides:
+        from repro.loadgen.scenarios import ScenarioKnobs
+
+        try:
+            knobs = ScenarioKnobs(**knob_overrides)
+        except ValidationError as error:
+            print(f"invalid scenario knobs: {error}", flush=True)
+            return 1
     if args.smoke:
         spec_kwargs = dict(
             channels=3, viewers=60, duration=1200.0, batch_size=64, seed=args.seed
@@ -1083,6 +1154,7 @@ def _command_load(args) -> int:
                 transport=args.transport,
                 wire_codec=args.wire_codec,
                 per_channel_pending=args.max_pending_per_channel,
+                knobs=knobs,
             )
         except (ValidationError, sqlite3.Error) as error:
             print(f"scenario run failed: {error}", flush=True)
@@ -1120,6 +1192,74 @@ def _command_load(args) -> int:
     return 1 if report.divergences else 0
 
 
+def _command_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        RULE_DOCS,
+        analyze_paths,
+        compare_to_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.utils.validation import ValidationError
+
+    if args.rules:
+        for code, doc in sorted(RULE_DOCS.items()):
+            print(f"{code}  {doc}")
+        return 0
+
+    root = Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", flush=True)
+        return 1
+    findings = analyze_paths(paths, root)
+
+    if args.write_baseline:
+        try:
+            write_baseline(Path(args.write_baseline), findings)
+        except ValidationError as error:
+            print(f"cannot write baseline: {error}", flush=True)
+            return 1
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except ValidationError as error:
+            print(f"cannot load baseline: {error}", flush=True)
+            return 1
+        delta = compare_to_baseline(findings, baseline)
+        for finding in delta.new:
+            print(f"NEW   {finding.render()}")
+        for finding in delta.stale:
+            print(f"STALE {finding.render()} (fixed but still baselined)")
+        if delta.clean:
+            print(
+                f"lint clean: {len(findings)} finding(s), all baselined "
+                f"({args.baseline})"
+            )
+            return 0
+        print(
+            f"lint failed: {len(delta.new)} new finding(s), "
+            f"{len(delta.stale)} stale baseline entr(y/ies) — fix new findings "
+            "(or pragma them with a reason); rewrite a stale baseline with "
+            "--write-baseline"
+        )
+        return 1
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint clean: no findings")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``lightor`` console script."""
     parser = build_parser()
@@ -1136,6 +1276,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_demo(args.k, args.seed)
     if args.command == "load":
         return _command_load(args)
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "cluster":

@@ -44,8 +44,10 @@ from repro.loadgen.driver import (
 )
 from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
 from repro.loadgen.scenarios import (
+    DEFAULT_KNOBS,
     SCENARIOS,
     Scenario,
+    ScenarioKnobs,
     ScenarioReport,
     build_scenario_workload,
     run_scenario,
@@ -68,6 +70,7 @@ from repro.loadgen.workload import (
 )
 
 __all__ = [
+    "DEFAULT_KNOBS",
     "SCENARIOS",
     "ChannelOutcome",
     "ChannelPlan",
@@ -80,6 +83,7 @@ __all__ = [
     "ReplayReport",
     "ReplayWorkload",
     "Scenario",
+    "ScenarioKnobs",
     "ScenarioReport",
     "StageStats",
     "TraceFormatError",

@@ -424,6 +424,7 @@ class LoadGenerator:
                 ],
             },
             sort_keys=True,
+            allow_nan=False,
         )
 
     def _oracle_divergences(

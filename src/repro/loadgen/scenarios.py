@@ -50,34 +50,77 @@ from repro.utils.rng import SeedSequenceFactory
 from repro.utils.validation import ValidationError
 
 __all__ = [
+    "DEFAULT_KNOBS",
     "SCENARIOS",
     "Scenario",
+    "ScenarioKnobs",
     "ScenarioReport",
     "build_scenario_workload",
     "run_scenario",
 ]
 
-# Flash crowd: the head channel's viewer sessions multiply by this factor,
-# the extra sessions compressed into a window this long starting this far
-# into the channel's stream.
-_SURGE_FACTOR = 20
+# Shape parameters that stay fixed: the *when* of each perturbation.  The
+# severity parameters (how big the surge/flood/outage is) are CLI-tunable
+# via ScenarioKnobs below.
 _SURGE_START_FRAC = 0.25
 _SURGE_WINDOW_SECONDS = 60.0
 _VIEWERS_PER_ROUND = 10
-
-# Chat flood: the head channel receives this many spam messages per organic
-# one, evenly spaced over a window this long.
-_FLOOD_FACTOR = 4
 _FLOOD_START_FRAC = 0.3
 _FLOOD_WINDOW_SECONDS = 120.0
 
-# Reconnect storm: the outage starts this far into the run (as a fraction
-# of the latest batch arrival) and lasts this fraction of the run.
-_OUTAGE_START_FRAC = 0.35
-_OUTAGE_LENGTH_FRAC = 0.25
-
 # Fairness: the whale-and-tail skew exponent.
 _FAIRNESS_ZIPF = 3.0
+
+
+@dataclass(frozen=True)
+class ScenarioKnobs:
+    """Severity knobs for the adversarial scenarios.
+
+    The defaults reproduce the shapes the benchmarks record
+    (``BENCH_load.json``); ``repro load --scenario-*`` flags override them
+    per run.  Every field is validated on construction so a bad CLI value
+    fails before any traffic is synthesised.
+
+    surge_factor:
+        ``flash-crowd`` — the head channel's viewership multiplier.
+    flood_factor:
+        ``chat-flood`` — spam messages per organic chat message (with a
+        floor of 64 spam messages so tiny fleets still flood).
+    outage_start_frac / outage_length_frac:
+        ``reconnect-storm`` — where the outage window starts and how long
+        it lasts, both as fractions of the latest batch arrival.
+    """
+
+    surge_factor: int = 20
+    flood_factor: int = 4
+    outage_start_frac: float = 0.35
+    outage_length_frac: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.surge_factor, int) or self.surge_factor < 1:
+            raise ValidationError(
+                f"surge_factor must be an integer >= 1, got {self.surge_factor!r}"
+            )
+        if not isinstance(self.flood_factor, int) or self.flood_factor < 1:
+            raise ValidationError(
+                f"flood_factor must be an integer >= 1, got {self.flood_factor!r}"
+            )
+        if not 0.0 <= self.outage_start_frac < 1.0:
+            raise ValidationError(
+                f"outage_start_frac must be in [0, 1), got {self.outage_start_frac!r}"
+            )
+        if not 0.0 < self.outage_length_frac <= 1.0:
+            raise ValidationError(
+                f"outage_length_frac must be in (0, 1], got {self.outage_length_frac!r}"
+            )
+        if self.outage_start_frac + self.outage_length_frac > 1.0:
+            raise ValidationError(
+                "the outage window must end within the run: "
+                f"start {self.outage_start_frac} + length {self.outage_length_frac} > 1"
+            )
+
+
+DEFAULT_KNOBS = ScenarioKnobs()
 
 
 def _surge_anchors(plan: ChannelPlan) -> list[RedDot]:
@@ -91,8 +134,8 @@ def _surge_anchors(plan: ChannelPlan) -> list[RedDot]:
     return anchors or [RedDot(position=duration / 2.0, video_id=video.video_id)]
 
 
-def _flash_crowd(spec: WorkloadSpec) -> LoadWorkload:
-    """The head channel's viewership ``_SURGE_FACTOR``-xes inside the window."""
+def _flash_crowd(spec: WorkloadSpec, knobs: ScenarioKnobs) -> LoadWorkload:
+    """The head channel's viewership ``surge_factor``-xes inside the window."""
     workload = LoadWorkload.from_spec(spec)
     head = workload.plans[0]
     anchors = _surge_anchors(head)
@@ -104,7 +147,7 @@ def _flash_crowd(spec: WorkloadSpec) -> LoadWorkload:
     # round index), so rounds the base never ran are fresh sessions and the
     # base plan's own sessions are untouched.
     base_rounds = -(-head.viewers // _VIEWERS_PER_ROUND)
-    extra_viewers = head.viewers * (_SURGE_FACTOR - 1)
+    extra_viewers = head.viewers * (knobs.surge_factor - 1)
     surge_start = head.duration * _SURGE_START_FRAC
     window = min(_SURGE_WINDOW_SECONDS, max(1.0, head.duration - surge_start - 1.0))
 
@@ -129,18 +172,18 @@ def _flash_crowd(spec: WorkloadSpec) -> LoadWorkload:
     merged = sorted(head.plays + tuple(surge), key=lambda event: event.timestamp)
     plans = list(workload.plans)
     plans[0] = replace(
-        head, plays=tuple(merged), viewers=head.viewers * _SURGE_FACTOR
+        head, plays=tuple(merged), viewers=head.viewers * knobs.surge_factor
     )
     return LoadWorkload(spec=spec, plans=plans)
 
 
-def _chat_flood(spec: WorkloadSpec) -> LoadWorkload:
+def _chat_flood(spec: WorkloadSpec, knobs: ScenarioKnobs) -> LoadWorkload:
     """One channel is spammed with a deterministic bot flood."""
     workload = LoadWorkload.from_spec(spec)
     head = workload.plans[0]
     flood_start = head.duration * _FLOOD_START_FRAC
     window = min(_FLOOD_WINDOW_SECONDS, max(1.0, head.duration - flood_start - 1.0))
-    count = max(64, _FLOOD_FACTOR * len(head.chat))
+    count = max(64, knobs.flood_factor * len(head.chat))
     flood = tuple(
         ChatMessage(
             timestamp=min(flood_start + (index * window) / count, head.duration - 1e-6),
@@ -155,6 +198,7 @@ def _chat_flood(spec: WorkloadSpec) -> LoadWorkload:
     return LoadWorkload(spec=spec, plans=plans)
 
 
+@dataclass
 class _ReconnectStormWorkload(LoadWorkload):
     """A workload whose batch arrivals collapse onto the outage end.
 
@@ -166,13 +210,16 @@ class _ReconnectStormWorkload(LoadWorkload):
     to the unperturbed run — which is exactly the scenario's oracle.
     """
 
+    outage_start_frac: float = DEFAULT_KNOBS.outage_start_frac
+    outage_length_frac: float = DEFAULT_KNOBS.outage_length_frac
+
     def batches(self) -> list[WorkBatch]:
         base = super().batches()
         if not base:
             return base
         horizon = max(batch.arrival for batch in base)
-        outage_start = horizon * _OUTAGE_START_FRAC
-        outage_end = outage_start + horizon * _OUTAGE_LENGTH_FRAC
+        outage_start = horizon * self.outage_start_frac
+        outage_end = outage_start + horizon * self.outage_length_frac
         remapped = [
             replace(batch, arrival=outage_end)
             if outage_start <= batch.arrival < outage_end
@@ -186,12 +233,17 @@ class _ReconnectStormWorkload(LoadWorkload):
         ]
 
 
-def _reconnect_storm(spec: WorkloadSpec) -> LoadWorkload:
+def _reconnect_storm(spec: WorkloadSpec, knobs: ScenarioKnobs) -> LoadWorkload:
     workload = LoadWorkload.from_spec(spec)
-    return _ReconnectStormWorkload(spec=spec, plans=workload.plans)
+    return _ReconnectStormWorkload(
+        spec=spec,
+        plans=workload.plans,
+        outage_start_frac=knobs.outage_start_frac,
+        outage_length_frac=knobs.outage_length_frac,
+    )
 
 
-def _fairness(spec: WorkloadSpec) -> LoadWorkload:
+def _fairness(spec: WorkloadSpec, knobs: ScenarioKnobs) -> LoadWorkload:
     """One whale channel and a starving tail: extreme Zipf skew."""
     return LoadWorkload.from_spec(replace(spec, zipf_exponent=_FAIRNESS_ZIPF))
 
@@ -207,7 +259,7 @@ class Scenario:
 
     name: str
     description: str
-    build: Callable[[WorkloadSpec], LoadWorkload]
+    build: Callable[[WorkloadSpec, ScenarioKnobs], LoadWorkload]
     oracle: str = "sequential"
 
 
@@ -217,16 +269,16 @@ SCENARIOS: dict[str, Scenario] = {
         Scenario(
             name="flash-crowd",
             description=(
-                f"head channel viewership {_SURGE_FACTOR}x-es inside a "
-                f"{_SURGE_WINDOW_SECONDS:.0f}s surge window"
+                f"head channel viewership {DEFAULT_KNOBS.surge_factor}x-es "
+                f"(default) inside a {_SURGE_WINDOW_SECONDS:.0f}s surge window"
             ),
             build=_flash_crowd,
         ),
         Scenario(
             name="chat-flood",
             description=(
-                f"head channel spammed with {_FLOOD_FACTOR}x its organic "
-                "chat volume of bot messages"
+                f"head channel spammed with {DEFAULT_KNOBS.flood_factor}x "
+                "(default) its organic chat volume of bot messages"
             ),
             build=_chat_flood,
         ),
@@ -251,14 +303,16 @@ SCENARIOS: dict[str, Scenario] = {
 }
 
 
-def build_scenario_workload(name: str, spec: WorkloadSpec) -> LoadWorkload:
+def build_scenario_workload(
+    name: str, spec: WorkloadSpec, knobs: ScenarioKnobs | None = None
+) -> LoadWorkload:
     """The named scenario's perturbed workload for ``spec``."""
     scenario = SCENARIOS.get(name)
     if scenario is None:
         raise ValidationError(
             f"unknown scenario {name!r} (expected one of {sorted(SCENARIOS)})"
         )
-    return scenario.build(spec)
+    return scenario.build(spec, knobs or DEFAULT_KNOBS)
 
 
 @dataclass(frozen=True)
@@ -309,6 +363,7 @@ def run_scenario(
     wire_codec: str = "json",
     cluster_seed: int = 2020,
     per_channel_pending: int | None = None,
+    knobs: ScenarioKnobs | None = None,
 ) -> ScenarioReport:
     """Build the named scenario's workload, drive it, judge it.
 
@@ -324,7 +379,7 @@ def run_scenario(
         raise ValidationError(
             f"unknown scenario {name!r} (expected one of {sorted(SCENARIOS)})"
         )
-    workload = scenario.build(spec)
+    workload = scenario.build(spec, knobs or DEFAULT_KNOBS)
     report = run_load(
         spec,
         initializer,

@@ -38,9 +38,9 @@ class SimulatedStreamingAPI:
     seeds: SeedSequenceFactory
     videos_per_channel: int = 20
     games: tuple[str, ...] = ("dota2", "lol")
-    _catalog: dict[str, Video] = field(default_factory=dict, repr=False)
-    _chat_cache: dict[str, list[ChatMessage]] = field(default_factory=dict, repr=False)
-    chat_requests_served_: int = field(default=0, repr=False)
+    _catalog: dict[str, Video] = field(default_factory=dict, repr=False)  # guarded-by: _lock
+    _chat_cache: dict[str, list[ChatMessage]] = field(default_factory=dict, repr=False)  # guarded-by: _lock
+    chat_requests_served_: int = field(default=0, repr=False)  # guarded-by: _lock
 
     def __post_init__(self) -> None:
         require_positive(self.videos_per_channel, "videos_per_channel")

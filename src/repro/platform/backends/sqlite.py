@@ -162,12 +162,25 @@ class SQLiteStore(StorageBackend):
         self.busy_timeout_ms = int(busy_timeout_ms)
         self.storage_codec = storage_codec
         self._lock = threading.RLock()
-        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)  # guarded-by: _lock
         with self._lock, self._guard(), self._connection:
             self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.execute("PRAGMA synchronous=NORMAL")
             self._connection.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             self._connection.executescript(_SCHEMA)
+            # Reject files written by a *newer* format before touching any
+            # row: a v2 reader has no idea what shapes v3 persisted, and
+            # half-parsing them would corrupt, not fail.  Older formats
+            # keep opening — the read paths are codec-blind by design.
+            stored = self._connection.execute(
+                "SELECT value FROM meta WHERE key = ?", (self.STORAGE_FORMAT_KEY,)
+            ).fetchone()
+            if stored is not None and int(stored[0]) > int(self.STORAGE_FORMAT_VERSION):
+                raise ValidationError(
+                    f"{self.path} was written by storage format v{stored[0]}; "
+                    f"this build reads at most v{self.STORAGE_FORMAT_VERSION} — "
+                    "upgrade the code, not the file"
+                )
             self._connection.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
                 (self.STORAGE_FORMAT_KEY, self.STORAGE_FORMAT_VERSION),
@@ -207,7 +220,7 @@ class SQLiteStore(StorageBackend):
     # ---------------------------------------------------------------- videos
     def put_video(self, video: Video) -> None:
         """Insert or replace video metadata."""
-        payload = json.dumps(codecs.video_to_dict(video))
+        payload = json.dumps(codecs.video_to_dict(video), allow_nan=False)
         with self._lock, self._guard(), self._connection:
             self._connection.execute(
                 "INSERT OR REPLACE INTO videos (video_id, payload) VALUES (?, ?)",
@@ -373,7 +386,7 @@ class SQLiteStore(StorageBackend):
         """Append viewer interactions for a video; returns the new log size."""
         self._require_known_video(video_id, "log interactions")
         rows = [
-            (video_id, json.dumps(codecs.interaction_to_dict(interaction)))
+            (video_id, json.dumps(codecs.interaction_to_dict(interaction), allow_nan=False))
             for interaction in interactions
         ]
         with self._lock, self._guard(), self._connection:
@@ -425,7 +438,7 @@ class SQLiteStore(StorageBackend):
         self._require_known_video(video_id, "store red dots")
         stored = sorted(dots, key=lambda d: d.position)
         rows = [
-            (video_id, seq, json.dumps(codecs.red_dot_to_dict(dot)))
+            (video_id, seq, json.dumps(codecs.red_dot_to_dict(dot), allow_nan=False))
             for seq, dot in enumerate(stored)
         ]
         with self._lock, self._guard(), self._connection:
@@ -483,7 +496,7 @@ class SQLiteStore(StorageBackend):
                 self._connection.execute(
                     "INSERT INTO highlight_records (video_id, version, payload) "
                     "VALUES (?, ?, ?)",
-                    (video_id, version, json.dumps(codecs.highlight_record_to_dict(record))),
+                    (video_id, version, json.dumps(codecs.highlight_record_to_dict(record), allow_nan=False)),
                 )
             except BaseException:
                 self._connection.execute("ROLLBACK")

@@ -120,6 +120,20 @@ class LightorClient:
             except OSError:
                 pass
 
+    @staticmethod
+    def _decode_response(data: bytes, content_type: str) -> dict | str:
+        """The one chokepoint where raw response bytes become objects.
+
+        Binary frames go through :func:`wire.decode_frame`, which rejects
+        bad magic, unknown versions and unknown flags; JSON bodies decode
+        here and are validated by the caller against the status code.
+        """
+        if wire.WIRE_CONTENT_TYPE in content_type:
+            return wire.decode_frame(data)
+        if "json" in content_type:
+            return json.loads(data.decode("utf-8"))
+        return data.decode("utf-8")
+
     def _request(self, method: str, path: str, payload: dict | None = None):
         if self.wire_codec == "binary":
             body = None if payload is None else wire.encode_frame(payload)
@@ -127,7 +141,7 @@ class LightorClient:
             if body is not None:
                 headers["Content-Type"] = wire.WIRE_CONTENT_TYPE
         else:
-            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            body = None if payload is None else json.dumps(payload, allow_nan=False).encode("utf-8")
             headers = {"Accept": "application/json"}
             if body is not None:
                 headers["Content-Type"] = "application/json"
@@ -158,12 +172,7 @@ class LightorClient:
                     raise
         status = response.status
         content_type = (response.getheader("Content-Type") or "").lower()
-        if wire.WIRE_CONTENT_TYPE in content_type:
-            decoded: dict | str = wire.decode_frame(data)
-        elif "json" in content_type:
-            decoded = json.loads(data.decode("utf-8"))
-        else:
-            decoded = data.decode("utf-8")
+        decoded = self._decode_response(data, content_type)
         if status == 200:
             return decoded
         message = decoded.get("error", "") if isinstance(decoded, dict) else str(decoded)

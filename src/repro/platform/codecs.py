@@ -392,7 +392,7 @@ def decode(payload: dict[str, Any]) -> Any:
 
 def dumps(obj: Any) -> str:
     """JSON string of the type-tagged encoding (stable key order)."""
-    return json.dumps(encode(obj), sort_keys=True)
+    return json.dumps(encode(obj), sort_keys=True, allow_nan=False)
 
 
 def loads(text: str) -> Any:

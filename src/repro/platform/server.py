@@ -161,19 +161,24 @@ class LightorGateway:
             max_workers=worker_threads, thread_name_prefix="lightor-gateway"
         )
         self._server: asyncio.AbstractServer | None = None
-        self._handlers: set[asyncio.Task] = set()
-        self._in_flight = 0
-        self._draining = False
-        self._started_at: float | None = None
-        self._requests: Counter = Counter()
-        self._responses: Counter = Counter()
-        self._events_ingested: Counter = Counter()
-        self._content_types: Counter = Counter()
-        self._rejected = 0
-        self._channel_in_flight: Counter = Counter()
-        self._channel_rejected: Counter = Counter()
-        self._bytes_in = 0
-        self._bytes_out = 0
+        # Every counter below is loop-confined: mutated only between
+        # awaits on the event-loop thread, which is what makes the
+        # admission check-then-increment in _respond race-free.  The
+        # worker pool must never touch them — _execute returns values
+        # and the coroutine does the counting.
+        self._handlers: set[asyncio.Task] = set()  # guarded-by: event-loop
+        self._in_flight = 0  # guarded-by: event-loop
+        self._draining = False  # guarded-by: event-loop
+        self._started_at: float | None = None  # guarded-by: event-loop
+        self._requests: Counter = Counter()  # guarded-by: event-loop
+        self._responses: Counter = Counter()  # guarded-by: event-loop
+        self._events_ingested: Counter = Counter()  # guarded-by: event-loop
+        self._content_types: Counter = Counter()  # guarded-by: event-loop
+        self._rejected = 0  # guarded-by: event-loop
+        self._channel_in_flight: Counter = Counter()  # guarded-by: event-loop
+        self._channel_rejected: Counter = Counter()  # guarded-by: event-loop
+        self._bytes_in = 0  # guarded-by: event-loop
+        self._bytes_out = 0  # guarded-by: event-loop
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -682,7 +687,7 @@ class LightorGateway:
             ) from None
 
     # ------------------------------------------------------------ observability
-    def _health_payload(self) -> dict:
+    def _health_payload(self) -> dict:  # runs-on: event-loop
         return {
             "status": "draining" if self._draining else "ok",
             "shards": getattr(self.service, "n_shards", 1),
@@ -692,7 +697,7 @@ class LightorGateway:
             "channels_in_flight": len(self._channel_in_flight),
         }
 
-    def _metrics_text(self) -> str:
+    def _metrics_text(self) -> str:  # runs-on: event-loop
         """Prometheus-style exposition of the gateway counters."""
         uptime = 0.0 if self._started_at is None else time.monotonic() - self._started_at
         lines = [

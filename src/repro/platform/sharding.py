@@ -124,8 +124,10 @@ class ShardedLightorService:
         self._ring = ConsistentHashRing(len(self.shards), replicas=replicas)
         # The ring is immutable, so per-id lookups are memoized: live ingest
         # routes every single chat message and must not re-hash each time.
-        # (dict get/set are atomic under the GIL; a lost race just recomputes.)
-        self._placements: dict[str, int] = {}
+        # The memo has its own uncontended lock — shard locks are held for
+        # whole storage calls and routing must never queue behind them.
+        self._placements_lock = threading.Lock()
+        self._placements: dict[str, int] = {}  # guarded-by: _placements_lock
         self._placements_max = 4096
 
     # ------------------------------------------------------------- construction
@@ -227,14 +229,17 @@ class ShardedLightorService:
 
     def shard_index(self, video_id: str) -> int:
         """The shard that owns ``video_id``."""
-        index = self._placements.get(video_id)
+        with self._placements_lock:
+            index = self._placements.get(video_id)
         if index is None:
             index = self._ring.shard_for(video_id)
-            if len(self._placements) >= self._placements_max:
-                # Placements are pure recomputation; a full cache is dropped
-                # rather than LRU-tracked to keep the hot path allocation-free.
-                self._placements.clear()
-            self._placements[video_id] = index
+            with self._placements_lock:
+                if len(self._placements) >= self._placements_max:
+                    # Placements are pure recomputation; a full cache is
+                    # dropped rather than LRU-tracked to keep the hot path
+                    # allocation-free.
+                    self._placements.clear()
+                self._placements[video_id] = index
         return index
 
     def shard_for(self, video_id: str) -> LightorWebService:

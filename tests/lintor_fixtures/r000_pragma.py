@@ -1,0 +1,19 @@
+"""R000 bad: malformed lintor pragmas (and one valid suppression)."""
+
+import json
+
+
+def fingerprint(payload):
+    return json.dumps(payload)  # lintor: disable=R003
+
+
+def encode(payload):
+    return json.dumps(payload)  # lintor: disable=R003 reason=
+
+
+def annotate(payload):
+    return json.dumps(payload)  # lintor: disable=bogus reason=not a rule code
+
+
+def suppressed(payload):
+    return json.dumps(payload)  # lintor: disable=R003 reason=payload is a finite fingerprint

@@ -1,0 +1,18 @@
+"""R001 bad: blocking calls inside async def bodies."""
+
+import sqlite3
+import time
+from time import sleep
+
+
+class Gateway:
+    async def handle(self):
+        time.sleep(0.1)  # line 10: module-qualified blocking call
+        sleep(0.1)  # line 11: from-imported blocking call
+        connection = sqlite3.connect(":memory:")  # line 12: blocking connect
+        connection.close()
+        return self.service.get_video("v1")  # line 14: shard-tier call on the loop
+
+    async def read_config(self):
+        with open("config.json") as handle:  # line 17: file I/O on the loop
+            return handle.read()

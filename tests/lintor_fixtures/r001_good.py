@@ -1,0 +1,28 @@
+"""R001 good: the compliant twins of every bad pattern."""
+
+import asyncio
+import sqlite3
+import time
+
+
+class Gateway:
+    async def handle(self):
+        await asyncio.sleep(0.1)  # the async twin is fine
+        loop = asyncio.get_running_loop()
+        # Shard-tier calls offloaded to the pool — the gateway's _execute idiom.
+        return await loop.run_in_executor(self.pool, self.service.get_video, "v1")
+
+    def warm_cache(self):
+        # Sync method: blocking is fine off the loop.
+        time.sleep(0.1)
+        with sqlite3.connect(":memory:") as connection:
+            connection.execute("SELECT 1")
+
+    async def spawn_worker(self):
+        def work():
+            # Nested *sync* def runs wherever it is submitted (the pool),
+            # so blocking inside it is legal.
+            time.sleep(0.1)
+
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self.pool, work)

@@ -1,0 +1,24 @@
+"""R003 bad: lax json.dumps, and raw wire loads outside a decode helper.
+
+Analyzed under a wire-facing relpath (``platform/client.py``) in the tests
+so the loads clause applies.
+"""
+
+import json
+from json import dumps
+
+
+def fingerprint(payload):
+    return json.dumps(payload, sort_keys=True)  # line 12: no allow_nan=False
+
+
+def encode(payload):
+    return dumps(payload)  # line 16: from-imported alias, still lax
+
+
+def relaxed(payload):
+    return json.dumps(payload, allow_nan=True)  # line 20: explicitly lax
+
+
+def handle_response(data):
+    return json.loads(data)  # line 24: raw wire loads outside a decode helper

@@ -1,0 +1,20 @@
+"""R003 good: strict dumps everywhere, loads confined to decode helpers."""
+
+import json
+
+
+def fingerprint(payload):
+    return json.dumps(payload, sort_keys=True, allow_nan=False)
+
+
+def decode_body(data):
+    # Decode helpers are the sanctioned chokepoint for wire loads.
+    return json.loads(data)
+
+
+def _decode_response(data):
+    return json.loads(data)
+
+
+def loads(text):
+    return json.loads(text)

@@ -1,0 +1,23 @@
+"""R004 bad: untyped raises and swallowed exceptions.
+
+Analyzed under a ``platform/`` relpath in the tests so the rule applies.
+"""
+
+
+def validate(value):
+    if value < 0:
+        raise ValueError("negative")  # line 9: bare ValueError, not the typed hierarchy
+
+
+def ingest(batch):
+    try:
+        batch.apply()
+    except Exception:  # line 15: swallowed wholesale
+        pass
+
+
+def drain(queue):
+    try:
+        queue.flush()
+    except:  # noqa: E722 - line 22: bare except, swallowed
+        pass

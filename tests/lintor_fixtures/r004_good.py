@@ -1,0 +1,22 @@
+"""R004 good: typed raises; broad catches either handle or re-raise."""
+
+from repro.utils.validation import ValidationError
+
+
+def validate(value):
+    if value < 0:
+        raise ValidationError("negative")
+
+
+def ingest(batch):
+    try:
+        batch.apply()
+    except Exception as error:  # broad, but *handled* — the wire needs an answer
+        return {"error": str(error)}
+
+
+def drain(queue):
+    try:
+        queue.flush()
+    except OSError:
+        pass  # narrow typed catch may pass: the contract targets blanket swallows

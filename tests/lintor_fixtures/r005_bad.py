@@ -1,0 +1,19 @@
+"""R005 bad: acquired handles nobody closes."""
+
+import socket
+import sqlite3
+
+
+def read_config(path):
+    handle = open(path)  # line 8: never closed
+    return handle.read()
+
+
+def count_rows(path):
+    connection = sqlite3.connect(path)  # line 13: never closed
+    return connection.execute("SELECT COUNT(*) FROM t").fetchone()
+
+
+def probe(host, port):
+    sock = socket.create_connection((host, port))  # line 18: never closed
+    sock.sendall(b"ping")

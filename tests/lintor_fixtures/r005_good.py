@@ -1,0 +1,31 @@
+"""R005 good: every sanctioned ownership pattern."""
+
+import socket
+import sqlite3
+
+
+def read_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def count_rows(path):
+    connection = sqlite3.connect(path)
+    try:
+        return connection.execute("SELECT COUNT(*) FROM t").fetchone()
+    finally:
+        connection.close()
+
+
+def open_store(path):
+    # Ownership transfer: the caller closes what we return.
+    return sqlite3.connect(path)
+
+
+class Client:
+    def __init__(self, host, port):
+        # Instance-owned: the owner's close() is responsible.
+        self._sock = socket.create_connection((host, port))
+
+    def close(self):
+        self._sock.close()

@@ -1,0 +1,17 @@
+"""R006 bad: format constants with no decode-time rejection."""
+
+MAGIC = b"XXF1"  # line 3: declared ...
+TRACE_VERSION = 7  # line 4: ... but nothing ever rejects a mismatch
+
+
+def decode_frame(blob):
+    # Reads the header and trusts it blindly — exactly the bug R006 exists
+    # to catch: a v8 file would half-parse instead of failing loudly.
+    return blob[len(MAGIC) :]
+
+
+class Store:
+    STORAGE_FORMAT_VERSION = "3"  # line 14: class-level constant, same gap
+
+    def load(self, row):
+        return row

@@ -1,0 +1,24 @@
+"""R006 good: every format constant has a matching decode-time rejection."""
+
+from repro.utils.validation import ValidationError
+
+MAGIC = b"XXF1"
+TRACE_VERSION = 7
+
+
+def decode_frame(blob):
+    if blob[:4] != MAGIC:
+        raise ValidationError("not a frame")
+    version = blob[4]
+    if version != TRACE_VERSION:
+        raise ValidationError(f"unknown frame version {version}")
+    return blob[5:]
+
+
+class Store:
+    STORAGE_FORMAT_VERSION = "3"
+
+    def open(self, stored):
+        if int(stored) > int(self.STORAGE_FORMAT_VERSION):
+            raise ValidationError("written by a newer format")
+        return stored

@@ -260,6 +260,52 @@ class TestTraceAndScenarioCLI:
         for name in ("flash-crowd", "chat-flood", "reconnect-storm", "fairness"):
             assert name in out
 
+    def test_scenario_knob_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "load", "--scenario", "flash-crowd",
+                "--scenario-surge-factor", "3",
+                "--scenario-flood-factor", "7",
+                "--scenario-outage-start", "0.1",
+                "--scenario-outage-length", "0.5",
+            ]
+        )
+        assert args.scenario_surge_factor == 3
+        assert args.scenario_flood_factor == 7
+        assert args.scenario_outage_start == 0.1
+        assert args.scenario_outage_length == 0.5
+        defaults = build_parser().parse_args(["load"])
+        assert defaults.scenario_surge_factor is None
+        assert defaults.scenario_flood_factor is None
+        assert defaults.scenario_outage_start is None
+        assert defaults.scenario_outage_length is None
+
+    def test_scenario_knobs_require_scenario(self, capsys):
+        assert main(["load", "--scenario-surge-factor", "3"] + self.SMALL) == 1
+        assert "require --scenario" in capsys.readouterr().out
+
+    def test_scenario_knobs_validated(self, capsys):
+        argv = [
+            "load", "--scenario", "flash-crowd", "--scenario-surge-factor", "0",
+        ] + self.SMALL
+        assert main(argv) == 1
+        assert "invalid scenario knobs" in capsys.readouterr().out
+        argv = [
+            "load", "--scenario", "reconnect-storm",
+            "--scenario-outage-start", "0.8", "--scenario-outage-length", "0.8",
+        ] + self.SMALL
+        assert main(argv) == 1
+        assert "invalid scenario knobs" in capsys.readouterr().out
+
+    def test_scenario_knob_drives_a_milder_surge(self, capsys):
+        argv = [
+            "load", "--scenario", "flash-crowd", "--scenario-surge-factor", "2",
+        ] + self.SMALL
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scenario flash-crowd" in out
+        assert "0 divergences" in out
+
     def test_unreadable_trace_fails_cleanly(self, capsys, tmp_path):
         missing = tmp_path / "nope.trace"
         assert main(["load", "--replay", str(missing)]) == 1

@@ -12,8 +12,10 @@ from __future__ import annotations
 import pytest
 
 from repro.loadgen import (
+    DEFAULT_KNOBS,
     SCENARIOS,
     LoadWorkload,
+    ScenarioKnobs,
     WorkloadSpec,
     build_scenario_workload,
     run_scenario,
@@ -154,3 +156,78 @@ class TestScenarioOracles:
     def test_unknown_scenario_rejected(self, fitted_initializer):
         with pytest.raises(ValidationError, match="unknown scenario"):
             run_scenario("meteor-strike", TINY, fitted_initializer)
+
+
+class TestScenarioKnobs:
+    """The CLI-exposed severity knobs actually steer the builders."""
+
+    def test_defaults_reproduce_the_fixed_constants(self):
+        assert (
+            DEFAULT_KNOBS.surge_factor,
+            DEFAULT_KNOBS.flood_factor,
+            DEFAULT_KNOBS.outage_start_frac,
+            DEFAULT_KNOBS.outage_length_frac,
+        ) == (20, 4, 0.35, 0.25)
+        # knobs=None, explicit defaults and DEFAULT_KNOBS are all the same
+        # build — the benchmarks' recorded shapes stay byte-identical.
+        for name in sorted(SCENARIOS):
+            plain = build_scenario_workload(name, TINY)
+            explicit = build_scenario_workload(name, TINY, ScenarioKnobs())
+            assert _batch_keys(plain) == _batch_keys(explicit)
+
+    def test_surge_factor_scales_head_viewership(self):
+        base = LoadWorkload.from_spec(TINY)
+        surged = build_scenario_workload(
+            "flash-crowd", TINY, ScenarioKnobs(surge_factor=5)
+        )
+        assert surged.plans[0].viewers == base.plans[0].viewers * 5
+        assert len(surged.plans[0].plays) > len(base.plans[0].plays)
+        # Milder surge, fewer extra sessions than the default shape.
+        default = build_scenario_workload("flash-crowd", TINY)
+        assert len(surged.plans[0].plays) < len(default.plans[0].plays)
+
+    def test_flood_factor_scales_spam(self):
+        base = LoadWorkload.from_spec(TINY)
+        organic = len(base.plans[0].chat)
+        flooded = build_scenario_workload(
+            "chat-flood", TINY, ScenarioKnobs(flood_factor=9)
+        )
+        spam = [
+            m for m in flooded.plans[0].chat if m.user.startswith("flood-bot-")
+        ]
+        assert len(spam) == max(64, 9 * organic)
+
+    def test_outage_window_follows_the_knobs(self):
+        knobs = ScenarioKnobs(outage_start_frac=0.1, outage_length_frac=0.5)
+        storm = build_scenario_workload("reconnect-storm", TINY, knobs)
+        base_batches = LoadWorkload.from_spec(TINY).batches()
+        horizon = max(b.arrival for b in base_batches)
+        start, end = horizon * 0.1, horizon * (0.1 + 0.5)
+        assert any(
+            start <= b.arrival < end for b in base_batches
+        ), "spec too small to exercise the custom window"
+        assert not any(start <= b.arrival < end for b in storm.batches())
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(surge_factor=0), "surge_factor"),
+            (dict(surge_factor=2.5), "surge_factor"),
+            (dict(flood_factor=0), "flood_factor"),
+            (dict(outage_start_frac=1.0), "outage_start_frac"),
+            (dict(outage_length_frac=0.0), "outage_length_frac"),
+            (dict(outage_start_frac=0.6, outage_length_frac=0.6), "must end"),
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs, match):
+        with pytest.raises(ValidationError, match=match):
+            ScenarioKnobs(**kwargs)
+
+    def test_run_scenario_accepts_knobs(self, fitted_initializer):
+        result = run_scenario(
+            "flash-crowd", TINY, fitted_initializer, shards=2, workers=2,
+            knobs=ScenarioKnobs(surge_factor=3),
+        )
+        assert result.ok
+        head_base = LoadWorkload.from_spec(TINY).plans[0].viewers
+        assert result.workload.plans[0].viewers == head_base * 3

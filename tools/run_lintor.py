@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Standalone lintor entry point — `repro lint` without PYTHONPATH setup.
+
+Equivalent invocations:
+
+    python tools/run_lintor.py --baseline tools/lintor_baseline.json
+    PYTHONPATH=src python -m repro lint --baseline tools/lintor_baseline.json
+
+Run from the repository root so finding paths match the committed baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import main  # noqa: E402 - needs the src path first
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", *sys.argv[1:]]))
