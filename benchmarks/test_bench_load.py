@@ -397,6 +397,79 @@ def test_bench_codec_wire_throughput(fitted_initializer, workload):
         )
 
 
+# ---------------------------------------------------------------------------
+# Online reshard axis (migration pause under live load)
+# ---------------------------------------------------------------------------
+
+RESHARD_BATCH = 64
+# The per-channel migration pause is a *correctness-adjacent* latency: the
+# whole point of online resharding is that only the moving channel stalls,
+# and only briefly.  The cap arms under the same honesty rule as the other
+# wire benches — full size on ≥4 usable cores — because a starved host
+# stretches the checkpoint/export/import critical section arbitrarily.
+RESHARD_PAUSE_GATE_MS = 5000.0
+
+
+def test_bench_reshard_pause(fitted_initializer, workload):
+    """Grow and shrink the tier mid-soak, on both transports, and record the
+    per-channel migration pause p99 in the ``reshard`` axis of
+    ``BENCH_load.json``.
+
+    Byte-equality against the undisturbed sequential oracle is asserted
+    unconditionally (``run_reshard`` replays the identical workload into a
+    single-shard tier and fingerprints every channel); the pause cap arms
+    only where the honest measurement can mean something.
+    """
+    from repro.loadgen import run_reshard
+
+    rebatched = workload.rebatched(RESHARD_BATCH)
+    reshard_after = max(2, len(rebatched.batches()) // 3)
+    gated = FULL_SIZE and CPUS >= 4
+    print()
+    grid: dict[str, dict] = {}
+    for transport in ("inproc", "cluster"):
+        for old_shards, new_shards in ((2, 3), (3, 2)):
+            report = run_reshard(
+                workload.spec,
+                fitted_initializer,
+                shards=old_shards,
+                to_shards=new_shards,
+                reshard_after=reshard_after,
+                workers=WORKERS,
+                backend="memory",
+                transport=transport,
+                workload=rebatched,
+            )
+            key = f"{transport}:{old_shards}->{new_shards}"
+            grid[key] = report.to_dict()
+            print(
+                f"  reshard {key:<14s} moved {report.channels_moved}/"
+                f"{report.channels} channel(s), pause p99 "
+                f"{report.pause_p99_ms:>8,.1f} ms"
+            )
+            assert report.ok, f"{key}: divergences {report.divergences}"
+            assert report.new_shards == new_shards and report.epoch > 0
+    worst = max(row["pause_p99_ms"] for row in grid.values())
+    print(f"  worst pause p99 {worst:,.1f} ms on {CPUS} usable CPU(s)")
+    _save(
+        {
+            "reshard": {
+                "batch_size": RESHARD_BATCH,
+                "reshard_after": reshard_after,
+                "grid": grid,
+                "pause_p99_ms_worst": round(worst, 3),
+                "cpus": CPUS,
+                "gated": gated,
+            }
+        }
+    )
+    if gated:
+        assert worst <= RESHARD_PAUSE_GATE_MS, (
+            f"migration pause p99 {worst:,.1f} ms blew the "
+            f"{RESHARD_PAUSE_GATE_MS:,.0f} ms cap (grid: {grid})"
+        )
+
+
 def test_bench_entries_record_honest_gating():
     """PR-6 follow-on: every core-gated BENCH entry must record the CPU
     count it actually measured on and whether its gate armed — a 1-CPU CI
@@ -414,6 +487,7 @@ def test_bench_entries_record_honest_gating():
         ("cluster", core_gated),
         ("codec_wire", core_gated),
         ("codec_micro", FULL_SIZE),
+        ("reshard", core_gated),
     ):
         section = entry.get(key)
         if section is None:

@@ -20,6 +20,12 @@ Sub-commands:
 * ``lightor recover`` — rebuild the live sessions a crashed (or killed)
   ``lightor stream``/``lightor load`` run left checkpointed in its SQLite
   databases, report them, and optionally finalize them.
+* ``lightor reshard`` — change the shard count of a durable deployment
+  offline: channels (rows and checkpointed sessions) are migrated between
+  shard files along the minimal placement plan, and the shard markers are
+  rewritten so the deployment reopens at the new count.  ``lightor load
+  --reshard-at N --reshard-to M`` is the *online* twin: the tier grows or
+  shrinks mid-run while unmoved channels keep serving.
 * ``lightor serve`` — serve the sharded tier over HTTP: a stdlib asyncio
   JSON gateway exposing the full service surface with per-request
   validation, bounded admission control and a graceful SIGTERM drain that
@@ -197,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--wire-codec", default="json", choices=("json", "binary"),
         help="response codec for clients that express no Accept preference; "
         "an explicit Accept header always wins (default: json)",
+    )
+    serve_parser.add_argument(
+        "--shard-index", type=int, default=None,
+        help="this gateway's shard index in a multi-worker cluster: once the "
+        "supervisor pushes a placement map, channels owned elsewhere are "
+        "refused with a 409 redirect (default: standalone, no redirects)",
     )
 
     cluster_parser = subparsers.add_parser(
@@ -386,6 +398,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending-per-channel", type=int, default=None,
         help="per-channel gateway admission budget on wire transports "
         "(http/cluster) — the fairness scenario's subject (default: disabled)",
+    )
+    load_parser.add_argument(
+        "--reshard-at", type=int, default=None, metavar="N",
+        help="chaos mode: reshard the tier online after N ingest batches, "
+        "while the rest of the pool keeps driving traffic (requires "
+        "--reshard-to; transports inproc and cluster)",
+    )
+    load_parser.add_argument(
+        "--reshard-to", type=int, default=None, metavar="M",
+        help="chaos mode: target shard count of the online reshard (grow or "
+        "shrink); the finished run must be byte-identical to an undisturbed "
+        "run (non-zero exit otherwise)",
+    )
+
+    reshard_parser = subparsers.add_parser(
+        "reshard",
+        help="reshard a durable sqlite deployment offline "
+        "(move channels between shard files)",
+    )
+    reshard_parser.add_argument(
+        "--db-path", required=True,
+        help="SQLite database path of the deployment (one file per shard)",
+    )
+    reshard_parser.add_argument(
+        "--shards", type=int, required=True,
+        help="current shard count of the deployment",
+    )
+    reshard_parser.add_argument(
+        "--to", type=int, required=True,
+        help="target shard count (grow or shrink)",
+    )
+    reshard_parser.add_argument(
+        "--seed", type=int, default=2020,
+        help="dataset seed the deployment was created with (the model is "
+        "retrained deterministically from it; default: 2020)",
     )
 
     lint_parser = subparsers.add_parser(
@@ -746,6 +793,54 @@ def _command_recover(db_path: str, shards: int, seed: int, end: bool) -> int:
     return 0
 
 
+def _command_reshard(args) -> int:
+    import sqlite3
+
+    from repro import LightorConfig
+    from repro.core.initializer.initializer import HighlightInitializer
+    from repro.datasets import DatasetSpec, build_dataset
+    from repro.platform.sharding import ShardedLightorService
+    from repro.utils.validation import ValidationError
+
+    if args.shards < 1 or args.to < 1:
+        print("--shards and --to must be at least 1", flush=True)
+        return 1
+    # Same deterministic retraining contract as `recover`: checkpoints do not
+    # embed the model, the seed does.
+    dataset = build_dataset(DatasetSpec.dota2(size=1, seed=args.seed))
+    initializer = HighlightInitializer(config=LightorConfig())
+    initializer.fit([dataset[0].training_pair])
+
+    try:
+        service = ShardedLightorService.create(
+            args.shards, initializer, backend="sqlite", db_path=args.db_path,
+            checkpoint_every=500,
+        )
+    except (ValidationError, sqlite3.Error) as error:
+        print(f"cannot open the service tier: {error}", flush=True)
+        return 1
+    try:
+        report = service.reshard(args.to)
+    except (ValidationError, sqlite3.Error) as error:
+        print(f"reshard failed: {error}", flush=True)
+        for shard in service.shards:
+            shard.store.close()
+        return 1
+    # Release only — no finalize: any checkpointed sessions moved with their
+    # channels and must stay recoverable on the new layout.
+    for shard in service.shards:
+        shard.store.close()
+    print(
+        f"resharded {report.old_n_shards} -> {report.new_n_shards} shard(s): "
+        f"{report.moved} channel(s) moved, placement epoch {report.epoch}"
+    )
+    print(
+        f"resume with: repro recover --db-path {args.db_path} "
+        f"--shards {args.to} --seed {args.seed}"
+    )
+    return 0
+
+
 def _command_serve(args) -> int:
     import asyncio
     import signal
@@ -775,6 +870,9 @@ def _command_serve(args) -> int:
         return 1
     if args.max_pending_per_channel is not None and args.max_pending_per_channel < 1:
         print("--max-pending-per-channel must be at least 1", flush=True)
+        return 1
+    if args.shard_index is not None and args.shard_index < 0:
+        print("--shard-index must be non-negative", flush=True)
         return 1
     checkpoint_every = args.checkpoint_every
     if checkpoint_every is None and args.backend == "sqlite":
@@ -810,6 +908,7 @@ def _command_serve(args) -> int:
         worker_threads=args.worker_threads,
         wire_codec=args.wire_codec,
         max_pending_per_channel=args.max_pending_per_channel,
+        shard_index=args.shard_index,
     )
 
     async def _serve() -> None:
@@ -986,6 +1085,37 @@ def _command_load(args) -> int:
     if chaos != args.recover:
         print("--kill-after and --recover must be used together", flush=True)
         return 1
+    reshard_chaos = args.reshard_at is not None or args.reshard_to is not None
+    if reshard_chaos and (args.reshard_at is None or args.reshard_to is None):
+        print("--reshard-at and --reshard-to must be used together", flush=True)
+        return 1
+    if reshard_chaos:
+        if args.reshard_at < 0:
+            print("--reshard-at must be >= 0", flush=True)
+            return 1
+        if args.reshard_to < 1:
+            print("--reshard-to must be at least 1", flush=True)
+            return 1
+        if chaos:
+            print(
+                "--reshard-at cannot be combined with --kill-after "
+                "(one chaos mode per run)",
+                flush=True,
+            )
+            return 1
+        if args.scenario or args.record or args.replay:
+            print(
+                "--reshard-at cannot be combined with --scenario/--record/--replay",
+                flush=True,
+            )
+            return 1
+        if args.transport == "http":
+            print(
+                "--reshard-at supports --transport inproc or cluster "
+                "(an http gateway serves one fixed tier)",
+                flush=True,
+            )
+            return 1
     if chaos and (args.backend != "sqlite" or args.db_path is None):
         print("chaos mode requires --backend sqlite --db-path", flush=True)
         return 1
@@ -1114,6 +1244,28 @@ def _command_load(args) -> int:
         return 1
 
     initializer = train(args.seed)
+
+    if reshard_chaos:
+        from repro.loadgen import run_reshard
+
+        try:
+            reshard_report = run_reshard(
+                spec,
+                initializer,
+                shards=shards,
+                to_shards=args.reshard_to,
+                reshard_after=args.reshard_at,
+                workers=workers,
+                backend=args.backend,
+                db_path=args.db_path,
+                transport=args.transport,
+                wire_codec=args.wire_codec,
+            )
+        except (ValidationError, sqlite3.Error) as error:
+            print(f"reshard run failed: {error}", flush=True)
+            return 1
+        print(reshard_report.describe())
+        return 0 if reshard_report.ok else 1
 
     if chaos:
         try:
@@ -1282,6 +1434,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "cluster":
         return _command_cluster(args)
+    if args.command == "reshard":
+        return _command_reshard(args)
     if args.command == "recover":
         return _command_recover(
             db_path=args.db_path, shards=args.shards, seed=args.seed, end=args.end

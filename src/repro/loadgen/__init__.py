@@ -17,6 +17,10 @@ instead of assumed:
   :func:`~repro.loadgen.driver.run_kill_recover` is the chaos twin: kill
   the tier mid-run, rebuild it from its durable checkpoints, and require
   byte-equivalence with an uninterrupted run.
+  :func:`~repro.loadgen.driver.run_reshard` is the elasticity twin: grow
+  or shrink the tier mid-run (live channel migration, in process or
+  across worker processes) and require byte-equivalence with an
+  undisturbed run.
 * :mod:`metrics <repro.loadgen.metrics>` — per-stage throughput and latency
   percentile accounting.
 * :mod:`trace <repro.loadgen.trace>` — versioned record/replay: any run can
@@ -39,8 +43,10 @@ from repro.loadgen.driver import (
     KillRecoverReport,
     LoadGenerator,
     LoadReport,
+    ReshardChaosReport,
     run_kill_recover,
     run_load,
+    run_reshard,
 )
 from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
 from repro.loadgen.scenarios import (
@@ -82,6 +88,7 @@ __all__ = [
     "LoadWorkload",
     "ReplayReport",
     "ReplayWorkload",
+    "ReshardChaosReport",
     "Scenario",
     "ScenarioKnobs",
     "ScenarioReport",
@@ -95,6 +102,7 @@ __all__ = [
     "replay_trace",
     "run_kill_recover",
     "run_load",
+    "run_reshard",
     "run_scenario",
     "write_trace",
     "zipf_weights",

@@ -40,9 +40,10 @@ byte-identical to the sequential single-shard replay.
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
-from threading import Thread
+from threading import Lock, Thread
 
 from repro.core.initializer.initializer import HighlightInitializer
 from repro.loadgen.metrics import LatencyRecorder, StageStats, merge_recorders
@@ -56,9 +57,58 @@ __all__ = [
     "KillRecoverReport",
     "LoadReport",
     "LoadGenerator",
+    "ReshardChaosReport",
     "run_kill_recover",
     "run_load",
+    "run_reshard",
 ]
+
+
+class _BatchTrigger:
+    """Fire one action mid-drive, after ``after`` ingested batches.
+
+    The chaos hook of the reshard harness: whichever worker thread crosses
+    the batch threshold runs the action *inline* — the other workers keep
+    driving traffic throughout, which is exactly the property under test
+    (channels that do not move keep serving).  If the workload is shorter
+    than the threshold, :meth:`ensure_fired` runs the action after the
+    drive phase, while every channel is still live.
+    """
+
+    def __init__(self, after: int, action) -> None:
+        if after < 0:
+            raise ValidationError(f"trigger threshold must be >= 0, got {after}")
+        self.after = after
+        self.action = action
+        self.result = None  # written by the single firing thread only
+        self._lock = Lock()
+        self._count = 0  # guarded-by: _lock
+        self._fired = False  # guarded-by: _lock
+
+    @property
+    def fired(self) -> bool:
+        """Whether the action has run (or is running)."""
+        with self._lock:
+            return self._fired
+
+    def batch_done(self) -> None:
+        """Count one driven batch; fire the action on the crossing."""
+        with self._lock:
+            self._count += 1
+            due = self._count >= self.after and not self._fired
+            if due:
+                self._fired = True
+        if due:
+            self.result = self.action()
+
+    def ensure_fired(self) -> None:
+        """Run the action now if no batch crossing ever fired it."""
+        with self._lock:
+            due = not self._fired
+            if due:
+                self._fired = True
+        if due:
+            self.result = self.action()
 
 
 @dataclass(frozen=True)
@@ -174,6 +224,7 @@ class LoadGenerator:
         transport: str = "inproc",
         wire_codec: str = "json",
         per_channel_pending: int | None = None,
+        trigger: _BatchTrigger | None = None,
     ) -> LoadReport:
         """Run the workload against ``service`` and (optionally) oracle-check.
 
@@ -216,6 +267,12 @@ class LoadGenerator:
         under load.  Like ``wire_codec`` it is meaningless on ``inproc``;
         on ``cluster`` the budgets belong to the worker gateways, which are
         configured when the fleet boots (pass it to :func:`run_load`).
+
+        ``trigger`` arms a mid-run chaos action (see :class:`_BatchTrigger`
+        and :func:`run_reshard`): the worker thread that drives the
+        threshold-crossing batch runs it inline while the rest of the pool
+        keeps serving traffic; if the workload ends first, the action runs
+        after the drive phase with every channel still live.
         """
         from repro.platform import wire
 
@@ -292,7 +349,7 @@ class LoadGenerator:
         threads = [
             Thread(
                 target=self._worker,
-                args=(frontend, queue, recorder, failures),
+                args=(frontend, queue, recorder, failures, trigger),
                 name=f"loadgen-{index}",
                 daemon=True,
             )
@@ -316,6 +373,11 @@ class LoadGenerator:
                 # report computed over the full planned event count would be a
                 # lie, so the run fails loudly with the first worker error.
                 raise failures[0]
+            if trigger is not None:
+                # A threshold past the last batch still fires — after the
+                # traffic, with every channel live — so the chaos action is
+                # never silently skipped.
+                trigger.ensure_fired()
             outcomes = self._close_channels(frontends[0], service, recorders[0])
         finally:
             for client in clients:
@@ -364,6 +426,7 @@ class LoadGenerator:
         queue: list[WorkBatch],
         recorder: LatencyRecorder,
         failures: list[BaseException],
+        trigger: _BatchTrigger | None = None,
     ) -> None:
         # ``frontend`` is the service itself (inproc) or this worker's own
         # LightorClient (http) — the two expose the same call surface.
@@ -382,6 +445,8 @@ class LoadGenerator:
                 else:
                     frontend.ingest_plays_batch(batch.video_id, list(batch.events))
                 recorder.record(batch.kind, time.perf_counter() - t0, events=len(batch.events))
+                if trigger is not None:
+                    trigger.batch_done()
         except BaseException as error:  # noqa: BLE001 - surfaced by drive()
             failures.append(error)
 
@@ -661,6 +726,196 @@ def run_kill_recover(
         events_redriven=redriven,
         total_events=workload.total_events,
         divergences=divergences,
+    )
+
+
+@dataclass(frozen=True)
+class ReshardChaosReport:
+    """Outcome of an online-reshard chaos run (``repro load --reshard-at``).
+
+    The tier is resharded **while the workload is being driven**: whichever
+    driver thread crosses the batch threshold runs the reshard inline, the
+    other threads keep pushing traffic, and every 409-redirected request is
+    retried against the new owner by the routing layer.  ``divergences``
+    lists channels whose final persisted state differed from the same
+    workload driven sequentially into an undisturbed single-shard tier — it
+    must be empty: moving a channel's rows and live session between shards
+    (or worker processes) may never change a byte of what the run produces.
+
+    ``pause_seconds`` holds the per-channel unavailability windows the
+    migrations measured; :attr:`pause_p99_ms` is the headline the bench
+    records.
+    """
+
+    transport: str
+    backend: str
+    old_shards: int
+    new_shards: int
+    reshard_after: int
+    total_batches: int
+    channels: int
+    total_events: int
+    channels_moved: int
+    epoch: int
+    pause_seconds: tuple[float, ...] = ()
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the resharded run matched the undisturbed oracle."""
+        return not self.divergences
+
+    @property
+    def pause_p99_ms(self) -> float:
+        """p99 of the per-channel migration pause, in milliseconds."""
+        if not self.pause_seconds:
+            return 0.0
+        ordered = sorted(self.pause_seconds)
+        index = max(0, math.ceil(0.99 * len(ordered)) - 1)
+        return ordered[index] * 1000.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (what ``BENCH_load.json`` stores)."""
+        return {
+            "transport": self.transport,
+            "backend": self.backend,
+            "old_shards": self.old_shards,
+            "new_shards": self.new_shards,
+            "reshard_after": self.reshard_after,
+            "total_batches": self.total_batches,
+            "channels": self.channels,
+            "total_events": self.total_events,
+            "channels_moved": self.channels_moved,
+            "epoch": self.epoch,
+            "pause_p99_ms": round(self.pause_p99_ms, 3),
+            "divergences": list(self.divergences),
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary for the CLI."""
+        lines = [
+            f"resharded {self.old_shards} -> {self.new_shards} shard(s) after "
+            f"{self.reshard_after}/{self.total_batches} batches "
+            f"(transport {self.transport}, {self.backend} backend, "
+            f"placement epoch {self.epoch})",
+            f"moved {self.channels_moved} of {self.channels} channel(s); "
+            f"per-channel pause p99 {self.pause_p99_ms:.1f} ms",
+        ]
+        if self.divergences:
+            lines.append(
+                f"RESHARD DIVERGENCE on {len(self.divergences)} channel(s): "
+                + ", ".join(self.divergences)
+            )
+        else:
+            lines.append(
+                f"resharded run is byte-identical to the undisturbed run "
+                f"on all {self.channels} channel(s)"
+            )
+        return "\n".join(lines)
+
+
+def run_reshard(
+    spec,
+    initializer: HighlightInitializer,
+    *,
+    shards: int,
+    to_shards: int,
+    reshard_after: int,
+    workers: int = 4,
+    backend: str = "memory",
+    db_path=None,
+    transport: str = "inproc",
+    wire_codec: str = "json",
+    live_k: int | None = None,
+    workload: LoadWorkload | None = None,
+    cluster_seed: int = 2020,
+) -> ReshardChaosReport:
+    """Drive a workload, reshard the tier mid-run, and verify byte-equality.
+
+    The reshard twin of :func:`run_kill_recover`, concurrent on purpose:
+    the workload keeps being driven by the worker pool while the tier grows
+    or shrinks underneath it.  ``transport="inproc"`` reshards a
+    :class:`~repro.platform.sharding.ShardedLightorService` in place;
+    ``transport="cluster"`` boots a worker-process fleet and has its
+    supervisor spawn/drain whole processes mid-run, with every moved
+    channel crossing the wire as a migration bundle.  Either way the final
+    fingerprints must match the sequential single-shard oracle byte for
+    byte — an online reshard may not change a single result.
+    """
+    require_positive(shards, "shards")
+    require_positive(to_shards, "to_shards")
+    if transport not in ("inproc", "cluster"):
+        raise ValidationError(
+            "reshard chaos supports transports 'inproc' and 'cluster' "
+            "(an http gateway serves one fixed tier; reshard it in place "
+            "via ShardedLightorService.reshard)"
+        )
+    if workload is None:
+        workload = LoadWorkload.from_spec(spec)
+    generator = LoadGenerator(workload, workers=workers)
+
+    def oracle_factory() -> ShardedLightorService:
+        return ShardedLightorService.create(
+            1, initializer, backend="memory",
+            max_live_sessions=max(spec.channels, 1), live_k=live_k,
+        )
+
+    if transport == "cluster":
+        from repro.platform.cluster import ShardClusterSupervisor
+
+        supervisor = ShardClusterSupervisor(
+            shards,
+            backend=backend,
+            db_path=db_path,
+            seed=cluster_seed,
+            live_k=live_k,
+            max_live_sessions=max(spec.channels, 1),
+            wire_codec=wire_codec,
+        )
+        trigger = _BatchTrigger(reshard_after, lambda: supervisor.reshard(to_shards))
+        supervisor.start()
+        try:
+            load = generator.drive(
+                supervisor.front_door(),
+                oracle_factory=oracle_factory,
+                transport="cluster",
+                wire_codec=wire_codec,
+                trigger=trigger,
+            )
+        finally:
+            supervisor.stop()
+    else:
+        service = ShardedLightorService.create(
+            shards,
+            initializer,
+            backend=backend,
+            db_path=db_path,
+            max_live_sessions=max(spec.channels, 1),
+            live_k=live_k,
+        )
+        trigger = _BatchTrigger(reshard_after, lambda: service.reshard(to_shards))
+        load = generator.drive(
+            service,
+            oracle_factory=oracle_factory,
+            transport="inproc",
+            wire_codec=wire_codec,
+            trigger=trigger,
+        )
+
+    reshard_report = trigger.result
+    return ReshardChaosReport(
+        transport=transport,
+        backend=backend,
+        old_shards=shards,
+        new_shards=to_shards,
+        reshard_after=min(reshard_after, len(workload.batches())),
+        total_batches=len(workload.batches()),
+        channels=len(workload.plans),
+        total_events=workload.total_events,
+        channels_moved=reshard_report.moved,
+        epoch=reshard_report.epoch,
+        pause_seconds=tuple(reshard_report.pause_seconds()),
+        divergences=load.divergences,
     )
 
 

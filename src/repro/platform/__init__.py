@@ -25,9 +25,15 @@ paper's Figure 5, layered for scale (see ``docs/architecture.md``):
   backend (on an event cadence, on kind flips, on eviction) and
   ``recover_live_sessions`` rebuilds every open session after a crash from
   its latest snapshot plus the rows persisted since it.
+* :mod:`placement <repro.platform.placement>` — the control plane: a
+  versioned ``{channel -> shard}`` :class:`PlacementMap` (epoch 0 *is* the
+  legacy consistent-hash ring) with migration pins, in-flight markers and
+  minimal reshard planning; :class:`WrongShardError` is its wire-visible
+  409 redirect.
 * :mod:`sharding <repro.platform.sharding>` — the sharded front door:
-  consistent-hashes video ids across N workers, each with its own backend,
-  crawler and streaming orchestrator, under per-shard locks.
+  routes video ids across N workers through the placement map, each worker
+  with its own backend, crawler and streaming orchestrator, under
+  per-shard locks; supports live channel migration and online resharding.
 * :mod:`server <repro.platform.server>` — the network boundary: a
   stdlib-only ``asyncio`` HTTP/1.1 JSON gateway exposing the full sharded
   front-door surface, with per-request validation (400), bounded-queue
@@ -52,6 +58,7 @@ from repro.platform.backends import (
 from repro.platform.api import SimulatedStreamingAPI
 from repro.platform.client import GatewayError, GatewayOverloadedError, LightorClient
 from repro.platform.crawler import ChatCrawler
+from repro.platform.placement import PlacementMap, WrongShardError
 from repro.platform.server import GatewayThread, LightorGateway
 from repro.platform.service import LightorWebService
 from repro.platform.sharding import ConsistentHashRing, ShardedLightorService
@@ -69,10 +76,12 @@ __all__ = [
     "LightorClient",
     "LightorGateway",
     "LightorWebService",
+    "PlacementMap",
     "ProgressBarView",
     "SQLiteStore",
     "ShardedLightorService",
     "SimulatedStreamingAPI",
     "StorageBackend",
+    "WrongShardError",
     "create_backend",
 ]

@@ -207,6 +207,95 @@ class StorageBackend(abc.ABC):
     def stats(self) -> dict[str, int]:
         """Coarse row counts, useful for monitoring and tests."""
 
+    # ------------------------------------------------------ channel migration
+    @abc.abstractmethod
+    def delete_channel(self, video_id: str) -> bool:
+        """Remove every stored row for one channel; returns whether it existed.
+
+        The data-plane primitive behind channel migration: after a channel's
+        bundle has been imported on its destination shard, the source drops
+        the video, chat, interactions, red dots, highlight records and any
+        session snapshot in **one transaction** on durable backends — a
+        crash mid-delete must never leave a half-forgotten channel.
+        Idempotent: deleting an unknown channel is a no-op returning False.
+        """
+
+    def export_channel(self, video_id: str) -> dict:
+        """One channel's complete stored state as a strict-JSON bundle.
+
+        The migration payload: everything :meth:`import_channel` needs to
+        reproduce the channel byte-exactly on another shard — video
+        metadata, the chat log in stored order, the interaction log in
+        arrival order, red dots (``None`` when never computed, preserving
+        the "computed: empty" vs "never computed" distinction), every
+        highlight record with its version and source, and the session
+        snapshot when one is checkpointed.  Unknown video ids are errors.
+        """
+        from repro.platform import codecs
+
+        video = self.get_video(video_id)
+        return {
+            "video": codecs.video_to_dict(video),
+            "chat": [codecs.chat_message_to_dict(m) for m in self.get_chat(video_id)],
+            "interactions": [
+                codecs.interaction_to_dict(i) for i in self.get_interactions(video_id)
+            ],
+            "red_dots": (
+                [codecs.red_dot_to_dict(d) for d in self.get_red_dots(video_id)]
+                if self.has_red_dots(video_id)
+                else None
+            ),
+            "highlights": [
+                codecs.highlight_record_to_dict(r)
+                for r in self.highlight_history(video_id)
+            ],
+            "snapshot": self.get_session_snapshot(video_id),
+        }
+
+    def import_channel(self, bundle: dict) -> str:
+        """Recreate a channel from an :meth:`export_channel` bundle.
+
+        Replays the bundle through the ordinary write primitives so every
+        backend-specific invariant (dense chat sequence space, monotone
+        highlight versions, snapshot JSON-safety) is re-established rather
+        than trusted: highlight versions are checked against the exported
+        ones and any drift is an error.  The destination must not already
+        know the video — migrating onto rows left behind by a previous
+        resident would silently interleave two histories.
+        """
+        from repro.platform import codecs
+
+        video = codecs.video_from_dict(bundle["video"])
+        video_id = video.video_id
+        if self.has_video(video_id):
+            raise ValidationError(
+                f"cannot import channel {video_id!r}: this shard already has rows for it"
+            )
+        self.put_video(video)
+        messages = [codecs.chat_message_from_dict(m) for m in bundle.get("chat") or []]
+        if messages:
+            self.append_chat(video_id, messages)
+        interactions = [
+            codecs.interaction_from_dict(i) for i in bundle.get("interactions") or []
+        ]
+        if interactions:
+            self.log_interactions(video_id, interactions)
+        dots = bundle.get("red_dots")
+        if dots is not None:
+            self.put_red_dots(video_id, [codecs.red_dot_from_dict(d) for d in dots])
+        for payload in bundle.get("highlights") or []:
+            record = codecs.highlight_record_from_dict(payload)
+            stored = self.put_highlight(video_id, record.highlight, source=record.source)
+            if stored.version != record.version:
+                raise ValidationError(
+                    f"highlight version drift importing channel {video_id!r}: "
+                    f"source version {record.version} stored as {stored.version}"
+                )
+        snapshot = bundle.get("snapshot")
+        if snapshot is not None:
+            self.put_session_snapshot(video_id, snapshot)
+        return video_id
+
     # ------------------------------------------------------ shared behaviour
     def get_chat_log(self, video_id: str) -> VideoChatLog:
         """Return the video and its chat as a :class:`VideoChatLog`."""

@@ -167,6 +167,21 @@ class InMemoryStore(StorageBackend):
         """Interaction rows from ``offset`` on."""
         return self._interactions.get(video_id, [])[offset:]
 
+    # ------------------------------------------------------ channel migration
+    def delete_channel(self, video_id: str) -> bool:
+        """Remove every stored row for one channel (migration source cleanup)."""
+        existed = video_id in self._videos
+        for table in (
+            self._videos,
+            self._chat,
+            self._interactions,
+            self._red_dots,
+            self._highlights,
+            self._session_snapshots,
+        ):
+            table.pop(video_id, None)
+        return existed
+
     # --------------------------------------------------------------- summary
     def stats(self) -> dict[str, int]:
         """Coarse row counts, useful for monitoring and tests."""

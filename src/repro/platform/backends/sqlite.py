@@ -559,6 +559,34 @@ class SQLiteStore(StorageBackend):
             ).fetchone()
         return None if row is None else self._decode_payload(row[0])
 
+    # ------------------------------------------------------ channel migration
+    def delete_channel(self, video_id: str) -> bool:
+        """Remove every stored row for one channel in one transaction.
+
+        The migration source-cleanup primitive: either the channel's video,
+        chat (both row formats), interactions, red dots, highlight records
+        and snapshot are all gone, or — on a crash mid-delete — none are.
+        """
+        with self._lock, self._guard(), self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM videos WHERE video_id = ?", (video_id,)
+            )
+            existed = cursor.rowcount > 0
+            for table in (
+                "chat_messages",
+                "chat_batches",
+                "interactions",
+                "interaction_counts",
+                "red_dots",
+                "red_dot_sets",
+                "highlight_records",
+                "session_snapshots",
+            ):
+                self._connection.execute(
+                    f"DELETE FROM {table} WHERE video_id = ?", (video_id,)
+                )
+        return existed
+
     # --------------------------------------------------------------- summary
     def stats(self) -> dict[str, int]:
         """Coarse row counts, useful for monitoring and tests."""
@@ -598,6 +626,11 @@ class SQLiteStore(StorageBackend):
             self._connection.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
             )
+
+    def delete_meta(self, key: str) -> None:
+        """Remove a database-level metadata value (no-op when unset)."""
+        with self._lock, self._guard(), self._connection:
+            self._connection.execute("DELETE FROM meta WHERE key = ?", (key,))
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:

@@ -32,6 +32,7 @@ from urllib.parse import quote
 from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
 from repro.platform import codecs, wire
 from repro.platform.backends.base import HighlightRecord
+from repro.platform.placement import WrongShardError
 from repro.streaming.events import StreamEvent
 from repro.utils.validation import ValidationError
 
@@ -178,6 +179,16 @@ class LightorClient:
         message = decoded.get("error", "") if isinstance(decoded, dict) else str(decoded)
         if status == 400:
             raise ValidationError(message)
+        if status == 409 and isinstance(decoded, dict) and "video_id" in decoded:
+            # The shard refused a channel it does not own (or one that is
+            # mid-migration): surface the typed redirect so routing layers
+            # can refresh their placement map and retry transparently.
+            raise WrongShardError(
+                decoded["video_id"],
+                owner=decoded.get("owner"),
+                epoch=int(decoded.get("epoch", 0)),
+                in_flight=bool(decoded.get("in_flight", False)),
+            )
         if status == 503:
             raise GatewayOverloadedError(status, message)
         raise GatewayError(status, message)
@@ -294,6 +305,47 @@ class LightorClient:
         return self._decode_dots(
             self._request("POST", self._live_path(video_id, "end"), {"duration": duration})
         )
+
+    # ------------------------------------------------- placement control plane
+    # Admin-plane calls used by the cluster supervisor (push placement, move
+    # channels between shards) and by the front door (pull placement after a
+    # 409 redirect).  Payloads stay as plain codec dicts: the caller decides
+    # whether to materialize a PlacementMap from them.
+    def get_placement(self) -> dict:
+        """The gateway's current placement payload (map + worker addresses)."""
+        return self._request("GET", "/placement")
+
+    def put_placement(
+        self, placement: dict, addresses: Sequence[Sequence] = ()
+    ) -> dict:
+        """Install a placement map (and optionally worker addresses) on the gateway."""
+        payload = {"placement": placement, "addresses": [list(a) for a in addresses]}
+        return self._request("POST", "/placement", payload)
+
+    def list_channels(self) -> list[str]:
+        """Every channel id persisted on this gateway's shard, sorted."""
+        return list(self._request("GET", "/admin/channels")["channels"])
+
+    def migrate_out(self, video_id: str) -> dict:
+        """Detach and export one channel: ``{"bundle": ..., "was_live": bool}``."""
+        return self._request("POST", "/admin/migrate-out", {"video_id": video_id})
+
+    def migrate_in(self, bundle: dict, was_live: bool = False) -> str:
+        """Import an exported channel bundle; resume its session when live."""
+        payload = {"bundle": bundle, "was_live": was_live}
+        return self._request("POST", "/admin/migrate-in", payload)["imported"]
+
+    def forget_channel(self, video_id: str) -> bool:
+        """Drop a migrated-out channel's residual state from this shard."""
+        return self._request("POST", "/admin/forget-channel", {"video_id": video_id})["forgotten"]
+
+    def fence(self) -> bool:
+        """Block until every request already admitted by the gateway finished.
+
+        The reshard census barrier: push a frozen placement, fence, then
+        :meth:`list_channels` — the listing is then provably complete.
+        """
+        return bool(self._request("POST", "/admin/fence")["drained"])
 
     # ----------------------------------------------------------- observability
     def healthz(self) -> dict:

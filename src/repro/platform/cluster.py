@@ -12,13 +12,24 @@ process**:
   cluster is coming up tears the rest down), reports children that die
   mid-run, and stops them with SIGTERM so durable deployments drain,
   checkpoint and stay resumable via ``repro recover``.
-* :class:`ClusterFrontDoor` consistent-hash-routes every service-surface
-  call to the owning shard over :class:`~repro.platform.client.LightorClient`.
-  It mirrors the in-process front door method for method, and the ring is
-  the *same* deterministic ring (:class:`~repro.platform.sharding.ConsistentHashRing`
-  over the same digest), so a video id lands on shard ``k`` of the cluster
-  exactly when it lands on shard ``k`` in process — which is what lets the
-  load harness drive either one and compare fingerprints byte for byte.
+* :class:`ClusterFrontDoor` routes every service-surface call to the owning
+  shard over :class:`~repro.platform.client.LightorClient`.  It mirrors the
+  in-process front door method for method, and routes through the *same*
+  :class:`~repro.platform.placement.PlacementMap` (same digest, same ring at
+  epoch 0), so a video id lands on shard ``k`` of the cluster exactly when
+  it lands on shard ``k`` in process — which is what lets the load harness
+  drive either one and compare fingerprints byte for byte.
+
+The placement map is the cluster's **control plane**.  The supervisor owns
+the authoritative copy and pushes it to every worker over
+``POST /placement``; a worker that is pushed a map starts refusing channels
+it does not own with ``409 Conflict``, and the front door reacts to a 409
+by refreshing its map (``GET /placement`` — which also re-learns the
+worker address list after a reshard) and retrying against the new owner.
+:meth:`ShardClusterSupervisor.reshard` moves channels between *live*
+workers with the three-step choreography (``migrate-out`` → ``migrate-in``
+→ ``forget``), spawning workers on grow and draining emptied workers on
+shrink, while channels that do not move keep serving throughout.
 
 The child protocol is deliberately thin: the worker prints one
 machine-readable ``listening on host:port`` line on stdout *before* the
@@ -46,11 +57,12 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.types import ChatMessage, Highlight, Interaction, RedDot, Video
-from repro.platform import wire
+from repro.platform import codecs, wire
 from repro.platform.backends import is_memory_path
 from repro.platform.backends.base import HighlightRecord
-from repro.platform.client import LightorClient
-from repro.platform.sharding import ConsistentHashRing, shard_db_path
+from repro.platform.client import GatewayError, LightorClient
+from repro.platform.placement import PlacementMap, WrongShardError
+from repro.platform.sharding import ChannelMigration, ReshardReport, shard_db_path
 from repro.streaming.events import StreamEvent
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError, require_positive
@@ -225,6 +237,11 @@ class ShardClusterSupervisor:
         self.client_timeout = client_timeout
         self.replicas = replicas
         self.wire_codec = wire_codec
+        # The authoritative placement map: epoch 0 is the legacy ring, every
+        # migration and reshard bumps it, and every bump is pushed to every
+        # worker before the data moves (the push is the workers' license to
+        # 409 traffic for the moving channel).
+        self.placement = PlacementMap(n_shards, replicas=replicas)
         self.workers: list[ShardWorker] = []
         self._exit_codes: list[int] | None = None
         self._started = False
@@ -255,6 +272,8 @@ class ShardClusterSupervisor:
             str(self.worker_threads),
             "--wire-codec",
             self.wire_codec,
+            "--shard-index",
+            str(index),
         ]
         db_path: str | None = None
         if self.db_path is not None:
@@ -314,6 +333,7 @@ class ShardClusterSupervisor:
                         f"was:\n{worker.log_tail()}"
                     )
             self._health_barrier(deadline)
+            self._push_placement()
         except BaseException:
             self._teardown_hard()
             raise
@@ -324,9 +344,9 @@ class ShardClusterSupervisor:
         )
         return self
 
-    def _health_barrier(self, deadline: float) -> None:
+    def _health_barrier(self, deadline: float, workers: Sequence[ShardWorker] | None = None) -> None:
         """Block until every worker's ``/healthz`` answers (or the deadline)."""
-        for worker in self.workers:
+        for worker in self.workers if workers is None else workers:
             client = LightorClient(worker.host, worker.port, timeout=self.client_timeout)
             try:
                 while True:
@@ -410,6 +430,205 @@ class ShardClusterSupervisor:
         self._exit_codes = codes
         return codes
 
+    # --------------------------------------------------------- placement plane
+    def _admin_client(self, worker: ShardWorker) -> LightorClient:
+        """A fresh control-plane client for one worker (caller closes it)."""
+        return LightorClient(
+            worker.host, worker.port, timeout=self.client_timeout,
+            wire_codec=self.wire_codec,
+        )
+
+    def _push_placement(self) -> None:
+        """Install the supervisor's placement map on every live worker.
+
+        The push is synchronous and ordered before whatever state change it
+        licenses (a migration's data movement, a reshard's commit): a worker
+        that has answered the POST is guaranteed to 409 traffic for channels
+        the new map takes away from it, which is what makes the front door's
+        refresh-and-retry loop lossless.
+        """
+        payload = codecs.placement_map_to_dict(self.placement)
+        addresses = [[worker.host, worker.port] for worker in self.workers]
+        for worker in self.workers:
+            client = self._admin_client(worker)
+            try:
+                client.put_placement(payload, addresses)
+            finally:
+                client.close()
+
+    def _channel_census(self) -> set[str]:
+        """Every channel persisted anywhere in the fleet (union of workers)."""
+        channels: set[str] = set()
+        for worker in self.workers:
+            client = self._admin_client(worker)
+            try:
+                channels.update(client.list_channels())
+            finally:
+                client.close()
+        return channels
+
+    def migrate_channel(self, video_id: str, dst_shard: int) -> ChannelMigration:
+        """Move one channel between live workers (out → in → forget).
+
+        The cross-process data plane: the channel is marked in-flight and the
+        map pushed (every worker now 409s its traffic), the source worker
+        checkpoints + exports it, the destination imports it (resuming the
+        live session from the bundled checkpoint), the source forgets its
+        rows, and the completed map is pushed.  A failure mid-move aborts the
+        placement change and re-pushes — the source still holds every row, so
+        nothing is lost.  The measured ``seconds`` is the channel's whole
+        unavailability window.
+        """
+        if not 0 <= dst_shard < len(self.workers):
+            raise ValidationError(
+                f"destination shard {dst_shard} does not exist "
+                f"(cluster has {len(self.workers)} worker(s))"
+            )
+        src = self.placement.shard_for(video_id)
+        if src == dst_shard:
+            return ChannelMigration(
+                video_id=video_id, src=src, dst=dst_shard,
+                was_live=False, seconds=0.0, moved=False,
+            )
+        started = time.perf_counter()
+        self.placement.begin_migration(video_id)
+        source = self._admin_client(self.workers[src])
+        destination = self._admin_client(self.workers[dst_shard])
+        try:
+            self._push_placement()
+            out = source.migrate_out(video_id)
+            destination.migrate_in(out["bundle"], was_live=out["was_live"])
+            source.forget_channel(video_id)
+        except BaseException:
+            self.placement.abort_migration(video_id)
+            self._push_placement()
+            raise
+        finally:
+            source.close()
+            destination.close()
+        self.placement.complete_migration(video_id, dst_shard)
+        self._push_placement()
+        return ChannelMigration(
+            video_id=video_id, src=src, dst=dst_shard,
+            was_live=bool(out["was_live"]),
+            seconds=time.perf_counter() - started,
+        )
+
+    def reshard(self, new_n_shards: int) -> ReshardReport:
+        """Online reshard: grow or shrink the live worker fleet in place.
+
+        Grow spawns the new workers first (boot-checked exactly like
+        :meth:`start`), then drains the minimal channel set onto them one
+        migration at a time; shrink migrates every channel off the doomed
+        workers, then SIGTERMs them.  Channels that do not move keep serving
+        throughout — only the channel currently in flight pays a pause.
+        """
+        require_positive(new_n_shards, "new_n_shards")
+        if not self._started or self._exit_codes is not None:
+            raise ValidationError("reshard needs a started, running cluster")
+        old_n_shards = len(self.workers)
+        if new_n_shards == old_n_shards:
+            return ReshardReport(
+                old_n_shards=old_n_shards, new_n_shards=new_n_shards,
+                epoch=self.placement.epoch, migrations=(),
+            )
+        env = self._child_env()
+        if new_n_shards > old_n_shards:
+            deadline = time.monotonic() + self.boot_timeout
+            fresh: list[ShardWorker] = []
+            for index in range(old_n_shards, new_n_shards):
+                command, db_path = self._worker_command(index)
+                worker = ShardWorker(index, command, db_path)
+                worker.spawn(env)
+                fresh.append(worker)
+            try:
+                for worker in fresh:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not worker.ready.wait(timeout=remaining):
+                        raise RuntimeError(
+                            f"shard {worker.index} did not report readiness within "
+                            f"{self.boot_timeout:g}s; its output was:\n{worker.log_tail()}"
+                        )
+                    if worker.port is None:
+                        worker.process.wait()
+                        raise RuntimeError(
+                            f"shard {worker.index} exited with code "
+                            f"{worker.process.returncode} during reshard boot; its "
+                            f"output was:\n{worker.log_tail()}"
+                        )
+                self._health_barrier(deadline, fresh)
+            except BaseException:
+                for worker in fresh:
+                    if worker.alive:
+                        worker.process.terminate()
+                for worker in fresh:
+                    if worker.process is not None:
+                        worker.process.wait()
+                        worker.join_pump()
+                raise
+            self.workers.extend(fresh)
+            self._push_placement()
+
+        # Bulk phase: census the fleet and drain the planned channel set
+        # with no global barrier — unmoved channels keep serving, only the
+        # channel in flight pays a pause.
+        plan = self.placement.plan_reshard(sorted(self._channel_census()), new_n_shards)
+        migrations = [self.migrate_channel(move.video_id, move.dst) for move in plan]
+
+        # Commit barrier: channels created *during* the bulk phase were
+        # placed by the old ring and would be stranded by the ring swap
+        # (traffic re-routes, their rows do not).  Freeze the map (every
+        # worker 409s all channel traffic once the push lands), fence each
+        # worker so requests admitted before the freeze have finished, take
+        # a now-provably-complete census, and sweep the stragglers.  The
+        # barrier lasts one sweep — milliseconds — and ends at commit.
+        self.placement.freeze()
+        try:
+            self._push_placement()
+            for worker in self.workers:
+                client = self._admin_client(worker)
+                try:
+                    client.fence()
+                finally:
+                    client.close()
+            follow_up = self.placement.plan_reshard(
+                sorted(self._channel_census()), new_n_shards
+            )
+            migrations.extend(
+                self.migrate_channel(move.video_id, move.dst) for move in follow_up
+            )
+        except BaseException:
+            self.placement.thaw()
+            self._push_placement()
+            raise
+        epoch = self.placement.commit_reshard(new_n_shards)
+
+        if new_n_shards < old_n_shards:
+            drained = self.workers[new_n_shards:]
+            del self.workers[new_n_shards:]
+            for worker in drained:
+                if worker.alive:
+                    worker.process.terminate()
+            for worker in drained:
+                if worker.process is None:
+                    continue
+                try:
+                    worker.process.wait(timeout=30.0)
+                except subprocess.TimeoutExpired:
+                    worker.process.kill()
+                    worker.process.wait()
+                worker.join_pump()
+        self.n_shards = new_n_shards
+        self._push_placement()
+        _LOGGER.info(
+            "resharded cluster %d -> %d worker(s): %d channel(s) moved, epoch %d",
+            old_n_shards, new_n_shards, sum(m.moved for m in migrations), epoch,
+        )
+        return ReshardReport(
+            old_n_shards=old_n_shards, new_n_shards=new_n_shards,
+            epoch=epoch, migrations=tuple(migrations),
+        )
+
     # ---------------------------------------------------------------- routing
     @property
     def addresses(self) -> list[tuple[str, int]]:
@@ -419,14 +638,19 @@ class ShardClusterSupervisor:
     def front_door(self) -> "ClusterFrontDoor":
         """A new :class:`ClusterFrontDoor` over this cluster's workers.
 
-        Each call builds an independent front door (own sockets, own
-        placement memo) — hand one to each thread that needs the cluster.
+        Each call builds an independent front door (own sockets) — hand one
+        to each thread that needs the cluster.  All of them share the
+        supervisor's live placement map, so an in-process reshard re-routes
+        every front door the instant it commits; address changes (grown or
+        drained workers) are still learned per front door via the 409
+        refresh protocol.
         """
         return ClusterFrontDoor(
             self.addresses,
             replicas=self.replicas,
             timeout=self.client_timeout,
             wire_codec=self.wire_codec,
+            placement=self.placement,
         )
 
     def __enter__(self) -> "ShardClusterSupervisor":
@@ -464,16 +688,23 @@ class _RemoteStoreView:
 
 
 class ClusterFrontDoor:
-    """Route the service surface to shard processes by consistent hash.
+    """Route the service surface to shard processes through a placement map.
 
     The wire twin of :class:`~repro.platform.sharding.ShardedLightorService`:
-    same ring, same placement, same method surface — callers written against
-    the in-process front door (the load generator above all) drive a
-    process cluster unchanged.  One kept-alive
-    :class:`~repro.platform.client.LightorClient` per shard; like the
-    client itself, a front door is **not** thread-safe — build one per
-    thread via :meth:`clone` (or
-    :meth:`ShardClusterSupervisor.front_door`).
+    same placement map, same method surface — callers written against the
+    in-process front door (the load generator above all) drive a process
+    cluster unchanged.  At epoch 0 the map *is* the legacy consistent-hash
+    ring, so routing is byte-identical to every earlier deployment; once the
+    cluster resharding control plane starts bumping epochs, a 409 from a
+    worker makes the front door refresh its map (and, after a reshard, its
+    worker address list) and retry transparently — callers never see the
+    redirect.
+
+    One kept-alive :class:`~repro.platform.client.LightorClient` per shard;
+    like the client itself, a front door is **not** thread-safe — build one
+    per thread via :meth:`clone` (or
+    :meth:`ShardClusterSupervisor.front_door`).  Clones *share* the placement
+    map object, so one clone's refresh re-routes them all.
     """
 
     def __init__(
@@ -483,6 +714,7 @@ class ClusterFrontDoor:
         replicas: int = 64,
         timeout: float = 60.0,
         wire_codec: str = "json",
+        placement: PlacementMap | None = None,
     ) -> None:
         if not addresses:
             raise ValidationError("a cluster front door needs at least one shard address")
@@ -490,16 +722,13 @@ class ClusterFrontDoor:
         self._replicas = replicas
         self._timeout = timeout
         self.wire_codec = wire_codec
-        self._ring = ConsistentHashRing(len(self.addresses), replicas=replicas)
+        if placement is None:
+            placement = PlacementMap(len(self.addresses), replicas=replicas)
+        self.placement = placement
         self._clients = [
             LightorClient(host, port, timeout=timeout, wire_codec=wire_codec)
             for host, port in self.addresses
         ]
-        # Same memoization contract as the in-process front door: the ring is
-        # immutable, so per-id lookups are cached with a bounded clear-on-full
-        # dict (placements are pure recomputation).
-        self._placements: dict[str, int] = {}
-        self._placements_max = 4096
 
     # ----------------------------------------------------------------- routing
     @property
@@ -507,104 +736,185 @@ class ClusterFrontDoor:
         """Number of shard processes behind the front door."""
         return len(self._clients)
 
+    @property
+    def epoch(self) -> int:
+        """The placement epoch this front door is routing with."""
+        return self.placement.epoch
+
     def shard_index(self, video_id: str) -> int:
-        """The shard that owns ``video_id`` (identical to the in-process ring)."""
-        index = self._placements.get(video_id)
-        if index is None:
-            index = self._ring.shard_for(video_id)
-            if len(self._placements) >= self._placements_max:
-                self._placements.clear()
-            self._placements[video_id] = index
-        return index
+        """The shard that owns ``video_id`` (identical to the in-process map)."""
+        return self.placement.shard_for(video_id)
 
     def client_for(self, video_id: str) -> LightorClient:
         """The wire client of the shard owning ``video_id``."""
-        return self._clients[self.shard_index(video_id)]
+        index = self.shard_index(video_id)
+        if index >= len(self._clients):
+            # The shared map already routes to a shard this front door has
+            # not met (a mid-reshard grow): learn the new address list.
+            self._refresh_placement()
+            index = self.shard_index(video_id)
+            if index >= len(self._clients):
+                raise ValidationError(
+                    f"placement routes {video_id!r} to shard {index} but the "
+                    f"front door only knows {len(self._clients)} worker(s)"
+                )
+        return self._clients[index]
+
+    def _refresh_placement(self) -> None:
+        """Pull the freshest placement (and worker addresses) from the fleet.
+
+        Every reachable worker is asked; every answer is installed (the map
+        keeps the newest epoch), and the best answer's address list replaces
+        this front door's clients when it differs — that is how a front door
+        built before a reshard learns about grown or drained workers without
+        talking to the supervisor.
+        """
+        best: dict | None = None
+        for client in list(self._clients):
+            try:
+                payload = client.get_placement()
+            except (ValidationError, GatewayError, OSError):
+                # Unreachable, drained, or placement-less worker: any other
+                # worker's answer is as authoritative (the supervisor pushes
+                # to all of them in lockstep).
+                continue
+            self.placement.install(codecs.placement_map_from_dict(payload["placement"]))
+            if best is None or payload["placement"]["epoch"] > best["placement"]["epoch"]:
+                best = payload
+        if best is None:
+            return
+        addresses = [(str(host), int(port)) for host, port in best.get("addresses", [])]
+        if addresses and addresses != self.addresses:
+            stale = self._clients
+            self.addresses = addresses
+            self._clients = [
+                LightorClient(host, port, timeout=self._timeout, wire_codec=self.wire_codec)
+                for host, port in addresses
+            ]
+            for client in stale:
+                client.close()
+
+    def _call(self, video_id: str, call):
+        """Run one client call against the channel's owner, riding out 409s.
+
+        The retry loop of the placement protocol: a ``409 Conflict`` means
+        the worker disowns the channel (moved, or mid-migration), so the
+        front door refreshes its map and retries — immediately when the
+        route changed, after a short sleep when it did not (the channel is
+        in flight and the commit push has not landed yet).  Bounded by the
+        client timeout so a wedged control plane surfaces as the 409 rather
+        than spinning forever.
+        """
+        deadline = time.monotonic() + self._timeout
+        while True:
+            index = self.shard_index(video_id)
+            try:
+                return call(self.client_for(video_id))
+            except WrongShardError:
+                if time.monotonic() >= deadline:
+                    raise
+                self._refresh_placement()
+                if self.shard_index(video_id) == index:
+                    time.sleep(0.02)
 
     def store_for(self, video_id: str) -> _RemoteStoreView:
         """A read-only view of the owning shard's persisted state."""
         return _RemoteStoreView(self.client_for(video_id))
 
     def clone(self) -> "ClusterFrontDoor":
-        """An independent front door over the same shards (for another thread)."""
+        """An independent front door over the same shards (for another thread).
+
+        Shares this front door's placement map — sockets are per-clone, the
+        control plane is common.
+        """
         return ClusterFrontDoor(
             self.addresses,
             replicas=self._replicas,
             timeout=self._timeout,
             wire_codec=self.wire_codec,
+            placement=self.placement,
         )
 
     # ------------------------------------------------------------ batch surface
     def register_video(self, video: Video) -> None:
         """Store video metadata on its home shard (no live session opened)."""
-        self.client_for(video.video_id).register_video(video)
+        self._call(video.video_id, lambda client: client.register_video(video))
 
     def request_red_dots(self, video_id: str, k: int | None = None) -> list[RedDot]:
         """Red dots for a recorded video, computed by its home shard."""
-        return self.client_for(video_id).request_red_dots(video_id, k=k)
+        return self._call(video_id, lambda client: client.request_red_dots(video_id, k=k))
 
     def log_interactions(self, video_id: str, interactions: Sequence[Interaction]) -> int:
         """Persist viewer interactions on the video's home shard."""
-        return self.client_for(video_id).log_interactions(video_id, interactions)
+        return self._call(
+            video_id, lambda client: client.log_interactions(video_id, interactions)
+        )
 
     def refine_video(self, video_id: str) -> int:
         """Run one Extractor refinement pass on the video's home shard."""
-        return self.client_for(video_id).refine_video(video_id)
+        return self._call(video_id, lambda client: client.refine_video(video_id))
 
     def get_red_dots(self, video_id: str) -> list[RedDot]:
         """The stored red dots for a video (its home shard's backend)."""
-        return self.client_for(video_id).get_red_dots(video_id)
+        return self._call(video_id, lambda client: client.get_red_dots(video_id))
 
     def latest_highlights(self, video_id: str) -> list[Highlight]:
         """The most recent stored highlight per area for a video."""
-        return self.client_for(video_id).latest_highlights(video_id)
+        return self._call(video_id, lambda client: client.latest_highlights(video_id))
 
     def highlight_history(self, video_id: str) -> list[HighlightRecord]:
         """Every stored highlight record for a video, in version order."""
-        return self.client_for(video_id).highlight_history(video_id)
+        return self._call(video_id, lambda client: client.highlight_history(video_id))
 
     def get_interactions(self, video_id: str) -> list[Interaction]:
         """The stored viewer interactions for a video, in insertion order."""
-        return self.client_for(video_id).get_interactions(video_id)
+        return self._call(video_id, lambda client: client.get_interactions(video_id))
 
     # ------------------------------------------------------------- live surface
     def start_live(self, video: Video) -> None:
         """Register a live channel and open its session on its home shard."""
-        self.client_for(video.video_id).start_live(video)
+        self._call(video.video_id, lambda client: client.start_live(video))
 
     def ingest_live_chat(
         self, video_id: str, messages: Sequence[ChatMessage]
     ) -> list[StreamEvent]:
         """Push live chat to the channel's home shard."""
-        return self.client_for(video_id).ingest_live_chat(video_id, messages)
+        return self._call(
+            video_id, lambda client: client.ingest_live_chat(video_id, messages)
+        )
 
     def ingest_chat_batch(
         self, video_id: str, messages: Sequence[ChatMessage], persist: bool = False
     ) -> list[StreamEvent]:
         """Push a chat batch to the channel's home shard (one request per batch)."""
-        return self.client_for(video_id).ingest_chat_batch(
-            video_id, messages, persist=persist
+        return self._call(
+            video_id,
+            lambda client: client.ingest_chat_batch(video_id, messages, persist=persist),
         )
 
     def ingest_live_interactions(
         self, video_id: str, interactions: Sequence[Interaction]
     ) -> list[StreamEvent]:
         """Push live viewer interactions to the channel's home shard."""
-        return self.client_for(video_id).ingest_live_interactions(video_id, interactions)
+        return self._call(
+            video_id, lambda client: client.ingest_live_interactions(video_id, interactions)
+        )
 
     def ingest_plays_batch(
         self, video_id: str, interactions: Sequence[Interaction]
     ) -> list[StreamEvent]:
         """Push a viewer-interaction batch to the channel's home shard."""
-        return self.client_for(video_id).ingest_plays_batch(video_id, interactions)
+        return self._call(
+            video_id, lambda client: client.ingest_plays_batch(video_id, interactions)
+        )
 
     def live_red_dots(self, video_id: str) -> list[RedDot]:
         """The dots to render right now for a channel (live or persisted)."""
-        return self.client_for(video_id).live_red_dots(video_id)
+        return self._call(video_id, lambda client: client.live_red_dots(video_id))
 
     def end_live(self, video_id: str, duration: float | None = None) -> list[RedDot]:
         """Close a live channel on its home shard; final dots are persisted."""
-        return self.client_for(video_id).end_live(video_id, duration)
+        return self._call(video_id, lambda client: client.end_live(video_id, duration))
 
     # ----------------------------------------------------------- observability
     def healthz(self) -> list[dict]:

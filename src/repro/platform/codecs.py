@@ -42,6 +42,7 @@ from repro.core.types import (
     VideoChatLog,
 )
 from repro.platform.backends.base import HighlightRecord
+from repro.platform.placement import PlacementMap
 from repro.utils.validation import ValidationError
 
 __all__ = [
@@ -61,6 +62,8 @@ __all__ = [
     "chat_log_from_dict",
     "highlight_record_to_dict",
     "highlight_record_from_dict",
+    "placement_map_to_dict",
+    "placement_map_from_dict",
     "window_features_to_dict",
     "window_features_from_dict",
     "window_summary_to_dict",
@@ -220,6 +223,31 @@ def highlight_record_from_dict(payload: dict[str, Any]) -> HighlightRecord:
         highlight=highlight_from_dict(payload["highlight"]),
         version=payload["version"],
         source=payload.get("source", "extractor"),
+    )
+
+
+# --------------------------------------------------------------- placement map
+def placement_map_to_dict(placement: PlacementMap) -> dict[str, Any]:
+    """Plain-dict form of a :class:`PlacementMap` (one atomic view).
+
+    The wire/storage form of the control plane: what ``GET /placement``
+    returns and ``POST /placement`` installs on cluster workers.
+    """
+    return placement.describe()
+
+
+def placement_map_from_dict(payload: dict[str, Any]) -> PlacementMap:
+    """Rebuild a :class:`PlacementMap` from its plain-dict form."""
+    pins = payload.get("pins", {})
+    if not isinstance(pins, dict):
+        raise ValidationError(f"placement pins must be a mapping, got {type(pins).__name__}")
+    return PlacementMap(
+        payload["n_shards"],
+        replicas=payload.get("replicas", 64),
+        epoch=payload.get("epoch", 0),
+        pins={str(k): int(v) for k, v in pins.items()},
+        in_flight=[str(v) for v in payload.get("in_flight", [])],
+        frozen=bool(payload.get("frozen", False)),
     )
 
 

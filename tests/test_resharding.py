@@ -1,0 +1,365 @@
+"""Tests for live channel migration and online resharding.
+
+Three properties matter:
+
+* **losslessness** — migrating a live channel between shards (in process or
+  across worker processes) and resharding the whole tier mid-run must leave
+  every channel's persisted state byte-identical to an undisturbed run: the
+  oracle of :func:`repro.loadgen.run_reshard`;
+* **protocol** — a worker answers ``409`` for channels its placement map
+  disowns (stale router, mid-migration, reshard commit barrier) and the
+  client surfaces it as :class:`WrongShardError`, which is what lets a
+  stale front door refresh and retry instead of corrupting state;
+* **durability bookkeeping** — shard-marker metadata on SQLite files
+  follows the deployment through grows and shrinks, so a drained file can
+  be re-adopted and ``repro recover`` keeps resuming checkpoints across
+  a reshard.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.cli import main
+from repro.core.types import VideoChatLog
+from repro.loadgen import WorkloadSpec, run_reshard
+from repro.platform import codecs
+from repro.platform.backends import SQLiteStore
+from repro.platform.client import LightorClient
+from repro.platform.cluster import ClusterFrontDoor
+from repro.platform.placement import PlacementMap, WrongShardError
+from repro.platform.server import GatewayThread
+from repro.platform.sharding import ShardedLightorService, shard_db_path
+from repro.utils.validation import ValidationError
+
+K = 5
+SPEC = WorkloadSpec(channels=3, viewers=30, duration=60.0, batch_size=50, seed=7)
+
+
+def _sharded(fitted_initializer, n_shards=2, **kwargs):
+    return ShardedLightorService.create(
+        n_shards, fitted_initializer, live_k=K, **kwargs
+    )
+
+
+def _other_shard(service, video_id):
+    """Any shard index that is not the channel's current home."""
+    home = service.placement.shard_for(video_id)
+    return (home + 1) % service.n_shards
+
+
+@pytest.fixture(scope="module")
+def channel_log(dota2_dataset):
+    target = dota2_dataset[1]
+    return VideoChatLog(video=target.video, messages=target.chat_log.messages[:300])
+
+
+class TestChannelMigration:
+    def test_live_channel_migrates_byte_exactly(self, fitted_initializer, channel_log):
+        """Mid-stream migration is invisible in the persisted end state."""
+        video_id = channel_log.video.video_id
+        control = _sharded(fitted_initializer)
+        subject = _sharded(fitted_initializer)
+        for service in (control, subject):
+            service.start_live(channel_log.video)
+            service.ingest_chat_batch(video_id, channel_log.messages[:150])
+        dst = _other_shard(subject, video_id)
+        epoch_before = subject.placement.epoch
+        migration = subject.migrate_channel(video_id, dst)
+        assert migration.moved and migration.was_live
+        assert migration.seconds > 0.0
+        assert subject.placement.shard_for(video_id) == dst
+        assert subject.placement.epoch > epoch_before
+        for service in (control, subject):
+            service.ingest_chat_batch(video_id, channel_log.messages[150:])
+        control_dots = control.end_live(video_id, channel_log.video.duration)
+        subject_dots = subject.end_live(video_id, channel_log.video.duration)
+        assert [codecs.red_dot_to_dict(d) for d in subject_dots] == [
+            codecs.red_dot_to_dict(d) for d in control_dots
+        ]
+        assert [
+            codecs.highlight_record_to_dict(r)
+            for r in subject.highlight_history(video_id)
+        ] == [
+            codecs.highlight_record_to_dict(r)
+            for r in control.highlight_history(video_id)
+        ]
+        # The rows live only on the destination shard.
+        src = (dst + 1) % 2
+        assert subject.shards[dst].store.has_video(video_id)
+        assert not subject.shards[src].store.has_video(video_id)
+
+    def test_migrating_home_is_a_noop(self, fitted_initializer, channel_log):
+        service = _sharded(fitted_initializer)
+        service.register_video(channel_log.video)
+        home = service.placement.shard_for(channel_log.video.video_id)
+        migration = service.migrate_channel(channel_log.video.video_id, home)
+        assert not migration.moved
+        assert migration.seconds == 0.0
+
+    def test_bad_destinations_and_unknown_channels_rejected(
+        self, fitted_initializer, channel_log
+    ):
+        service = _sharded(fitted_initializer)
+        with pytest.raises(ValidationError, match="dst_shard"):
+            service.migrate_channel("anything", 7)
+        ghost = "never-registered"
+        with pytest.raises(ValidationError, match="no stored rows"):
+            service.migrate_channel(ghost, _other_shard(service, ghost))
+        # A failed migration leaves the placement unchanged (abort path).
+        assert not service.placement.is_in_flight(ghost)
+
+
+class TestOnlineReshardInproc:
+    @pytest.mark.parametrize("shards,to_shards", [(2, 3), (3, 2)])
+    def test_mid_run_reshard_is_byte_identical(
+        self, fitted_initializer, shards, to_shards
+    ):
+        report = run_reshard(
+            SPEC,
+            fitted_initializer,
+            shards=shards,
+            to_shards=to_shards,
+            reshard_after=2,
+            workers=2,
+            transport="inproc",
+        )
+        assert report.ok, report.describe()
+        assert report.divergences == []
+        assert (report.old_shards, report.new_shards) == (shards, to_shards)
+        assert report.epoch > 0
+        assert all(pause >= 0.0 for pause in report.pause_seconds)
+
+
+class TestOnlineReshardCluster:
+    @pytest.mark.parametrize("shards,to_shards", [(2, 3), (3, 2)])
+    def test_mid_run_reshard_is_byte_identical(
+        self, fitted_initializer, shards, to_shards
+    ):
+        """Grow spawns a worker process mid-run, shrink drains and SIGTERMs
+        one; either way every fingerprint matches the undisturbed run."""
+        report = run_reshard(
+            SPEC,
+            fitted_initializer,
+            shards=shards,
+            to_shards=to_shards,
+            reshard_after=2,
+            workers=2,
+            transport="cluster",
+        )
+        assert report.ok, report.describe()
+        assert report.divergences == []
+        assert (report.old_shards, report.new_shards) == (shards, to_shards)
+
+
+class TestWrongShardProtocol:
+    @pytest.fixture()
+    def worker(self, fitted_initializer):
+        """A gateway posing as cluster shard 1 with a pushed placement."""
+        service = _sharded(fitted_initializer, n_shards=1)
+        gateway = GatewayThread(service, shard_index=1, worker_threads=2)
+        host, port = gateway.start()
+        client = LightorClient(host, port)
+        yield client, service
+        client.close()
+        gateway.stop()
+        service.close()
+
+    def _push(self, client, placement):
+        return client.put_placement(codecs.placement_map_to_dict(placement))
+
+    def test_disowned_channel_answers_409(self, worker, channel_log):
+        client, _ = worker
+        placement = PlacementMap(2)
+        video_id = channel_log.video.video_id
+        owner = placement.shard_for(video_id)
+        # Make sure this worker (shard 1) is NOT the owner.
+        if owner == 1:
+            placement.begin_migration(video_id)
+            placement.complete_migration(video_id, 0)
+            owner = 0
+        self._push(client, placement)
+        with pytest.raises(WrongShardError) as excinfo:
+            client.live_red_dots(video_id)
+        assert excinfo.value.owner == owner
+        assert excinfo.value.epoch == placement.epoch
+        assert not excinfo.value.in_flight
+
+    def test_in_flight_channel_answers_409_even_for_the_owner(
+        self, worker, channel_log
+    ):
+        client, _ = worker
+        placement = PlacementMap(2)
+        video_id = channel_log.video.video_id
+        if placement.shard_for(video_id) != 1:
+            placement.begin_migration(video_id)
+            placement.complete_migration(video_id, 1)
+        placement.begin_migration(video_id)
+        self._push(client, placement)
+        with pytest.raises(WrongShardError) as excinfo:
+            client.live_red_dots(video_id)
+        assert excinfo.value.in_flight
+
+    def test_frozen_map_refuses_every_channel(self, worker, channel_log):
+        """The reshard commit barrier: owned or not, channel traffic waits."""
+        client, _ = worker
+        placement = PlacementMap(2)
+        placement.freeze()
+        self._push(client, placement)
+        with pytest.raises(WrongShardError) as excinfo:
+            client.live_red_dots(channel_log.video.video_id)
+        assert excinfo.value.in_flight
+        # Channel-less routes keep working under the freeze: the admin
+        # choreography and the census fence must pass through it.
+        assert client.fence() is True
+        assert client.list_channels() == []
+
+    def test_healthz_and_metrics_expose_the_epoch(self, worker):
+        client, _ = worker
+        placement = PlacementMap(2)
+        placement.begin_migration("ch")
+        placement.complete_migration("ch", 0)
+        self._push(client, placement)
+        payload = client.healthz()
+        assert payload["placement_epoch"] == placement.epoch
+        text = client.metrics()
+        assert f"lightor_gateway_placement_epoch {placement.epoch}" in text
+        assert "lightor_gateway_wrong_shard_total" in text
+
+    def test_stale_push_is_not_installed(self, worker):
+        client, _ = worker
+        fresh = PlacementMap(2)
+        fresh.begin_migration("ch")
+        fresh.complete_migration("ch", 0)
+        assert self._push(client, fresh)["installed"]
+        stale = PlacementMap(2)
+        result = self._push(client, stale)
+        assert not result["installed"]
+        assert result["epoch"] == fresh.epoch
+
+
+class TestShardMarkers:
+    def test_shrink_clears_markers_so_a_later_grow_adopts_the_file(
+        self, fitted_initializer, channel_log, tmp_path
+    ):
+        """Regression: a drained shard file used to keep its old ``n_shards``
+        marker, so growing back refused the (empty) file as stale."""
+        base = tmp_path / "fleet.db"
+        service = _sharded(fitted_initializer, 3, backend="sqlite", db_path=base)
+        service.start_live(channel_log.video)
+        service.ingest_chat_batch(
+            channel_log.video.video_id, channel_log.messages[:100], persist=True
+        )
+        service.reshard(2)
+        drained = SQLiteStore(shard_db_path(base, 2))
+        try:
+            assert drained.get_meta("n_shards") is None
+            assert drained.get_meta("shard_index") is None
+            assert drained.list_videos() == []
+        finally:
+            drained.close()
+        for index in range(2):
+            survivor = SQLiteStore(shard_db_path(base, index))
+            try:
+                assert survivor.get_meta("n_shards") == "2"
+                assert survivor.get_meta("shard_index") == str(index)
+            finally:
+                survivor.close()
+        # Growing back re-adopts the drained file and restamps every marker.
+        service.reshard(3)
+        assert service.n_shards == 3
+        dots = service.end_live(channel_log.video.video_id, channel_log.video.duration)
+        assert dots
+        service.close()
+        for index in range(3):
+            store = SQLiteStore(shard_db_path(base, index))
+            try:
+                assert store.get_meta("n_shards") == "3"
+            finally:
+                store.close()
+
+    def test_stale_marker_still_refused_on_grow(self, fitted_initializer, tmp_path):
+        """The marker check itself stays strict: a file stamped for another
+        deployment shape (and never drained by a reshard) is not adopted."""
+        base = tmp_path / "stale.db"
+        poisoned = SQLiteStore(shard_db_path(base, 2))
+        poisoned.set_meta("n_shards", "7")
+        poisoned.close()
+        service = _sharded(fitted_initializer, 2, backend="sqlite", db_path=base)
+        with pytest.raises(ValidationError):
+            service.reshard(3)
+        service.close()
+
+
+class TestReshardCLIAndRecovery:
+    def test_offline_reshard_preserves_checkpoints(
+        self, fitted_initializer, channel_log, tmp_path, capsys
+    ):
+        """``repro reshard`` then ``repro recover``: a live session
+        checkpointed before the reshard resumes on its new home shard."""
+        base = tmp_path / "live.db"
+        video_id = channel_log.video.video_id
+        service = _sharded(
+            fitted_initializer, 2, backend="sqlite", db_path=base,
+            checkpoint_every=50,
+        )
+        service.start_live(channel_log.video)
+        service.ingest_chat_batch(video_id, channel_log.messages[:200], persist=True)
+        assert service.suspend() == 1  # checkpointed, not finalized
+        assert main(["reshard", "--db-path", str(base), "--shards", "2", "--to", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2 -> 3" in out
+        resumed = _sharded(
+            fitted_initializer, 3, backend="sqlite", db_path=base,
+            checkpoint_every=50,
+        )
+        recovered = resumed.recover_live_sessions()
+        assert [r.video_id for r in recovered] == [video_id]
+        # The session keeps serving after recovery, wherever it landed.
+        resumed.ingest_chat_batch(video_id, channel_log.messages[200:260], persist=True)
+        assert resumed.end_live(video_id, channel_log.video.duration)
+        resumed.close()
+
+    def test_cli_rejects_growing_to_the_same_size(self, tmp_path, capsys):
+        assert main(
+            ["reshard", "--db-path", str(tmp_path / "x.db"), "--shards", "2", "--to", "0"]
+        ) == 1
+
+
+class TestFrontDoorSurfaceParity:
+    SURFACE = [
+        "register_video", "request_red_dots", "log_interactions", "refine_video",
+        "get_red_dots", "latest_highlights", "highlight_history",
+        "get_interactions", "start_live", "ingest_live_chat",
+        "ingest_chat_batch", "ingest_live_interactions", "ingest_plays_batch",
+        "live_red_dots", "end_live",
+    ]
+    ADMIN = ["list_channels", "migrate_out", "forget_channel"]
+
+    @staticmethod
+    def _shape(cls, name):
+        return [
+            (p.name, p.default, p.kind)
+            for p in inspect.signature(getattr(cls, name)).parameters.values()
+        ]
+
+    def test_every_front_door_mirrors_the_service_surface(self):
+        """Swapping ShardedLightorService, ClusterFrontDoor and LightorClient
+        behind the load harness must never change a call site: same method
+        names, same parameter names, same defaults."""
+        for name in self.SURFACE:
+            reference = self._shape(ShardedLightorService, name)
+            for cls in (ClusterFrontDoor, LightorClient):
+                assert self._shape(cls, name) == reference, (cls.__name__, name)
+
+    def test_migration_admin_mirrors_service_to_client(self):
+        """The cluster data plane: the client speaks the same admin surface
+        the in-process service exposes (the front door intentionally does
+        not — it routes, the supervisor migrates)."""
+        for name in self.ADMIN:
+            assert self._shape(LightorClient, name) == self._shape(
+                ShardedLightorService, name
+            ), name
+            assert not hasattr(ClusterFrontDoor, name), name
